@@ -1,0 +1,278 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, plus ablations of the design choices called out in DESIGN.md.
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark both exercises the model under test (so -benchmem and
+// ns/op are meaningful for the simulator itself) and reports the headline
+// reproduction metric via b.ReportMetric, so the paper-facing number is
+// visible in the benchmark output.
+package npqm
+
+import (
+	"fmt"
+	"testing"
+
+	"npqm/internal/core"
+	"npqm/internal/ddr"
+	"npqm/internal/ixp"
+	"npqm/internal/npu"
+	"npqm/internal/queue"
+)
+
+// BenchmarkTable1DDRSchedulers regenerates the DDR throughput-loss cells:
+// one sub-benchmark per (banks, scheduler, penalty-model) configuration.
+func BenchmarkTable1DDRSchedulers(b *testing.B) {
+	for _, banks := range []int{1, 4, 8, 12, 16} {
+		for _, sched := range []ddr.SchedulerKind{ddr.FCFSRoundRobin, ddr.Reorder} {
+			for _, rw := range []bool{false, true} {
+				name := fmt.Sprintf("banks=%d/%v/rw=%v", banks, sched, rw)
+				b.Run(name, func(b *testing.B) {
+					var loss float64
+					for i := 0; i < b.N; i++ {
+						res, err := ddr.RunSaturated(ddr.Config{
+							Banks: banks, Scheduler: sched, RWInterleave: rw,
+						}, 12345, 20_000)
+						if err != nil {
+							b.Fatal(err)
+						}
+						loss = res.Loss
+					}
+					b.ReportMetric(loss, "loss")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkTable2IXP1200 regenerates the IXP packet-rate cells.
+func BenchmarkTable2IXP1200(b *testing.B) {
+	for _, queues := range []int{16, 128, 1024} {
+		for _, engines := range []int{1, 6} {
+			b.Run(fmt.Sprintf("queues=%d/engines=%d", queues, engines), func(b *testing.B) {
+				p, err := ixp.ProfileForQueues(queues)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var kpps float64
+				for i := 0; i < b.N; i++ {
+					res, err := ixp.Run(ixp.Config{Profile: p, Engines: engines, Packets: 500})
+					if err != nil {
+						b.Fatal(err)
+					}
+					kpps = res.Kpps
+				}
+				b.ReportMetric(kpps, "Kpps")
+			})
+		}
+	}
+}
+
+// BenchmarkTable3NPUOps regenerates the reference-NPU cycle counts for all
+// three copy engines.
+func BenchmarkTable3NPUOps(b *testing.B) {
+	for _, engine := range npu.CopyEngines() {
+		b.Run(engine.String(), func(b *testing.B) {
+			var pair int
+			for i := 0; i < b.N; i++ {
+				enq := npu.EnqueueCost(true, engine)
+				deq := npu.DequeueCost(engine)
+				pair = enq.CPUCycles() + deq.CPUCycles()
+			}
+			b.ReportMetric(float64(pair), "cycles/pkt")
+			b.ReportMetric(npu.TransitMbps(engine, npu.ClockMHz), "Mbps")
+		})
+	}
+}
+
+// BenchmarkTable4MMSCommands measures the functional execution of each MMS
+// command and reports its modeled hardware latency.
+func BenchmarkTable4MMSCommands(b *testing.B) {
+	for _, cmd := range core.Commands() {
+		b.Run(cmd.String(), func(b *testing.B) {
+			m, err := core.New(core.Config{NumQueues: 64, NumSegments: 4096})
+			if err != nil {
+				b.Fatal(err)
+			}
+			payload := make([]byte, queue.SegmentBytes)
+			// Pre-populate so every command has a target.
+			for q := queue.QueueID(0); q < 64; q++ {
+				for s := 0; s < 8; s++ {
+					if _, err := m.Do(core.Request{Cmd: core.CmdEnqueue, Queue: q, Payload: payload, EOP: true}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := queue.QueueID(i % 64)
+				req := core.Request{Cmd: cmd, Queue: q, Dest: (q + 1) % 64, Payload: payload, EOP: true, Length: 32}
+				if _, err := m.Do(req); err != nil {
+					b.Fatal(err)
+				}
+				// Keep queue populations steady: destructive commands are
+				// balanced by an enqueue, and the enqueue by a dequeue, so
+				// the pool neither drains nor exhausts at any b.N.
+				switch cmd {
+				case core.CmdDequeue, core.CmdDelete:
+					if _, err := m.Do(core.Request{Cmd: core.CmdEnqueue, Queue: q, Payload: payload, EOP: true}); err != nil {
+						b.Fatal(err)
+					}
+				case core.CmdEnqueue:
+					if _, err := m.Do(core.Request{Cmd: core.CmdDequeue, Queue: q}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(cmd.Cycles()), "hw-cycles")
+		})
+	}
+}
+
+// BenchmarkTable5MMSLoad regenerates the delay decomposition rows.
+func BenchmarkTable5MMSLoad(b *testing.B) {
+	for _, load := range core.Table5Loads {
+		b.Run(fmt.Sprintf("load=%.2fGbps", load), func(b *testing.B) {
+			var p core.LoadPoint
+			for i := 0; i < b.N; i++ {
+				var err error
+				p, err = core.RunLoad(core.LoadConfig{
+					LoadGbps: load, Seed: 7,
+					WarmupCommands: 500, MeasureCommands: 5_000,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(p.FIFODelay, "fifo-cycles")
+			b.ReportMetric(p.DataDelay, "data-cycles")
+			b.ReportMetric(p.TotalDelay, "total-cycles")
+		})
+	}
+}
+
+// BenchmarkFig1NPUPath walks a packet through the Figure 1 software path:
+// free-list pop, segment link, copy — the full enqueue+dequeue transit.
+func BenchmarkFig1NPUPath(b *testing.B) {
+	qm, err := queue.New(queue.Config{NumQueues: 1024, NumSegments: 8192, StoreData: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkt := make([]byte, 64)
+	var cycles int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queue.QueueID(i % 1024)
+		if _, err := qm.EnqueuePacket(q, pkt); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := qm.DequeuePacket(q); err != nil {
+			b.Fatal(err)
+		}
+		cycles = npu.EnqueueCost(true, npu.WordCopy).CPUCycles() + npu.DequeueCost(npu.WordCopy).CPUCycles()
+	}
+	b.ReportMetric(float64(cycles), "hw-cycles/pkt")
+}
+
+// BenchmarkFig2MMSPipeline drives packets through all five Figure 2 blocks:
+// segmentation, scheduler-ordered enqueues, DQM, DMC accounting, reassembly.
+func BenchmarkFig2MMSPipeline(b *testing.B) {
+	m, err := core.New(core.Config{NumQueues: 1024, NumSegments: 16384, StoreData: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkt := make([]byte, 320) // 5 segments, the Table 5 reference burst
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queue.QueueID(i % 1024)
+		if _, err := m.Seg.Push(q, pkt); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := m.Reasm.Pop(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationLookAhead quantifies the DESIGN.md ablation: how much a
+// deeper reorder window would improve on the paper's head-only scheduler.
+func BenchmarkAblationLookAhead(b *testing.B) {
+	for _, depth := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("lookahead=%d", depth), func(b *testing.B) {
+			var loss float64
+			for i := 0; i < b.N; i++ {
+				res, err := ddr.RunSaturated(ddr.Config{
+					Banks: 4, Scheduler: ddr.Reorder, LookAhead: depth,
+				}, 5, 20_000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				loss = res.Loss
+			}
+			b.ReportMetric(loss, "loss")
+		})
+	}
+}
+
+// BenchmarkAblationFIFODepth quantifies the MMS FIFO sizing trade-off that
+// shapes Table 5's saturation row.
+func BenchmarkAblationFIFODepth(b *testing.B) {
+	for _, depth := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			var p core.LoadPoint
+			for i := 0; i < b.N; i++ {
+				var err error
+				p, err = core.RunLoad(core.LoadConfig{
+					LoadGbps: 6.14, Seed: 7,
+					MMS:            core.Config{FIFODepth: depth},
+					WarmupCommands: 500, MeasureCommands: 5_000,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(p.FIFODelay, "fifo-cycles")
+		})
+	}
+}
+
+// BenchmarkAblationBanks sweeps DDR bank counts beyond the paper's 16 to
+// show diminishing returns of interleaving.
+func BenchmarkAblationBanks(b *testing.B) {
+	for _, banks := range []int{2, 8, 32, 64} {
+		b.Run(fmt.Sprintf("banks=%d", banks), func(b *testing.B) {
+			var loss float64
+			for i := 0; i < b.N; i++ {
+				res, err := ddr.RunSaturated(ddr.Config{
+					Banks: banks, Scheduler: ddr.Reorder, RWInterleave: true,
+				}, 5, 20_000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				loss = res.Loss
+			}
+			b.ReportMetric(loss, "loss")
+		})
+	}
+}
+
+// BenchmarkQueueEngine measures the raw functional engine (no timing),
+// the fast path a downstream user of the library hits.
+func BenchmarkQueueEngine(b *testing.B) {
+	qm, err := NewQueueManager(DefaultFlows, 1<<16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkt := make([]byte, 320)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := uint32(i % DefaultFlows)
+		if _, err := qm.EnqueuePacket(q, pkt); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := qm.DequeuePacket(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// Command qmsim runs a single parameterized experiment from the paper's
+// models and prints CSV, for sweeps beyond the published configurations.
+//
+// Usage:
+//
+//	qmsim -model ddr  -banks 8 -sched reorder -rw -decisions 500000
+//	qmsim -model mms  -load 5.5 -segments 5 -depth 2
+//	qmsim -model ixp  -queues 128 -engines 4
+//	qmsim -model npu  -copy line -clock 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"npqm/internal/core"
+	"npqm/internal/ddr"
+	"npqm/internal/ixp"
+	"npqm/internal/npu"
+)
+
+func main() {
+	var (
+		model     = flag.String("model", "mms", "model to run: ddr, mms, ixp, npu")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		banks     = flag.Int("banks", 8, "ddr: bank count")
+		schedName = flag.String("sched", "reorder", "ddr: scheduler (fcfs, reorder)")
+		rw        = flag.Bool("rw", false, "ddr: enable write-after-read turnaround")
+		lookahead = flag.Int("lookahead", 1, "ddr: reorder lookahead depth")
+		decisions = flag.Int("decisions", 400_000, "ddr: scheduling decisions")
+		load      = flag.Float64("load", 4.8, "mms: offered load in Gbps")
+		segments  = flag.Int("segments", 5, "mms: segments per packet burst")
+		depth     = flag.Int("depth", 2, "mms: per-port FIFO depth")
+		queues    = flag.Int("queues", 128, "ixp: queue count")
+		engines   = flag.Int("engines", 6, "ixp: microengine count")
+		copyEng   = flag.String("copy", "word", "npu: copy engine (word, line, dma)")
+		clock     = flag.Float64("clock", 100, "npu: CPU clock in MHz")
+	)
+	flag.Parse()
+
+	var err error
+	switch *model {
+	case "ddr":
+		err = runDDR(*banks, *schedName, *rw, *lookahead, *seed, *decisions)
+	case "mms":
+		err = runMMS(*load, *segments, *depth, *seed)
+	case "ixp":
+		err = runIXP(*queues, *engines)
+	case "npu":
+		err = runNPU(*copyEng, *clock)
+	default:
+		err = fmt.Errorf("unknown model %q (want ddr, mms, ixp, npu)", *model)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qmsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func runDDR(banks int, schedName string, rw bool, lookahead int, seed uint64, decisions int) error {
+	var sched ddr.SchedulerKind
+	switch schedName {
+	case "fcfs":
+		sched = ddr.FCFSRoundRobin
+	case "reorder":
+		sched = ddr.Reorder
+	default:
+		return fmt.Errorf("unknown scheduler %q", schedName)
+	}
+	res, err := ddr.RunSaturated(ddr.Config{
+		Banks: banks, Scheduler: sched, RWInterleave: rw, LookAhead: lookahead,
+	}, seed, decisions)
+	if err != nil {
+		return err
+	}
+	fmt.Println("banks,scheduler,rw,lookahead,loss,utilization,goodput_gbps,conflict_halfslots,turnaround_halfslots")
+	fmt.Printf("%d,%s,%v,%d,%.4f,%.4f,%.3f,%d,%d\n",
+		banks, sched, rw, lookahead, res.Loss, res.Utilization, res.GoodputGbps(),
+		res.ConflictStalls, res.TurnaroundStalls)
+	return nil
+}
+
+func runMMS(load float64, segments, depth int, seed uint64) error {
+	p, err := core.RunLoad(core.LoadConfig{
+		LoadGbps:       load,
+		PacketSegments: segments,
+		Seed:           seed,
+		MMS:            core.Config{FIFODepth: depth},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("load_gbps,fifo_cycles,exec_cycles,data_cycles,total_cycles,achieved_gbps,bank_conflict_rate")
+	fmt.Printf("%.2f,%.1f,%.1f,%.1f,%.1f,%.3f,%.3f\n",
+		p.LoadGbps, p.FIFODelay, p.ExecDelay, p.DataDelay, p.TotalDelay, p.AchievedGbps, p.BankConflict)
+	return nil
+}
+
+func runIXP(queues, engines int) error {
+	p, err := ixp.ProfileForQueues(queues)
+	if err != nil {
+		return err
+	}
+	res, err := ixp.Run(ixp.Config{Profile: p, Engines: engines})
+	if err != nil {
+		return err
+	}
+	fmt.Println("queues,engines,kpps,mbps_at_64B,scratch_busy,sram_busy,sdram_busy")
+	fmt.Printf("%d,%d,%.1f,%.1f,%.3f,%.3f,%.3f\n",
+		queues, engines, res.Kpps, res.MbpsAt64B(),
+		res.UnitBusy[ixp.Scratch], res.UnitBusy[ixp.SRAM], res.UnitBusy[ixp.SDRAM])
+	return nil
+}
+
+func runNPU(copyEng string, clock float64) error {
+	var e npu.CopyEngine
+	switch copyEng {
+	case "word":
+		e = npu.WordCopy
+	case "line":
+		e = npu.LineCopy
+	case "dma":
+		e = npu.DMACopy
+	default:
+		return fmt.Errorf("unknown copy engine %q", copyEng)
+	}
+	enq := npu.EnqueueCost(true, e)
+	deq := npu.DequeueCost(e)
+	fmt.Println("copy_engine,clock_mhz,enqueue_cycles,dequeue_cycles,transit_mbps,scaled_transit_mbps")
+	fmt.Printf("%s,%.0f,%d,%d,%.1f,%.1f\n",
+		e, clock, enq.CPUCycles(), deq.CPUCycles(),
+		npu.TransitMbps(e, clock), npu.ScaledTransitMbps(e, clock))
+	return nil
+}

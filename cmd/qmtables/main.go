@@ -1,0 +1,99 @@
+// Command qmtables regenerates the tables and figures of "Queue Management
+// in Network Processors" (DATE 2005) from this repository's models, printing
+// measured values alongside the paper's published numbers.
+//
+// Usage:
+//
+//	qmtables                 # full report (all tables and figures)
+//	qmtables -table 1        # a single table (1..5)
+//	qmtables -fig 2          # a single figure (1..2)
+//	qmtables -headline       # just the MMS headline throughput
+//	qmtables -seed 7 -decisions 1000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"npqm/internal/core"
+	"npqm/internal/tables"
+)
+
+func main() {
+	var (
+		table     = flag.Int("table", 0, "print only this table (1..5)")
+		fig       = flag.Int("fig", 0, "print only this figure (1..2)")
+		headline  = flag.Bool("headline", false, "print only the MMS headline throughput")
+		seed      = flag.Uint64("seed", tables.DefaultSeed, "simulation seed")
+		decisions = flag.Int("decisions", 400_000, "DDR simulation length per Table 1 cell")
+	)
+	flag.Parse()
+
+	if err := run(*table, *fig, *headline, *seed, *decisions); err != nil {
+		fmt.Fprintf(os.Stderr, "qmtables: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(table, fig int, headline bool, seed uint64, decisions int) error {
+	switch {
+	case headline:
+		fmt.Printf("MMS headline: %.3f Gbps sustained at 125 MHz (paper: 6.145 Gbps / 12 Mops/s)\n",
+			core.HeadlineThroughputGbps())
+		return nil
+	case table != 0:
+		return printTable(table, seed, decisions)
+	case fig != 0:
+		return printFigure(fig)
+	default:
+		out, err := tables.RenderAll(seed, decisions)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	}
+}
+
+func printTable(n int, seed uint64, decisions int) error {
+	switch n {
+	case 1:
+		rows, err := tables.Table1(seed, decisions)
+		if err != nil {
+			return err
+		}
+		fmt.Print(tables.RenderTable1(rows))
+	case 2:
+		rows, err := tables.Table2()
+		if err != nil {
+			return err
+		}
+		fmt.Print(tables.RenderTable2(rows))
+	case 3:
+		fmt.Print(tables.RenderTable3(tables.Table3()))
+	case 4:
+		fmt.Print(tables.RenderTable4(tables.Table4()))
+	case 5:
+		rows, err := tables.Table5(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(tables.RenderTable5(rows))
+	default:
+		return fmt.Errorf("no table %d (the paper has 1..5)", n)
+	}
+	return nil
+}
+
+func printFigure(n int) error {
+	switch n {
+	case 1:
+		fmt.Print(tables.RenderFigure1())
+	case 2:
+		fmt.Print(tables.RenderFigure2())
+	default:
+		return fmt.Errorf("no figure %d (the paper has 1..2)", n)
+	}
+	return nil
+}

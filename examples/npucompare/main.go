@@ -1,0 +1,70 @@
+// npucompare: the paper's bottom line in one program — the same queue
+// management workload priced on every platform the paper measures:
+//
+//   - software on the IXP1200's microengines (Table 2),
+//   - software on the PowerPC-based reference NPU, with each of the three
+//     copy engines (Table 3 / Section 5.3),
+//   - the hardware MMS (Section 6).
+//
+// "Even with state-of-the-art VLSI technology ... a single processor can
+// only achieve a throughput in the order of hundreds of Mbps ... in order
+// to support the multi Gigabit per second rates of today's networks we
+// need specialized hardware modules."
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"npqm/internal/core"
+	"npqm/internal/ixp"
+	"npqm/internal/npu"
+)
+
+func main() {
+	fmt.Println("Queue management throughput, 64-byte packets, per platform")
+	fmt.Println()
+
+	// IXP1200 software rows.
+	for _, queues := range []int{16, 128, 1024} {
+		p, err := ixp.ProfileForQueues(queues)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := ixp.Run(ixp.Config{Profile: p, Engines: 6})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-44s %9.1f Mbps\n",
+			fmt.Sprintf("IXP1200, 6 microengines @ 200 MHz, %d queues", queues),
+			res.MbpsAt64B())
+	}
+
+	// Reference NPU software rows.
+	for _, engine := range npu.CopyEngines() {
+		fmt.Printf("  %-44s %9.1f Mbps\n",
+			fmt.Sprintf("PowerPC 405 @ 100 MHz, %s", engine),
+			npu.TransitMbps(engine, npu.ClockMHz))
+	}
+	fmt.Printf("  %-44s %9.1f Mbps\n",
+		"PowerPC 405 @ 300 MHz (bus-capped), line-copy",
+		npu.ScaledTransitMbps(npu.LineCopy, 300))
+
+	// Hardware MMS.
+	fmt.Printf("  %-44s %9.1f Mbps   <= the paper's contribution\n",
+		"MMS hardware @ 125 MHz, 32K queues",
+		core.HeadlineThroughputGbps()*1000)
+
+	fmt.Println()
+	best := npu.ScaledTransitMbps(npu.LineCopy, 300)
+	mms := core.HeadlineThroughputGbps() * 1000
+	fmt.Printf("hardware/software gap: %.0fx over the best software configuration\n", mms/best)
+
+	// And the MMS does it while holding delay bounded: show one load point.
+	lp, err := core.RunLoad(core.LoadConfig{LoadGbps: 4.8, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MMS at 4.8 Gbps: %.1f cycles total command delay (%.0f ns)\n",
+		lp.TotalDelay, lp.TotalDelay*core.CycleNs)
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"fmt"
+
+	"npqm/internal/queue"
+	"npqm/internal/sim"
+	"npqm/internal/stats"
+	"npqm/internal/xrand"
+)
+
+// LoadConfig parameterizes the Table 5 experiment: the MMS under a bursty
+// four-port command load at a given aggregate throughput.
+//
+// The traffic model follows Section 6.1: commands arrive in bursts (one
+// burst per packet: a P-segment packet contributes P back-to-back segment
+// commands), the two ingress ports carry Enqueue commands and the two
+// egress ports carry the matching Dequeue commands once the packet is fully
+// queued. The per-port FIFOs are shallow and exert back-pressure on the
+// interfaces (the BACKPRESSURE signal of Figure 2), so under overload the
+// delay saturates instead of growing without bound.
+type LoadConfig struct {
+	// LoadGbps is the aggregate offered load (enqueue + dequeue traffic).
+	LoadGbps float64
+	// PacketSegments is the burst size in segments per packet (0 means 5,
+	// i.e. 320-byte packets, which reproduces the paper's low-load FIFO
+	// delay of ~20 cycles; see EXPERIMENTS.md for the calibration).
+	PacketSegments int
+	// MMS carries the structural configuration (ports, FIFO depth, banks).
+	MMS Config
+	// Seed drives all randomness (flow choice, arrival jitter).
+	Seed uint64
+	// WarmupCommands are executed before measurement starts (0 means 2000).
+	WarmupCommands int
+	// MeasureCommands are measured after warmup (0 means 20000).
+	MeasureCommands int
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.PacketSegments == 0 {
+		c.PacketSegments = 5
+	}
+	if c.WarmupCommands == 0 {
+		c.WarmupCommands = 2000
+	}
+	if c.MeasureCommands == 0 {
+		c.MeasureCommands = 20000
+	}
+	c.MMS = c.MMS.withDefaults()
+	return c
+}
+
+// LoadPoint is one row of Table 5: the delay decomposition of a command at
+// a given load. Delays are in MMS clock cycles (125 MHz).
+type LoadPoint struct {
+	LoadGbps     float64 // offered aggregate load
+	FIFODelay    float64 // mean wait from FIFO entry to DQM grant
+	ExecDelay    float64 // mean DQM execution latency
+	DataDelay    float64 // mean data-memory latency (incl. bank conflicts)
+	TotalDelay   float64 // FIFODelay + ExecDelay + DataDelay
+	AchievedGbps float64 // measured served throughput
+	Served       uint64  // commands measured
+	BankConflict float64 // fraction of data accesses that hit a busy bank
+}
+
+// segmentBits is the wire size of one operation's payload.
+const segmentBits = queue.SegmentBytes * 8
+
+// RunLoad simulates the MMS under the given load and returns the measured
+// delay decomposition.
+func RunLoad(cfg LoadConfig) (LoadPoint, error) {
+	cfg = cfg.withDefaults()
+	if cfg.LoadGbps <= 0 {
+		return LoadPoint{}, fmt.Errorf("core: LoadGbps must be positive, got %v", cfg.LoadGbps)
+	}
+	if cfg.MMS.Ports < 4 {
+		return LoadPoint{}, fmt.Errorf("core: load simulation needs 4 ports, have %d", cfg.MMS.Ports)
+	}
+	m, err := New(cfg.MMS)
+	if err != nil {
+		return LoadPoint{}, err
+	}
+	rng := xrand.New(cfg.Seed)
+
+	// Ingress packet rate: half the load is enqueue traffic, split over two
+	// ingress ports; the matching dequeues mirror it on the egress ports.
+	bitsPerPacket := float64(cfg.PacketSegments) * segmentBits
+	ingressGbps := cfg.LoadGbps / 2
+	packetsPerSecond := ingressGbps * 1e9 / bitsPerPacket
+	// Half-cycles between packets across both ingress ports combined.
+	hcPerSecond := float64(ClockMHz) * 1e6 * HalfCyclesPerCycle
+	meanGapHC := hcPerSecond / packetsPerSecond
+
+	var (
+		e            sim.Engine
+		fifoW        stats.Welford
+		execW        stats.Welford
+		dataW        stats.Welford
+		served       uint64
+		target       = uint64(cfg.WarmupCommands + cfg.MeasureCommands)
+		warmup       = uint64(cfg.WarmupCommands)
+		backlog      = make([][]Request, cfg.MMS.Ports) // blocked by back-pressure
+		serverBusy   bool
+		conflictHits uint64
+		dataAccesses uint64
+		measStartHC  int64
+		measEndHC    int64
+	)
+
+	payload := make([]byte, queue.SegmentBytes)
+
+	// tryFill moves blocked commands into the port FIFO while space lasts.
+	tryFill := func(p int, now sim.Time) {
+		for len(backlog[p]) > 0 && m.Scheduler.Offer(p, backlog[p][0], int64(now)) {
+			backlog[p] = backlog[p][1:]
+		}
+	}
+
+	var serve func(now sim.Time)
+	serve = func(now sim.Time) {
+		if serverBusy || served >= target {
+			return
+		}
+		req, port, arrived, ok := m.Scheduler.Grant()
+		if !ok {
+			return
+		}
+		serverBusy = true
+		// The granted command has left the FIFO: its slot is free for a
+		// back-pressured command right away.
+		tryFill(port, now)
+		fifoHC := int64(now) - arrived
+		execHC := int64(req.Cmd.Cycles() * HalfCyclesPerCycle)
+		e.After(sim.Time(execHC), func(done sim.Time) {
+			resp, err := m.DQM.Execute(req)
+			if err != nil {
+				// Under this traffic model dequeues follow completed
+				// enqueues, so functional failures indicate a bug.
+				panic(fmt.Sprintf("core: load sim command failed: %v", err))
+			}
+			var dataHC int64
+			if req.Cmd.TouchesData() {
+				// The data access starts right after the first pointer
+				// access of the command (2 cycles into execution).
+				start := int64(done) - execHC + 2*HalfCyclesPerCycle
+				wait, total := m.DMC.Access(int32(resp.Seg), start)
+				dataHC = total
+				dataAccesses++
+				if wait > 0 {
+					conflictHits++
+				}
+			}
+			served++
+			if served > warmup && served <= target {
+				if measStartHC == 0 {
+					measStartHC = int64(done)
+				}
+				measEndHC = int64(done)
+				fifoW.Add(float64(fifoHC) / HalfCyclesPerCycle)
+				execW.Add(float64(execHC) / HalfCyclesPerCycle)
+				dataW.Add(float64(dataHC) / HalfCyclesPerCycle)
+			}
+			if req.onDone != nil {
+				req.onDone(int64(done))
+			}
+			// Completion frees the FIFO slot: admit blocked commands.
+			tryFill(port, done)
+			serverBusy = false
+			serve(done)
+		})
+	}
+
+	var egressToggle int
+	spawnDequeues := func(flow queue.QueueID, now sim.Time) {
+		port := 2 + egressToggle%2
+		egressToggle++
+		for i := 0; i < cfg.PacketSegments; i++ {
+			backlog[port] = append(backlog[port], Request{Cmd: CmdDequeue, Queue: flow})
+		}
+		tryFill(port, now)
+		serve(now)
+	}
+
+	var ingressToggle int
+	var arrive func(now sim.Time)
+	arrive = func(now sim.Time) {
+		if served >= target {
+			return
+		}
+		port := ingressToggle % 2
+		ingressToggle++
+		flow := queue.QueueID(rng.Intn(cfg.MMS.NumQueues))
+		for i := 0; i < cfg.PacketSegments; i++ {
+			last := i == cfg.PacketSegments-1
+			req := Request{Cmd: CmdEnqueue, Queue: flow, Payload: payload, EOP: last}
+			if last {
+				// Once the packet is fully enqueued, the matching dequeue
+				// burst follows after a jittered transit delay (the jitter
+				// prevents the egress bursts from phase-locking with the
+				// paced ingress). Hooking the actual completion keeps
+				// dequeues strictly behind their enqueues at every load.
+				transit := 100 * HalfCyclesPerCycle * (1 + rng.Float64())
+				req.onDone = func(doneHC int64) {
+					e.At(sim.Time(doneHC)+sim.Time(transit), func(t sim.Time) {
+						spawnDequeues(flow, t)
+					})
+				}
+			}
+			backlog[port] = append(backlog[port], req)
+		}
+		tryFill(port, now)
+		serve(now)
+		// Packet arrivals are paced at the offered rate (the network
+		// interfaces deliver at line rate), with a small jitter so the
+		// four ports do not phase-lock: burstiness comes from the
+		// multi-segment packets, not from the arrival process.
+		gap := meanGapHC * (0.9 + 0.2*rng.Float64())
+		e.After(sim.Time(gap)+1, arrive)
+	}
+
+	e.After(1, arrive)
+	for served < target && e.Step() {
+	}
+
+	lp := LoadPoint{
+		LoadGbps:   cfg.LoadGbps,
+		FIFODelay:  fifoW.Mean(),
+		ExecDelay:  execW.Mean(),
+		DataDelay:  dataW.Mean(),
+		TotalDelay: fifoW.Mean() + execW.Mean() + dataW.Mean(),
+		Served:     uint64(fifoW.N()),
+	}
+	if dataAccesses > 0 {
+		lp.BankConflict = float64(conflictHits) / float64(dataAccesses)
+	}
+	if measEndHC > measStartHC {
+		elapsedNs := float64(measEndHC-measStartHC) * CycleNs / HalfCyclesPerCycle
+		lp.AchievedGbps = float64(lp.Served) * segmentBits / elapsedNs
+	}
+	return lp, nil
+}
+
+// Table5Loads are the offered loads of Table 5, in Gbps.
+var Table5Loads = []float64{6.14, 4.8, 4, 3.2, 1.6}
+
+// RunTable5 produces all rows of Table 5 with the given seed.
+func RunTable5(seed uint64) ([]LoadPoint, error) {
+	out := make([]LoadPoint, 0, len(Table5Loads))
+	for i, load := range Table5Loads {
+		lp, err := RunLoad(LoadConfig{LoadGbps: load, Seed: seed + uint64(i)})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}

@@ -1,0 +1,131 @@
+package core
+
+import "fmt"
+
+// PortClass describes the role of an MMS port (Figure 2 shows IN, OUT and
+// CPU interfaces; the reference configuration uses two ingress and two
+// egress ports, matching the four-port DDR analysis of Section 3).
+type PortClass int
+
+const (
+	// Ingress ports submit Enqueue-side commands (data entering the MMS).
+	Ingress PortClass = iota
+	// Egress ports submit Dequeue-side commands (data leaving the MMS).
+	Egress
+	// CPUPort submits arbitrary manipulation commands from processing cores.
+	CPUPort
+)
+
+// String implements fmt.Stringer.
+func (p PortClass) String() string {
+	switch p {
+	case Ingress:
+		return "in"
+	case Egress:
+		return "out"
+	case CPUPort:
+		return "cpu"
+	default:
+		return fmt.Sprintf("port-class(%d)", int(p))
+	}
+}
+
+// pendingCmd is a command waiting in a port FIFO.
+type pendingCmd struct {
+	req     Request
+	arrived int64 // half-cycle timestamp of FIFO entry
+}
+
+// InternalScheduler is the MMS block that "forwards the incoming commands
+// from the various ports to the DQM giving different service priorities to
+// each port". Commands wait in one bounded FIFO per port ("MMS keeps
+// incoming commands in FIFOs (one per port) so as to smooth the bursts of
+// commands that may arrive simultaneously"); the scheduler grants the
+// highest-priority non-empty FIFO, breaking ties round-robin.
+type InternalScheduler struct {
+	fifos    [][]pendingCmd
+	depth    int
+	priority []int // higher value = served first; equal values round-robin
+	rr       int
+}
+
+// NewInternalScheduler creates a scheduler with the given per-port FIFO
+// depth (commands) and optional priorities (nil means all equal).
+func NewInternalScheduler(ports, depth int, priority []int) (*InternalScheduler, error) {
+	if ports <= 0 {
+		return nil, fmt.Errorf("core: ports must be positive, got %d", ports)
+	}
+	if depth <= 0 {
+		return nil, fmt.Errorf("core: FIFO depth must be positive, got %d", depth)
+	}
+	if priority == nil {
+		priority = make([]int, ports)
+	}
+	if len(priority) != ports {
+		return nil, fmt.Errorf("core: %d priorities for %d ports", len(priority), ports)
+	}
+	pr := make([]int, ports)
+	copy(pr, priority)
+	return &InternalScheduler{
+		fifos:    make([][]pendingCmd, ports),
+		depth:    depth,
+		priority: pr,
+	}, nil
+}
+
+// Ports returns the port count.
+func (s *InternalScheduler) Ports() int { return len(s.fifos) }
+
+// Depth returns the per-port FIFO capacity.
+func (s *InternalScheduler) Depth() int { return s.depth }
+
+// SpaceAvailable returns the free FIFO slots of port p.
+func (s *InternalScheduler) SpaceAvailable(p int) int {
+	return s.depth - len(s.fifos[p])
+}
+
+// Offer appends a command to port p's FIFO at the given half-cycle time.
+// It reports false when the FIFO is full — that is the MMS back-pressure
+// signal of Figure 2.
+func (s *InternalScheduler) Offer(p int, req Request, nowHC int64) bool {
+	if len(s.fifos[p]) >= s.depth {
+		return false
+	}
+	s.fifos[p] = append(s.fifos[p], pendingCmd{req: req, arrived: nowHC})
+	return true
+}
+
+// PendingTotal returns the number of queued commands across all ports.
+func (s *InternalScheduler) PendingTotal() int {
+	n := 0
+	for _, f := range s.fifos {
+		n += len(f)
+	}
+	return n
+}
+
+// Grant selects the next command to execute: the non-empty FIFO with the
+// highest priority, round-robin among equals. It removes the command and
+// returns it with its port and FIFO-entry time. ok is false when all FIFOs
+// are empty.
+func (s *InternalScheduler) Grant() (req Request, port int, arrivedHC int64, ok bool) {
+	best := -1
+	bestPri := 0
+	n := len(s.fifos)
+	for scan := 0; scan < n; scan++ {
+		p := (s.rr + scan) % n
+		if len(s.fifos[p]) == 0 {
+			continue
+		}
+		if best == -1 || s.priority[p] > bestPri {
+			best, bestPri = p, s.priority[p]
+		}
+	}
+	if best == -1 {
+		return Request{}, 0, 0, false
+	}
+	cmd := s.fifos[best][0]
+	s.fifos[best] = s.fifos[best][1:]
+	s.rr = (best + 1) % n
+	return cmd.req, best, cmd.arrived, true
+}

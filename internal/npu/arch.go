@@ -1,0 +1,64 @@
+package npu
+
+// This file mirrors Figure 1: the block topology of the reference NPU
+// prototype on the Virtex-II Pro. The topology is data, so the table/figure
+// harness can print it and the examples can wire traffic through the same
+// component graph the paper drew.
+
+// Component is one block of the Figure 1 design.
+type Component struct {
+	Name string
+	// Bus names this component attaches to.
+	Attach []string
+	// Role is a one-line description.
+	Role string
+}
+
+// Architecture returns the Figure 1 component graph.
+func Architecture() []Component {
+	return []Component{
+		{Name: "PowerPC 405", Attach: []string{"PLB", "OCM"},
+			Role: "embedded RISC core running the queue-management software"},
+		{Name: "OCM Controller", Attach: []string{"OCM"},
+			Role: "connects the CPU to 16KB instruction + 16KB data memories"},
+		{Name: "PLB (64-bit, 100 MHz)", Attach: nil,
+			Role: "system bus"},
+		{Name: "PLB DDR Controller", Attach: []string{"PLB", "DDR"},
+			Role: "burst-mode controller for the external packet buffer"},
+		{Name: "DDR SDRAM", Attach: []string{"DDR"},
+			Role: "external packet buffer (segment-aligned)"},
+		{Name: "PLB EMC", Attach: []string{"PLB", "ZBT"},
+			Role: "external memory controller for the pointer SRAM"},
+		{Name: "ZBT SRAM", Attach: []string{"ZBT"},
+			Role: "queue pointers: free list, queue table, next pointers"},
+		{Name: "PLB BRAM Controller", Attach: []string{"PLB", "BRAM"},
+			Role: "control-side access to the packet staging memory"},
+		{Name: "DP-BRAM (4KB)", Attach: []string{"BRAM", "WB"},
+			Role: "dual-port staging buffer between MAC and queue manager"},
+		{Name: "PLB-WB Bridge", Attach: []string{"PLB", "WB"},
+			Role: "control path to the MAC core"},
+		{Name: "Ethernet MAC (MII)", Attach: []string{"WB"},
+			Role: "network interface (OpenCores MAC, WishBone ports)"},
+	}
+}
+
+// ScaledTransitMbps applies the Section 5.4 rule of thumb: "the clock
+// frequency of the system is proportional to the network bandwidth
+// supported". It reports the sustainable throughput across a range of
+// projected CPU clocks (the paper discusses 200-300 MHz embedded cores),
+// with the caveat that the PLB itself tops out around 200 MHz, capping the
+// benefit for bus-bound copy engines.
+func ScaledTransitMbps(engine CopyEngine, clockMHz float64) float64 {
+	const plbCapMHz = 200
+	effective := clockMHz
+	// The copy path runs at bus speed; pointer accesses also cross the
+	// bus. The model therefore caps the effective clock of bus-bound
+	// operations at the PLB limit: a 400 MHz core gains nothing on a
+	// 200 MHz bus ("Even if the processor operation frequency is set to
+	// 400MHz, the improvement in the overall performance would not be
+	// significant").
+	if effective > plbCapMHz {
+		effective = plbCapMHz
+	}
+	return TransitMbps(engine, effective)
+}

@@ -1,0 +1,96 @@
+// Package plb models the IBM CoreConnect Processor Local Bus of the
+// reference NPU prototype (Figure 1): the 64-bit, 100 MHz system bus that
+// connects the PowerPC 405, the DDR controller, the external memory
+// controller (EMC) for the ZBT SRAM, and the BRAM/MAC bridge.
+//
+// The model is a transaction cost model, not a signal-level simulation: the
+// paper's Section 5.3 analysis needs only the per-transaction cycle costs,
+// which it states explicitly — a single PLB transaction takes 4 cycles, the
+// bus adds 3 cycles of latency, and a line transaction bursts 9 doublewords
+// (64 bytes plus the alignment beat) back-to-back.
+package plb
+
+import "fmt"
+
+// Paper-fixed bus constants (Section 5).
+const (
+	// ClockMHz is the PLB and PowerPC clock of the reference design.
+	ClockMHz = 100
+	// BusWidthBits is the PLB data width.
+	BusWidthBits = 64
+	// SingleBeatCycles is the cost of one single-beat read or write
+	// transaction ("each single PLB write transaction needs 4 cycles").
+	SingleBeatCycles = 4
+	// LatencyCycles is the bus grant/decode latency of a transaction
+	// ("3 cycle latency").
+	LatencyCycles = 3
+	// LineBeats is the number of doubleword beats of a 64-byte line
+	// transaction ("9 cycles for 9 double words").
+	LineBeats = 9
+)
+
+// Transaction is one priced bus operation.
+type Transaction struct {
+	Name   string
+	Cycles int
+}
+
+// Single returns a single-beat transaction (one 32/64-bit word).
+func Single(name string) Transaction {
+	return Transaction{Name: name, Cycles: SingleBeatCycles}
+}
+
+// Line returns a burst line transaction moving 64 bytes through the data
+// cache: 9 beats plus the bus latency ("a segment can be retrieved from the
+// BRAM and stored into the data cache in only 12 cycles").
+func Line(name string) Transaction {
+	return Transaction{Name: name, Cycles: LineBeats + LatencyCycles}
+}
+
+// Sum totals a transaction sequence.
+func Sum(txns []Transaction) int {
+	total := 0
+	for _, t := range txns {
+		total += t.Cycles
+	}
+	return total
+}
+
+// LineCopyCycles is the cost of copying one 64-byte segment with two line
+// transactions (read into the cache, write back out):
+// TC = (TR + Tl) + (TW + Tl) = 2*(9+3) = 24 cycles.
+func LineCopyCycles() int {
+	return Sum([]Transaction{Line("line read"), Line("line write")})
+}
+
+// WordCopyCycles is the cost of copying n bytes word-by-word over the bus:
+// one single-beat read plus one single-beat write per 32-bit word, plus the
+// loop setup overhead. For a 64-byte segment this is the paper's 136 cycles
+// (16 words x 8 cycles + 8).
+func WordCopyCycles(bytes int) (int, error) {
+	if bytes <= 0 || bytes%4 != 0 {
+		return 0, fmt.Errorf("plb: word copy needs a positive multiple of 4 bytes, got %d", bytes)
+	}
+	words := bytes / 4
+	const loopOverhead = 8
+	return words*(2*SingleBeatCycles) + loopOverhead, nil
+}
+
+// DMASetupCycles is the CPU cost of programming the DMA controller: four
+// 32-bit register writes (control, source, destination, length), each a
+// single PLB write transaction ("we need at least 16 cycles to initiate the
+// DMA transfer").
+func DMASetupCycles() int {
+	regs := []Transaction{
+		Single("DMA control register"),
+		Single("DMA source address"),
+		Single("DMA destination address"),
+		Single("DMA length register"),
+	}
+	return Sum(regs)
+}
+
+// DMACopyCycles is the bus occupancy of the DMA engine moving one 64-byte
+// segment ("at least 34 cycles to copy the data from the BRAM to the DRAM"):
+// two line bursts plus the DMA engine's own arbitration overhead.
+const DMACopyCycles = 34

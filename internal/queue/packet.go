@@ -1,0 +1,211 @@
+package queue
+
+import "fmt"
+
+// EnqueuePacket segments data into SegmentBytes chunks and enqueues them on
+// q, marking the last chunk EOP. It returns the number of segments used.
+// On allocation failure the partially enqueued segments are rolled back so
+// the queue never holds a truncated packet.
+func (m *Manager) EnqueuePacket(q QueueID, data []byte) (int, error) {
+	if err := m.checkQueue(q); err != nil {
+		return 0, err
+	}
+	if len(data) == 0 {
+		return 0, fmt.Errorf("%w: empty packet", ErrBadLength)
+	}
+	needed := (len(data) + SegmentBytes - 1) / SegmentBytes
+	if !m.admissible(q, needed) {
+		return 0, fmt.Errorf("%w: queue %d cannot accept %d segments", ErrQueueLimit, q, needed)
+	}
+	if needed > m.FreeSegments() {
+		return 0, fmt.Errorf("%w: need %d segments, have %d",
+			ErrNoFreeSegments, needed, m.FreeSegments())
+	}
+	n := 0
+	for off := 0; off < len(data); off += SegmentBytes {
+		end := off + SegmentBytes
+		if end > len(data) {
+			end = len(data)
+		}
+		eop := end == len(data)
+		if _, err := m.Enqueue(q, data[off:end], eop); err != nil {
+			// Roll back: the reservation check above makes this
+			// unreachable, but keep the queue consistent regardless.
+			for i := 0; i < n; i++ {
+				_ = m.deleteTailUnchecked(q)
+			}
+			return 0, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// deleteTailUnchecked removes the tail segment of q. Single-linked lists
+// have no back pointers, so this walks from the head; it is only used on
+// error-rollback paths.
+func (m *Manager) deleteTailUnchecked(q QueueID) error {
+	h := m.qhead[q]
+	if h == nilSeg {
+		return ErrQueueEmpty
+	}
+	if m.next[h] == nilSeg {
+		return m.DeleteSegment(q)
+	}
+	prev := h
+	for m.next[m.next[prev]] != nilSeg {
+		prev = m.next[prev]
+	}
+	tail := m.next[prev]
+	m.next[prev] = nilSeg
+	m.qtail[q] = prev
+	m.qsegs[q]--
+	m.state[tail] = stateFloating
+	m.floating++
+	m.noteUnlink(q, Seg(tail))
+	return m.Free(Seg(tail))
+}
+
+// DequeuePacket dequeues and reassembles the packet at the head of q.
+// It requires data storage (Config.StoreData); otherwise it returns only
+// the segment count with a nil payload.
+func (m *Manager) DequeuePacket(q QueueID) ([]byte, int, error) {
+	if err := m.checkQueue(q); err != nil {
+		return nil, 0, err
+	}
+	_, n, err := m.findPacketEnd(q)
+	if err != nil {
+		return nil, 0, err
+	}
+	var out []byte
+	for i := 0; i < n; i++ {
+		_, payload, err := m.Dequeue(q)
+		if err != nil {
+			return out, i, err
+		}
+		out = append(out, payload...)
+	}
+	if m.data == nil {
+		return nil, n, nil
+	}
+	return out, n, nil
+}
+
+// PacketLen returns the byte length and segment count of the packet at the
+// head of q without dequeuing it.
+func (m *Manager) PacketLen(q QueueID) (bytes, segments int, err error) {
+	if err := m.checkQueue(q); err != nil {
+		return 0, 0, err
+	}
+	h := m.qhead[q]
+	if h == nilSeg {
+		return 0, 0, fmt.Errorf("%w: queue %d", ErrQueueEmpty, q)
+	}
+	for s := h; s != nilSeg; s = m.next[s] {
+		bytes += int(m.segLen[s])
+		segments++
+		if m.eop[s] {
+			return bytes, segments, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("%w: queue %d", ErrNoPacket, q)
+}
+
+// CheckInvariants validates the global pointer discipline:
+//
+//   - segment conservation: free + queued + floating == pool size,
+//   - the free list is acyclic, correctly counted, and every member is in
+//     the free state,
+//   - every queue's list is acyclic, its length matches the queue table,
+//     its tail pointer matches the last element, and every member is in
+//     the queued state.
+//
+// It is O(pool size) and intended for tests and debugging.
+func (m *Manager) CheckInvariants() error {
+	// Free list walk.
+	seen := make([]bool, m.cfg.NumSegments)
+	count := int32(0)
+	last := nilSeg
+	for s := m.freeHead; s != nilSeg; s = m.next[s] {
+		if seen[s] {
+			return fmt.Errorf("queue: free list cycle at segment %d", s)
+		}
+		seen[s] = true
+		if m.state[s] != stateFree {
+			return fmt.Errorf("queue: free-list segment %d has state %d", s, m.state[s])
+		}
+		count++
+		last = s
+	}
+	if count != m.freeCount {
+		return fmt.Errorf("queue: free list holds %d segments, counter says %d", count, m.freeCount)
+	}
+	if m.freeTail != last {
+		return fmt.Errorf("queue: free tail pointer %d != last free element %d", m.freeTail, last)
+	}
+	if (m.freeHead == nilSeg) != (m.freeTail == nilSeg) {
+		return fmt.Errorf("queue: free head/tail nil mismatch")
+	}
+
+	queued := int32(0)
+	var walkedBytes int64
+	for q := 0; q < m.cfg.NumQueues; q++ {
+		n := int32(0)
+		bytes := int32(0)
+		pkts := int32(0)
+		last := nilSeg
+		for s := m.qhead[q]; s != nilSeg; s = m.next[s] {
+			if seen[s] {
+				return fmt.Errorf("queue: segment %d linked twice (queue %d)", s, q)
+			}
+			seen[s] = true
+			if m.state[s] != stateQueued {
+				return fmt.Errorf("queue: queued segment %d has state %d", s, m.state[s])
+			}
+			n++
+			bytes += int32(m.segLen[s])
+			if m.eop[s] {
+				pkts++
+			}
+			last = s
+			if n > int32(m.cfg.NumSegments) {
+				return fmt.Errorf("queue: cycle in queue %d", q)
+			}
+		}
+		if bytes != m.qbytes[q] {
+			return fmt.Errorf("queue: queue %d holds %d bytes, counter says %d", q, bytes, m.qbytes[q])
+		}
+		if pkts != m.qpkts[q] {
+			return fmt.Errorf("queue: queue %d holds %d packets, counter says %d", q, pkts, m.qpkts[q])
+		}
+		walkedBytes += int64(bytes)
+		if n != m.qsegs[q] {
+			return fmt.Errorf("queue: queue %d holds %d segments, table says %d", q, n, m.qsegs[q])
+		}
+		if m.qtail[q] != last {
+			return fmt.Errorf("queue: queue %d tail pointer %d != last element %d", q, m.qtail[q], last)
+		}
+		if (m.qhead[q] == nilSeg) != (m.qtail[q] == nilSeg) {
+			return fmt.Errorf("queue: queue %d head/tail nil mismatch", q)
+		}
+		queued += n
+	}
+
+	floating := int32(0)
+	for s := range m.state {
+		if m.state[s] == stateFloating {
+			floating++
+		}
+	}
+	if floating != m.floating {
+		return fmt.Errorf("queue: %d floating segments, counter says %d", floating, m.floating)
+	}
+	if walkedBytes != m.totalBytes {
+		return fmt.Errorf("queue: %d bytes queued, counter says %d", walkedBytes, m.totalBytes)
+	}
+	if m.freeCount+queued+floating != int32(m.cfg.NumSegments) {
+		return fmt.Errorf("queue: conservation violated: %d free + %d queued + %d floating != %d",
+			m.freeCount, queued, floating, m.cfg.NumSegments)
+	}
+	return nil
+}

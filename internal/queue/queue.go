@@ -1,0 +1,575 @@
+// Package queue implements the paper's central data structure: a
+// segment-aligned, linked-list queue manager with a hardware-style free list
+// and queue table, supporting per-flow queuing for up to 32K flows
+// (Sections 5.2 and 6).
+//
+// Incoming data items are partitioned into fixed-size segments of 64 bytes.
+// Queues of packets are kept as single-linked lists of segment indices; a
+// free list holds the unused segments; a queue table holds head/tail
+// pointers for every flow. All state lives in flat arrays indexed by segment
+// or queue number — the same layout the hardware keeps in its pointer SRAM —
+// so the timed models can charge one pointer-memory access per array touch.
+//
+// The Manager implements every MMS queue operation from Section 6:
+//
+//  1. enqueue one segment,
+//  2. delete one segment or a full packet,
+//  3. overwrite a segment (data and/or length),
+//  4. append a segment at the head or tail of a packet,
+//  5. move a packet to a new queue (pure pointer surgery, no data copy).
+//
+// Packet boundaries are marked with an end-of-packet (EOP) flag on the last
+// segment, as in ATM AAL5 and the paper's segmentation scheme.
+package queue
+
+import (
+	"errors"
+	"fmt"
+)
+
+// SegmentBytes is the fixed segment size used throughout the paper.
+const SegmentBytes = 64
+
+// DefaultNumQueues is the MMS flow count ("per flow queuing for up to 32K
+// flows").
+const DefaultNumQueues = 32 * 1024
+
+// nilSeg is the null segment pointer.
+const nilSeg = int32(-1)
+
+// Seg is a segment handle (index into the segment pool).
+type Seg int32
+
+// Nil reports whether the handle is the null pointer.
+func (s Seg) Nil() bool { return int32(s) == nilSeg }
+
+// QueueID identifies one of the per-flow queues.
+type QueueID uint32
+
+// Errors returned by Manager operations.
+var (
+	ErrNoFreeSegments = errors.New("queue: out of free segments")
+	ErrQueueEmpty     = errors.New("queue: queue is empty")
+	ErrBadQueue       = errors.New("queue: queue id out of range")
+	ErrBadLength      = errors.New("queue: segment length out of range")
+	ErrBadSegment     = errors.New("queue: segment handle out of range")
+	ErrSegmentState   = errors.New("queue: segment in wrong state for operation")
+	ErrNoPacket       = errors.New("queue: no complete packet at queue head")
+	ErrQueueLimit     = errors.New("queue: per-queue segment limit exceeded")
+)
+
+// segState tracks where a segment currently lives. The hardware does not
+// need this (its pointer discipline is fixed by the RTL); the library keeps
+// it to turn pointer-corruption bugs in callers into errors instead of
+// silent cross-linked queues.
+type segState uint8
+
+const (
+	stateFree segState = iota
+	stateQueued
+	stateFloating // allocated by Alloc, not yet linked into a queue
+)
+
+// Config sizes a Manager.
+type Config struct {
+	// NumQueues is the number of flow queues (0 means DefaultNumQueues).
+	NumQueues int
+	// NumSegments is the segment pool size (required, > 0).
+	NumSegments int
+	// StoreData controls whether segment payloads are actually stored.
+	// The timed models disable it: they only exercise pointer traffic.
+	StoreData bool
+}
+
+// Manager is the queue management engine. It is not safe for concurrent use;
+// the hardware it models is a single pipeline, and the timed wrappers
+// serialize commands exactly as the MMS scheduler does.
+type Manager struct {
+	cfg Config
+
+	// Per-segment pointer memory (the ZBT SRAM contents).
+	next   []int32
+	segLen []uint16
+	eop    []bool
+	state  []segState
+
+	// Queue table.
+	qhead []int32
+	qtail []int32
+	qsegs []int32 // segments per queue
+
+	// Buffer-management accounting (see accounting.go).
+	qbytes     []int32 // payload bytes per queue
+	qpkts      []int32 // complete packets per queue
+	qlimit     []int32 // per-queue segment cap (nil/0 = uncapped)
+	totalBytes int64
+
+	// Free list: a FIFO linked list threaded through the same next[] array,
+	// exactly as the hardware keeps it (allocate from the head, return at
+	// the tail). FIFO order matters for performance: it cycles segment
+	// reuse through the whole pool, which stripes the data memory across
+	// DDR banks instead of hammering the most recently freed segment.
+	freeHead  int32
+	freeTail  int32
+	freeCount int32
+
+	floating int32 // segments allocated but not yet queued
+
+	// Data memory (optional).
+	data []byte
+}
+
+// New returns a Manager with all segments on the free list.
+func New(cfg Config) (*Manager, error) {
+	if cfg.NumQueues == 0 {
+		cfg.NumQueues = DefaultNumQueues
+	}
+	if cfg.NumQueues < 0 {
+		return nil, fmt.Errorf("queue: negative NumQueues %d", cfg.NumQueues)
+	}
+	if cfg.NumSegments <= 0 {
+		return nil, fmt.Errorf("queue: NumSegments must be positive, got %d", cfg.NumSegments)
+	}
+	m := &Manager{
+		cfg:    cfg,
+		next:   make([]int32, cfg.NumSegments),
+		segLen: make([]uint16, cfg.NumSegments),
+		eop:    make([]bool, cfg.NumSegments),
+		state:  make([]segState, cfg.NumSegments),
+		qhead:  make([]int32, cfg.NumQueues),
+		qtail:  make([]int32, cfg.NumQueues),
+		qsegs:  make([]int32, cfg.NumQueues),
+		qbytes: make([]int32, cfg.NumQueues),
+		qpkts:  make([]int32, cfg.NumQueues),
+	}
+	for q := range m.qhead {
+		m.qhead[q], m.qtail[q] = nilSeg, nilSeg
+	}
+	// Thread the free list through next[].
+	for i := 0; i < cfg.NumSegments-1; i++ {
+		m.next[i] = int32(i + 1)
+	}
+	m.next[cfg.NumSegments-1] = nilSeg
+	m.freeHead = 0
+	m.freeTail = int32(cfg.NumSegments - 1)
+	m.freeCount = int32(cfg.NumSegments)
+	if cfg.StoreData {
+		m.data = make([]byte, cfg.NumSegments*SegmentBytes)
+	}
+	return m, nil
+}
+
+// NumQueues returns the configured queue count.
+func (m *Manager) NumQueues() int { return m.cfg.NumQueues }
+
+// NumSegments returns the segment pool size.
+func (m *Manager) NumSegments() int { return m.cfg.NumSegments }
+
+// FreeSegments returns the current free-list population.
+func (m *Manager) FreeSegments() int { return int(m.freeCount) }
+
+// Len returns the number of segments queued on q.
+func (m *Manager) Len(q QueueID) (int, error) {
+	if err := m.checkQueue(q); err != nil {
+		return 0, err
+	}
+	return int(m.qsegs[q]), nil
+}
+
+// Empty reports whether queue q holds no segments.
+func (m *Manager) Empty(q QueueID) (bool, error) {
+	n, err := m.Len(q)
+	return n == 0, err
+}
+
+func (m *Manager) checkQueue(q QueueID) error {
+	if int(q) >= m.cfg.NumQueues {
+		return fmt.Errorf("%w: %d (have %d)", ErrBadQueue, q, m.cfg.NumQueues)
+	}
+	return nil
+}
+
+func (m *Manager) checkSeg(s Seg) error {
+	if s.Nil() || int(s) >= m.cfg.NumSegments {
+		return fmt.Errorf("%w: %d", ErrBadSegment, s)
+	}
+	return nil
+}
+
+// Alloc pops a segment from the free list ("Dequeue Free List" in the
+// paper's operation breakdown). The segment is in the floating state until
+// linked into a queue or freed.
+func (m *Manager) Alloc() (Seg, error) {
+	if m.freeHead == nilSeg {
+		return Seg(nilSeg), ErrNoFreeSegments
+	}
+	s := m.freeHead
+	m.freeHead = m.next[s]
+	if m.freeHead == nilSeg {
+		m.freeTail = nilSeg
+	}
+	m.freeCount--
+	m.next[s] = nilSeg
+	m.state[s] = stateFloating
+	m.floating++
+	return Seg(s), nil
+}
+
+// Free pushes a floating segment back onto the free list ("Enqueue Free
+// List").
+func (m *Manager) Free(s Seg) error {
+	if err := m.checkSeg(s); err != nil {
+		return err
+	}
+	if m.state[s] != stateFloating {
+		return fmt.Errorf("%w: Free of segment %d in state %d", ErrSegmentState, s, m.state[s])
+	}
+	m.next[s] = nilSeg
+	if m.freeTail == nilSeg {
+		m.freeHead = int32(s)
+	} else {
+		m.next[m.freeTail] = int32(s)
+	}
+	m.freeTail = int32(s)
+	m.freeCount++
+	m.state[s] = stateFree
+	m.floating--
+	m.segLen[s] = 0
+	m.eop[s] = false
+	return nil
+}
+
+// SegInfo describes a queued or dequeued segment.
+type SegInfo struct {
+	Seg Seg  // handle
+	Len int  // payload length in bytes (1..SegmentBytes)
+	EOP bool // end-of-packet marker
+}
+
+// setPayload validates and stores payload into segment s.
+func (m *Manager) setPayload(s Seg, payload []byte, eop bool) error {
+	n := len(payload)
+	if n < 1 || n > SegmentBytes {
+		return fmt.Errorf("%w: %d bytes", ErrBadLength, n)
+	}
+	m.segLen[s] = uint16(n)
+	m.eop[s] = eop
+	if m.data != nil {
+		base := int(s) * SegmentBytes
+		copy(m.data[base:base+SegmentBytes], make([]byte, SegmentBytes))
+		copy(m.data[base:], payload)
+	}
+	return nil
+}
+
+// payload returns the stored bytes of segment s (nil if data storage is
+// disabled).
+func (m *Manager) payload(s Seg) []byte {
+	if m.data == nil {
+		return nil
+	}
+	base := int(s) * SegmentBytes
+	out := make([]byte, m.segLen[s])
+	copy(out, m.data[base:])
+	return out
+}
+
+// Enqueue allocates a segment, fills it with payload and links it at the
+// tail of queue q. This is the MMS "Enqueue one segment" command.
+func (m *Manager) Enqueue(q QueueID, payload []byte, eop bool) (Seg, error) {
+	if err := m.checkQueue(q); err != nil {
+		return Seg(nilSeg), err
+	}
+	if !m.admissible(q, 1) {
+		return Seg(nilSeg), fmt.Errorf("%w: queue %d at %d segments", ErrQueueLimit, q, m.qsegs[q])
+	}
+	s, err := m.Alloc()
+	if err != nil {
+		return s, err
+	}
+	if err := m.setPayload(s, payload, eop); err != nil {
+		m.Free(s) // payload invalid; segment returns to the pool
+		return Seg(nilSeg), err
+	}
+	m.linkTail(q, s)
+	return s, nil
+}
+
+// AppendHead allocates a segment and links it at the *head* of queue q — the
+// MMS "append a segment at the head of a packet" command, used for protocol
+// encapsulation (prepending headers without copying the packet).
+func (m *Manager) AppendHead(q QueueID, payload []byte, eop bool) (Seg, error) {
+	if err := m.checkQueue(q); err != nil {
+		return Seg(nilSeg), err
+	}
+	if !m.admissible(q, 1) {
+		return Seg(nilSeg), fmt.Errorf("%w: queue %d at %d segments", ErrQueueLimit, q, m.qsegs[q])
+	}
+	s, err := m.Alloc()
+	if err != nil {
+		return s, err
+	}
+	if err := m.setPayload(s, payload, eop); err != nil {
+		m.Free(s)
+		return Seg(nilSeg), err
+	}
+	m.linkHead(q, s)
+	return s, nil
+}
+
+func (m *Manager) linkTail(q QueueID, s Seg) {
+	m.next[s] = nilSeg
+	if m.qtail[q] == nilSeg {
+		m.qhead[q] = int32(s)
+	} else {
+		m.next[m.qtail[q]] = int32(s)
+	}
+	m.qtail[q] = int32(s)
+	m.qsegs[q]++
+	m.state[s] = stateQueued
+	m.floating--
+	m.noteLink(q, s)
+}
+
+func (m *Manager) linkHead(q QueueID, s Seg) {
+	m.next[s] = m.qhead[q]
+	m.qhead[q] = int32(s)
+	if m.qtail[q] == nilSeg {
+		m.qtail[q] = int32(s)
+	}
+	m.qsegs[q]++
+	m.state[s] = stateQueued
+	m.floating--
+	m.noteLink(q, s)
+}
+
+// unlinkHead removes and returns the head segment of q (caller checked
+// non-empty). The segment becomes floating.
+func (m *Manager) unlinkHead(q QueueID) Seg {
+	s := m.qhead[q]
+	m.qhead[q] = m.next[s]
+	if m.qhead[q] == nilSeg {
+		m.qtail[q] = nilSeg
+	}
+	m.next[s] = nilSeg
+	m.qsegs[q]--
+	m.state[s] = stateFloating
+	m.floating++
+	m.noteUnlink(q, Seg(s))
+	return Seg(s)
+}
+
+// Dequeue unlinks the head segment of q, frees it, and returns its
+// description and payload. This is the MMS "Dequeue" command.
+func (m *Manager) Dequeue(q QueueID) (SegInfo, []byte, error) {
+	if err := m.checkQueue(q); err != nil {
+		return SegInfo{}, nil, err
+	}
+	if m.qhead[q] == nilSeg {
+		return SegInfo{}, nil, fmt.Errorf("%w: queue %d", ErrQueueEmpty, q)
+	}
+	info := SegInfo{Seg: Seg(m.qhead[q]), Len: int(m.segLen[m.qhead[q]]), EOP: m.eop[m.qhead[q]]}
+	payload := m.payload(info.Seg)
+	s := m.unlinkHead(q)
+	m.Free(s)
+	return info, payload, nil
+}
+
+// ReadHead returns the head segment of q without dequeuing it — the MMS
+// "Read" command.
+func (m *Manager) ReadHead(q QueueID) (SegInfo, []byte, error) {
+	if err := m.checkQueue(q); err != nil {
+		return SegInfo{}, nil, err
+	}
+	h := m.qhead[q]
+	if h == nilSeg {
+		return SegInfo{}, nil, fmt.Errorf("%w: queue %d", ErrQueueEmpty, q)
+	}
+	info := SegInfo{Seg: Seg(h), Len: int(m.segLen[h]), EOP: m.eop[h]}
+	return info, m.payload(Seg(h)), nil
+}
+
+// DeleteSegment unlinks and frees the head segment of q without returning
+// data — the MMS "Delete one segment" command.
+func (m *Manager) DeleteSegment(q QueueID) error {
+	if err := m.checkQueue(q); err != nil {
+		return err
+	}
+	if m.qhead[q] == nilSeg {
+		return fmt.Errorf("%w: queue %d", ErrQueueEmpty, q)
+	}
+	s := m.unlinkHead(q)
+	return m.Free(s)
+}
+
+// DeletePacket unlinks and frees the whole packet at the head of q (all
+// segments through the first EOP). It returns the number of segments freed —
+// the MMS "Delete ... a full packet" command. If the queue holds no complete
+// packet the queue is left untouched and ErrNoPacket is returned.
+func (m *Manager) DeletePacket(q QueueID) (int, error) {
+	if err := m.checkQueue(q); err != nil {
+		return 0, err
+	}
+	end, n, err := m.findPacketEnd(q)
+	if err != nil {
+		return 0, err
+	}
+	_ = end
+	for i := 0; i < n; i++ {
+		s := m.unlinkHead(q)
+		if err := m.Free(s); err != nil {
+			return i, err
+		}
+	}
+	return n, nil
+}
+
+// findPacketEnd walks from the head of q to the first EOP segment, returning
+// its index and the number of segments in the packet.
+func (m *Manager) findPacketEnd(q QueueID) (Seg, int, error) {
+	h := m.qhead[q]
+	if h == nilSeg {
+		return Seg(nilSeg), 0, fmt.Errorf("%w: queue %d", ErrQueueEmpty, q)
+	}
+	n := 1
+	for s := h; s != nilSeg; s = m.next[s] {
+		if m.eop[s] {
+			return Seg(s), n, nil
+		}
+		n++
+	}
+	return Seg(nilSeg), 0, fmt.Errorf("%w: queue %d", ErrNoPacket, q)
+}
+
+// Overwrite replaces the payload of the head segment of q in place — the MMS
+// "Overwrite a segment" command (used e.g. for header modification). The
+// EOP flag is preserved.
+func (m *Manager) Overwrite(q QueueID, payload []byte) error {
+	if err := m.checkQueue(q); err != nil {
+		return err
+	}
+	h := m.qhead[q]
+	if h == nilSeg {
+		return fmt.Errorf("%w: queue %d", ErrQueueEmpty, q)
+	}
+	oldLen, oldEOP := int(m.segLen[h]), m.eop[h]
+	if err := m.setPayload(Seg(h), payload, m.eop[h]); err != nil {
+		return err
+	}
+	m.noteRewrite(q, oldLen, oldEOP, int(m.segLen[h]), m.eop[h])
+	return nil
+}
+
+// OverwriteLength updates only the stored length of the head segment of q —
+// the MMS "Overwrite_Segment_length" command (7 cycles in Table 4: it is a
+// metadata-only operation with no data-memory access).
+func (m *Manager) OverwriteLength(q QueueID, n int) error {
+	if err := m.checkQueue(q); err != nil {
+		return err
+	}
+	h := m.qhead[q]
+	if h == nilSeg {
+		return fmt.Errorf("%w: queue %d", ErrQueueEmpty, q)
+	}
+	if n < 1 || n > SegmentBytes {
+		return fmt.Errorf("%w: %d bytes", ErrBadLength, n)
+	}
+	m.noteRewrite(q, int(m.segLen[h]), m.eop[h], n, m.eop[h])
+	m.segLen[h] = uint16(n)
+	return nil
+}
+
+// MovePacket relinks the packet at the head of from onto the tail of to
+// without touching data memory — the MMS "Move a packet to a new queue"
+// command. It returns the number of segments moved.
+func (m *Manager) MovePacket(from, to QueueID) (int, error) {
+	if err := m.checkQueue(from); err != nil {
+		return 0, err
+	}
+	if err := m.checkQueue(to); err != nil {
+		return 0, err
+	}
+	end, n, err := m.findPacketEnd(from)
+	if err != nil {
+		return 0, err
+	}
+	if from == to {
+		// Moving a packet to its own queue rotates it to the tail.
+		if int(m.qsegs[from]) == n {
+			return n, nil // whole queue is the packet: no-op
+		}
+	} else if !m.admissible(to, n) {
+		return 0, fmt.Errorf("%w: queue %d cannot accept %d segments", ErrQueueLimit, to, n)
+	}
+	first := m.qhead[from]
+	// Transfer the chain's byte/packet accounting.
+	var chainBytes int32
+	for s := first; ; s = m.next[s] {
+		chainBytes += int32(m.segLen[s])
+		if s == int32(end) {
+			break
+		}
+	}
+	m.qbytes[from] -= chainBytes
+	m.qpkts[from]--
+	m.qbytes[to] += chainBytes
+	m.qpkts[to]++
+	// Unlink the chain [first..end] from the source queue.
+	m.qhead[from] = m.next[end]
+	if m.qhead[from] == nilSeg {
+		m.qtail[from] = nilSeg
+	}
+	m.qsegs[from] -= int32(n)
+	// Link the chain onto the destination tail.
+	m.next[end] = nilSeg
+	if m.qtail[to] == nilSeg {
+		m.qhead[to] = first
+	} else {
+		m.next[m.qtail[to]] = first
+	}
+	m.qtail[to] = int32(end)
+	m.qsegs[to] += int32(n)
+	return n, nil
+}
+
+// OverwriteAndMove combines Overwrite with MovePacket — the MMS
+// "Overwrite_Segment&Move" command (12 cycles in Table 4). The head segment
+// of from is overwritten, then the head packet moves to queue to.
+func (m *Manager) OverwriteAndMove(from, to QueueID, payload []byte) (int, error) {
+	if err := m.Overwrite(from, payload); err != nil {
+		return 0, err
+	}
+	return m.MovePacket(from, to)
+}
+
+// OverwriteLengthAndMove combines OverwriteLength with MovePacket — the MMS
+// "Overwrite_Segment_length&Move" command (12 cycles in Table 4).
+func (m *Manager) OverwriteLengthAndMove(from, to QueueID, n int) (int, error) {
+	if err := m.OverwriteLength(from, n); err != nil {
+		return 0, err
+	}
+	return m.MovePacket(from, to)
+}
+
+// Walk calls fn for each segment of q from head to tail, stopping early if
+// fn returns false. It is read-only and used by tests and the reassembler.
+func (m *Manager) Walk(q QueueID, fn func(info SegInfo) bool) error {
+	if err := m.checkQueue(q); err != nil {
+		return err
+	}
+	for s := m.qhead[q]; s != nilSeg; s = m.next[s] {
+		if !fn(SegInfo{Seg: Seg(s), Len: int(m.segLen[s]), EOP: m.eop[s]}) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Payload returns a copy of the stored payload of segment s (nil when data
+// storage is disabled).
+func (m *Manager) Payload(s Seg) ([]byte, error) {
+	if err := m.checkSeg(s); err != nil {
+		return nil, err
+	}
+	return m.payload(s), nil
+}

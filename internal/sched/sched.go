@@ -1,0 +1,248 @@
+// Package sched provides the service schedulers the example applications
+// put in front of the queue manager: strict priority (802.1p class
+// selection), round-robin, weighted round-robin, and deficit round-robin
+// for variable-length packets. These are the "selective transmission"
+// policies the paper's Section 2 motivates ("queues ... should provide the
+// means to access certain parts of their structures").
+package sched
+
+import "fmt"
+
+// Scheduler picks the next non-empty queue to serve.
+type Scheduler interface {
+	// Next returns the queue to serve among the candidates for which
+	// backlog(q) reports a positive value. ok is false when every queue is
+	// empty. For DRR, served(q, bytes) must be called after transmission.
+	Next(backlog func(q int) int) (q int, ok bool)
+	// Served informs the scheduler of the transmitted packet length.
+	Served(q int, bytes int)
+	// Queues returns the number of queues the scheduler arbitrates.
+	Queues() int
+}
+
+// RoundRobin serves non-empty queues in cyclic order.
+type RoundRobin struct {
+	n   int
+	ptr int
+}
+
+// NewRoundRobin returns a scheduler over n queues.
+func NewRoundRobin(n int) (*RoundRobin, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("sched: need at least one queue, got %d", n)
+	}
+	return &RoundRobin{n: n}, nil
+}
+
+// Queues implements Scheduler.
+func (r *RoundRobin) Queues() int { return r.n }
+
+// Next implements Scheduler.
+func (r *RoundRobin) Next(backlog func(int) int) (int, bool) {
+	for i := 0; i < r.n; i++ {
+		q := (r.ptr + i) % r.n
+		if backlog(q) > 0 {
+			r.ptr = (q + 1) % r.n
+			return q, true
+		}
+	}
+	return 0, false
+}
+
+// Served implements Scheduler (no-op for round-robin).
+func (r *RoundRobin) Served(int, int) {}
+
+// StrictPriority always serves the lowest-numbered (highest-priority)
+// non-empty queue — the 802.1p class selector when queue 0 carries PCP 7.
+type StrictPriority struct {
+	n int
+}
+
+// NewStrictPriority returns a scheduler over n queues; queue 0 is the
+// highest priority.
+func NewStrictPriority(n int) (*StrictPriority, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("sched: need at least one queue, got %d", n)
+	}
+	return &StrictPriority{n: n}, nil
+}
+
+// Queues implements Scheduler.
+func (s *StrictPriority) Queues() int { return s.n }
+
+// Next implements Scheduler.
+func (s *StrictPriority) Next(backlog func(int) int) (int, bool) {
+	for q := 0; q < s.n; q++ {
+		if backlog(q) > 0 {
+			return q, true
+		}
+	}
+	return 0, false
+}
+
+// Served implements Scheduler (no-op).
+func (s *StrictPriority) Served(int, int) {}
+
+// WeightedRoundRobin serves queue q weight[q] times per round.
+type WeightedRoundRobin struct {
+	weights []int
+	credit  []int
+	ptr     int
+}
+
+// NewWeightedRoundRobin returns a WRR scheduler with the given positive
+// per-queue weights.
+func NewWeightedRoundRobin(weights []int) (*WeightedRoundRobin, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("sched: need at least one queue")
+	}
+	for q, w := range weights {
+		if w <= 0 {
+			return nil, fmt.Errorf("sched: queue %d has non-positive weight %d", q, w)
+		}
+	}
+	w := &WeightedRoundRobin{
+		weights: append([]int(nil), weights...),
+		credit:  make([]int, len(weights)),
+	}
+	copy(w.credit, weights)
+	return w, nil
+}
+
+// Queues implements Scheduler.
+func (w *WeightedRoundRobin) Queues() int { return len(w.weights) }
+
+// Next implements Scheduler.
+func (w *WeightedRoundRobin) Next(backlog func(int) int) (int, bool) {
+	n := len(w.weights)
+	// Two passes: with remaining credit, then after a credit refresh.
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < n; i++ {
+			q := (w.ptr + i) % n
+			if backlog(q) > 0 && w.credit[q] > 0 {
+				w.credit[q]--
+				if w.credit[q] == 0 {
+					w.ptr = (q + 1) % n
+				} else {
+					w.ptr = q
+				}
+				return q, true
+			}
+		}
+		// Refresh credits for the next round.
+		any := false
+		for q := 0; q < n; q++ {
+			w.credit[q] = w.weights[q]
+			if backlog(q) > 0 {
+				any = true
+			}
+		}
+		if !any {
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// Served implements Scheduler (no-op: WRR counts packets via Next).
+func (w *WeightedRoundRobin) Served(int, int) {}
+
+// DeficitRoundRobin implements DRR (Shreedhar & Varghese): each round a
+// queue earns its quantum of bytes; it may transmit packets while its
+// deficit covers them, making WRR fair for variable-length packets.
+type DeficitRoundRobin struct {
+	quantum []int
+	deficit []int
+	ptr     int
+	// visiting marks that the pointer is mid-visit on ptr's queue, so a
+	// continued service does not earn another quantum.
+	visiting bool
+}
+
+// NewDeficitRoundRobin returns a DRR scheduler with per-queue byte quanta.
+func NewDeficitRoundRobin(quantum []int) (*DeficitRoundRobin, error) {
+	if len(quantum) == 0 {
+		return nil, fmt.Errorf("sched: need at least one queue")
+	}
+	for q, w := range quantum {
+		if w <= 0 {
+			return nil, fmt.Errorf("sched: queue %d has non-positive quantum %d", q, w)
+		}
+	}
+	return &DeficitRoundRobin{
+		quantum: append([]int(nil), quantum...),
+		deficit: make([]int, len(quantum)),
+	}, nil
+}
+
+// Queues implements Scheduler.
+func (d *DeficitRoundRobin) Queues() int { return len(d.quantum) }
+
+// NextPacket picks the queue whose head packet (of the given length) may be
+// sent. backlog(q) > 0 marks non-empty queues; head(q) returns the head
+// packet's byte length.
+func (d *DeficitRoundRobin) NextPacket(backlog func(int) int, head func(int) int) (int, bool) {
+	n := len(d.quantum)
+	advance := func() {
+		d.ptr = (d.ptr + 1) % n
+		d.visiting = false
+	}
+	// Bounded iterations: every queue accumulates at least one quantum per
+	// round, so any backlogged head is reachable within
+	// maxPacket/minQuantum rounds; 2048 covers 1518-byte packets with
+	// single-byte quanta.
+	for iter := 0; iter < n*2048+1; iter++ {
+		q := d.ptr
+		if backlog(q) == 0 {
+			// An emptied queue loses its accumulated deficit.
+			d.deficit[q] = 0
+			advance()
+			empty := true
+			for i := 0; i < n; i++ {
+				if backlog(i) > 0 {
+					empty = false
+					break
+				}
+			}
+			if empty {
+				return 0, false
+			}
+			continue
+		}
+		if !d.visiting {
+			// The pointer just arrived: the queue earns its quantum.
+			d.deficit[q] += d.quantum[q]
+			d.visiting = true
+		}
+		if h := head(q); h <= d.deficit[q] {
+			d.deficit[q] -= h
+			if backlog(q) == 1 {
+				// The queue is about to empty: forfeit the leftover
+				// deficit and move on.
+				d.deficit[q] = 0
+				advance()
+			}
+			return q, true
+		}
+		// Not enough deficit: bank it and move on.
+		advance()
+	}
+	return 0, false
+}
+
+// Next implements Scheduler using a default 64-byte head estimate; prefer
+// NextPacket when head lengths are known.
+func (d *DeficitRoundRobin) Next(backlog func(int) int) (int, bool) {
+	return d.NextPacket(backlog, func(int) int { return 64 })
+}
+
+// Served implements Scheduler (DRR accounts in NextPacket).
+func (d *DeficitRoundRobin) Served(int, int) {}
+
+// Compile-time interface checks.
+var (
+	_ Scheduler = (*RoundRobin)(nil)
+	_ Scheduler = (*StrictPriority)(nil)
+	_ Scheduler = (*WeightedRoundRobin)(nil)
+	_ Scheduler = (*DeficitRoundRobin)(nil)
+)

@@ -1,0 +1,218 @@
+package sched
+
+import (
+	"testing"
+)
+
+// sliceBacklog adapts a slice of queue depths to the backlog callback.
+func sliceBacklog(depths []int) func(int) int {
+	return func(q int) int { return depths[q] }
+}
+
+func drain(t *testing.T, s Scheduler, depths []int) []int {
+	t.Helper()
+	var order []int
+	for i := 0; i < 10000; i++ {
+		q, ok := s.Next(sliceBacklog(depths))
+		if !ok {
+			return order
+		}
+		if depths[q] <= 0 {
+			t.Fatalf("scheduler served empty queue %d", q)
+		}
+		depths[q]--
+		s.Served(q, 64)
+		order = append(order, q)
+	}
+	t.Fatal("scheduler did not drain")
+	return nil
+}
+
+func TestRoundRobinFairness(t *testing.T) {
+	rr, err := NewRoundRobin(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := drain(t, rr, []int{3, 3, 3})
+	want := []int{0, 1, 2, 0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestRoundRobinSkipsEmpty(t *testing.T) {
+	rr, _ := NewRoundRobin(4)
+	order := drain(t, rr, []int{0, 2, 0, 2})
+	for _, q := range order {
+		if q == 0 || q == 2 {
+			t.Fatalf("served empty queue: %v", order)
+		}
+	}
+}
+
+func TestStrictPriorityOrder(t *testing.T) {
+	sp, err := NewStrictPriority(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := drain(t, sp, []int{2, 2, 2})
+	want := []int{0, 0, 1, 1, 2, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestStrictPriorityStarvation(t *testing.T) {
+	// Strict priority intentionally starves low classes while the high
+	// class is backlogged.
+	sp, _ := NewStrictPriority(2)
+	depths := []int{1000, 1}
+	for i := 0; i < 1000; i++ {
+		q, ok := sp.Next(sliceBacklog(depths))
+		if !ok || q != 0 {
+			t.Fatalf("iteration %d: served %d", i, q)
+		}
+		depths[0]--
+	}
+	q, ok := sp.Next(sliceBacklog(depths))
+	if !ok || q != 1 {
+		t.Fatal("low class never served after drain")
+	}
+}
+
+func TestWRRProportions(t *testing.T) {
+	w, err := NewWeightedRoundRobin([]int{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := [2]int{}
+	depths := []int{100000, 100000}
+	for i := 0; i < 4000; i++ {
+		q, ok := w.Next(sliceBacklog(depths))
+		if !ok {
+			t.Fatal("backlogged WRR returned empty")
+		}
+		depths[q]--
+		counts[q]++
+	}
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 2.8 || ratio > 3.2 {
+		t.Fatalf("WRR 3:1 served %v (ratio %.2f)", counts, ratio)
+	}
+}
+
+func TestWRRSkipsEmptyAndRecovers(t *testing.T) {
+	w, _ := NewWeightedRoundRobin([]int{2, 2})
+	order := drain(t, w, []int{1, 4})
+	total := 0
+	for _, q := range order {
+		total++
+		_ = q
+	}
+	if total != 5 {
+		t.Fatalf("drained %d packets, want 5", total)
+	}
+}
+
+func TestWRRAllEmpty(t *testing.T) {
+	w, _ := NewWeightedRoundRobin([]int{1, 1})
+	if _, ok := w.Next(sliceBacklog([]int{0, 0})); ok {
+		t.Fatal("empty WRR returned a queue")
+	}
+}
+
+func TestDRRByteFairness(t *testing.T) {
+	// Queue 0 sends 1500-byte packets, queue 1 sends 64-byte packets.
+	// With equal quanta DRR should give both roughly equal BYTE shares,
+	// i.e. queue 1 sends ~23x more packets.
+	d, err := NewDeficitRoundRobin([]int{1500, 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	depths := []int{1 << 20, 1 << 20}
+	sizes := []int{1500, 64}
+	bytes := [2]int{}
+	for i := 0; i < 20000; i++ {
+		q, ok := d.NextPacket(sliceBacklog(depths), func(q int) int { return sizes[q] })
+		if !ok {
+			t.Fatal("backlogged DRR returned empty")
+		}
+		depths[q]--
+		bytes[q] += sizes[q]
+	}
+	ratio := float64(bytes[0]) / float64(bytes[1])
+	if ratio < 0.85 || ratio > 1.18 {
+		t.Fatalf("DRR byte shares %v (ratio %.2f), want ~1", bytes, ratio)
+	}
+}
+
+func TestDRRDrains(t *testing.T) {
+	d, _ := NewDeficitRoundRobin([]int{100, 100})
+	depths := []int{3, 2}
+	served := 0
+	for {
+		q, ok := d.NextPacket(sliceBacklog(depths), func(int) int { return 64 })
+		if !ok {
+			break
+		}
+		depths[q]--
+		served++
+		if served > 10 {
+			t.Fatal("DRR over-served")
+		}
+	}
+	if served != 5 {
+		t.Fatalf("served %d, want 5", served)
+	}
+}
+
+func TestDRRDefaultNext(t *testing.T) {
+	d, _ := NewDeficitRoundRobin([]int{64})
+	depths := []int{2}
+	q, ok := d.Next(sliceBacklog(depths))
+	if !ok || q != 0 {
+		t.Fatal("default Next broken")
+	}
+}
+
+func TestConstructorsValidate(t *testing.T) {
+	if _, err := NewRoundRobin(0); err == nil {
+		t.Fatal("RR accepted 0 queues")
+	}
+	if _, err := NewStrictPriority(-1); err == nil {
+		t.Fatal("SP accepted negative queues")
+	}
+	if _, err := NewWeightedRoundRobin(nil); err == nil {
+		t.Fatal("WRR accepted no queues")
+	}
+	if _, err := NewWeightedRoundRobin([]int{1, 0}); err == nil {
+		t.Fatal("WRR accepted zero weight")
+	}
+	if _, err := NewDeficitRoundRobin([]int{0}); err == nil {
+		t.Fatal("DRR accepted zero quantum")
+	}
+}
+
+func TestQueuesAccessors(t *testing.T) {
+	rr, _ := NewRoundRobin(3)
+	sp, _ := NewStrictPriority(2)
+	w, _ := NewWeightedRoundRobin([]int{1, 2, 3, 4})
+	d, _ := NewDeficitRoundRobin([]int{5})
+	if rr.Queues() != 3 || sp.Queues() != 2 || w.Queues() != 4 || d.Queues() != 1 {
+		t.Fatal("Queues() accessors broken")
+	}
+}
+
+func BenchmarkWRR(b *testing.B) {
+	w, _ := NewWeightedRoundRobin([]int{4, 2, 1, 1})
+	depths := []int{1 << 30, 1 << 30, 1 << 30, 1 << 30}
+	bl := sliceBacklog(depths)
+	for i := 0; i < b.N; i++ {
+		q, _ := w.Next(bl)
+		depths[q]--
+	}
+}

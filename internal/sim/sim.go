@@ -1,0 +1,122 @@
+// Package sim provides a small deterministic discrete-event simulation kernel
+// used by the timed hardware models (MMS, DDR under load, IXP microengines).
+//
+// Two styles of model coexist in this repository:
+//
+//   - slot-stepped models (internal/ddr) that advance one fixed-length access
+//     cycle at a time, for which a plain counter suffices, and
+//   - event-driven models (internal/core's load simulation) that schedule
+//     irregular future events; these use the Engine in this package.
+//
+// Events scheduled for the same time fire in the order they were scheduled
+// (FIFO tie-breaking via a sequence number), which keeps every run
+// reproducible.
+package sim
+
+import "container/heap"
+
+// Time is simulation time in clock cycles of the component's native clock.
+// Models that need sub-cycle resolution scale up (e.g. tenths of cycles).
+type Time uint64
+
+// Event is a callback scheduled to run at a given time.
+type Event func(now Time)
+
+type scheduled struct {
+	at  Time
+	seq uint64
+	fn  Event
+}
+
+type eventHeap []scheduled
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(scheduled)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Engine is a deterministic event-driven simulator.
+// The zero value is ready to use.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of events not yet fired.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute time at. Scheduling in the past (before
+// Now) panics: it would silently corrupt causality in a hardware model.
+func (e *Engine) At(at Time, fn Event) {
+	if at < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	e.seq++
+	heap.Push(&e.events, scheduled{at: at, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run delay cycles from now.
+func (e *Engine) After(delay Time, fn Event) {
+	e.At(e.now+delay, fn)
+}
+
+// Step fires the single earliest pending event and advances time to it.
+// It reports whether an event was fired.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(scheduled)
+	e.now = ev.at
+	ev.fn(e.now)
+	return true
+}
+
+// RunUntil fires events until the queue is empty or the next event is after
+// deadline. Time never advances past the last fired event.
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.events) > 0 && e.events[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Run drains the event queue completely. Models with self-sustaining event
+// chains (e.g. generators that always reschedule) must use RunUntil instead.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// Ticker invokes fn every period cycles starting at start, until fn returns
+// false. It is a convenience for clocked blocks inside an event-driven model.
+func (e *Engine) Ticker(start, period Time, fn func(now Time) bool) {
+	if period == 0 {
+		panic("sim: Ticker with zero period")
+	}
+	var tick Event
+	tick = func(now Time) {
+		if fn(now) {
+			e.At(now+period, tick)
+		}
+	}
+	e.At(start, tick)
+}

@@ -1,0 +1,75 @@
+// Package sram models the ZBT (Zero Bus Turnaround) SRAM that holds the
+// queue-management pointer structures in both the reference NPU (Figure 1)
+// and the MMS (Figure 2).
+//
+// ZBT SRAM accepts one access per clock cycle with no dead cycles between
+// reads and writes (that is what "zero bus turnaround" means), and returns
+// read data after a fixed pipeline latency. The model therefore needs only
+// two numbers: the pipeline latency and the clock period; contention is
+// impossible by construction as long as the issuing block respects the
+// one-access-per-cycle rule, which the timed models do by scheduling at most
+// one pointer-memory micro-operation per cycle.
+package sram
+
+import "fmt"
+
+// DefaultLatencyCycles is the read pipeline depth of a typical ZBT SRAM
+// (registered input and output, as on the Virtex-II Pro boards the paper
+// used).
+const DefaultLatencyCycles = 2
+
+// Config describes a ZBT SRAM device.
+type Config struct {
+	// Words is the number of addressable words.
+	Words int
+	// LatencyCycles is the read pipeline depth (0 means default).
+	LatencyCycles int
+}
+
+// Memory is a functional + cycle-accounting ZBT SRAM model storing 32-bit
+// words (pointer structures in the paper use 32-bit pointers).
+type Memory struct {
+	cfg    Config
+	words  []uint32
+	reads  uint64
+	writes uint64
+}
+
+// New returns a Memory of the given size.
+func New(cfg Config) (*Memory, error) {
+	if cfg.Words <= 0 {
+		return nil, fmt.Errorf("sram: Words must be positive, got %d", cfg.Words)
+	}
+	if cfg.LatencyCycles < 0 {
+		return nil, fmt.Errorf("sram: negative latency %d", cfg.LatencyCycles)
+	}
+	if cfg.LatencyCycles == 0 {
+		cfg.LatencyCycles = DefaultLatencyCycles
+	}
+	return &Memory{cfg: cfg, words: make([]uint32, cfg.Words)}, nil
+}
+
+// Latency returns the read pipeline depth in cycles.
+func (m *Memory) Latency() int { return m.cfg.LatencyCycles }
+
+// Words returns the addressable size.
+func (m *Memory) Words() int { return len(m.words) }
+
+// Read returns the word at addr, counting one read access.
+func (m *Memory) Read(addr uint32) uint32 {
+	m.reads++
+	return m.words[addr]
+}
+
+// Write stores v at addr, counting one write access.
+func (m *Memory) Write(addr uint32, v uint32) {
+	m.writes++
+	m.words[addr] = v
+}
+
+// Accesses returns the cumulative read and write counts; the timed models
+// convert these into pointer-memory bus occupancy.
+func (m *Memory) Accesses() (reads, writes uint64) { return m.reads, m.writes }
+
+// ResetCounters zeroes the access counters (contents are preserved).
+func (m *Memory) ResetCounters() { m.reads, m.writes = 0, 0 }

@@ -1,0 +1,55 @@
+package sram
+
+import "testing"
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Words: 0}); err == nil {
+		t.Fatal("expected error for zero words")
+	}
+	if _, err := New(Config{Words: 8, LatencyCycles: -1}); err == nil {
+		t.Fatal("expected error for negative latency")
+	}
+	m, err := New(Config{Words: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Latency() != DefaultLatencyCycles {
+		t.Fatalf("default latency = %d", m.Latency())
+	}
+	if m.Words() != 8 {
+		t.Fatalf("words = %d", m.Words())
+	}
+}
+
+func TestReadWrite(t *testing.T) {
+	m, _ := New(Config{Words: 16, LatencyCycles: 1})
+	m.Write(3, 0xdeadbeef)
+	if v := m.Read(3); v != 0xdeadbeef {
+		t.Fatalf("read = %#x", v)
+	}
+	if v := m.Read(4); v != 0 {
+		t.Fatalf("uninitialized word = %#x, want 0", v)
+	}
+	r, w := m.Accesses()
+	if r != 2 || w != 1 {
+		t.Fatalf("accesses = %d reads %d writes", r, w)
+	}
+	m.ResetCounters()
+	r, w = m.Accesses()
+	if r != 0 || w != 0 {
+		t.Fatal("counters not reset")
+	}
+	if v := m.Read(3); v != 0xdeadbeef {
+		t.Fatalf("contents lost on counter reset: %#x", v)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	m, _ := New(Config{Words: 4})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range address")
+		}
+	}()
+	m.Read(4)
+}

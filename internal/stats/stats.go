@@ -1,0 +1,239 @@
+// Package stats provides the small statistical toolkit used by the
+// simulation harnesses: streaming mean/variance, histograms, percentiles and
+// utilization counters. Everything is allocation-light and deterministic.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Welford accumulates streaming mean and variance using Welford's algorithm,
+// which is numerically stable for long simulations.
+type Welford struct {
+	n    uint64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates x.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of samples.
+func (w *Welford) N() uint64 { return w.n }
+
+// Mean returns the sample mean (0 for no samples).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the unbiased sample variance (0 for fewer than 2 samples).
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Min returns the smallest sample (0 for no samples).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest sample (0 for no samples).
+func (w *Welford) Max() float64 { return w.max }
+
+// String implements fmt.Stringer.
+func (w *Welford) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f std=%.3f min=%.3f max=%.3f",
+		w.n, w.Mean(), w.Std(), w.min, w.max)
+}
+
+// Histogram is a fixed-width bucket histogram over [0, width*buckets), with
+// an overflow bucket. It also records exact streaming moments.
+type Histogram struct {
+	Width    float64
+	counts   []uint64
+	overflow uint64
+	w        Welford
+}
+
+// NewHistogram returns a histogram with the given bucket count and width.
+func NewHistogram(buckets int, width float64) *Histogram {
+	if buckets <= 0 || width <= 0 {
+		panic("stats: NewHistogram needs positive buckets and width")
+	}
+	return &Histogram{Width: width, counts: make([]uint64, buckets)}
+}
+
+// Add incorporates x (negative values clamp to bucket 0).
+func (h *Histogram) Add(x float64) {
+	h.w.Add(x)
+	if x < 0 {
+		x = 0
+	}
+	i := int(x / h.Width)
+	if i >= len(h.counts) {
+		h.overflow++
+		return
+	}
+	h.counts[i]++
+}
+
+// N returns the total number of samples.
+func (h *Histogram) N() uint64 { return h.w.N() }
+
+// Mean returns the exact sample mean.
+func (h *Histogram) Mean() float64 { return h.w.Mean() }
+
+// Max returns the exact maximum sample.
+func (h *Histogram) Max() float64 { return h.w.Max() }
+
+// Quantile returns an upper bound for the q-quantile (0 <= q <= 1) using the
+// bucket boundaries; overflow samples report the exact observed maximum.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 || q > 1 {
+		panic("stats: Quantile out of range")
+	}
+	total := h.w.N()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			return float64(i+1) * h.Width
+		}
+	}
+	return h.w.Max()
+}
+
+// Counter is a named monotonic event counter.
+type Counter struct {
+	Name string
+	n    uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.n++ }
+
+// Addn adds n.
+func (c *Counter) Addn(n uint64) { c.n += n }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Utilization tracks busy/total cycle counts for a resource.
+type Utilization struct {
+	Busy  uint64
+	Total uint64
+}
+
+// Tick records one cycle, busy or idle.
+func (u *Utilization) Tick(busy bool) {
+	u.Total++
+	if busy {
+		u.Busy++
+	}
+}
+
+// Value returns the busy fraction in [0,1] (0 if no cycles recorded).
+func (u *Utilization) Value() float64 {
+	if u.Total == 0 {
+		return 0
+	}
+	return float64(u.Busy) / float64(u.Total)
+}
+
+// Loss returns 1 - Value(), the paper's "throughput loss" metric.
+func (u *Utilization) Loss() float64 { return 1 - u.Value() }
+
+// Percentile returns the p-th percentile (0-100) of xs using linear
+// interpolation. It does not modify xs.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if p < 0 || p > 100 {
+		panic("stats: Percentile out of range")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Sparkline renders values as a compact ASCII bar string, used by the
+// example binaries for quick visual inspection of distributions.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	glyphs := []rune("▁▂▃▄▅▆▇█")
+	max := values[0]
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range values {
+		if max <= 0 {
+			b.WriteRune(glyphs[0])
+			continue
+		}
+		i := int(v / max * float64(len(glyphs)-1))
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(glyphs) {
+			i = len(glyphs) - 1
+		}
+		b.WriteRune(glyphs[i])
+	}
+	return b.String()
+}

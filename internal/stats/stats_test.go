@@ -1,0 +1,197 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("n = %d", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Fatalf("mean = %v", w.Mean())
+	}
+	// Population variance is 4; unbiased sample variance is 32/7.
+	if math.Abs(w.Var()-32.0/7.0) > 1e-12 {
+		t.Fatalf("var = %v", w.Var())
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", w.Min(), w.Max())
+	}
+	if w.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Var() != 0 || w.Std() != 0 {
+		t.Fatal("empty Welford not zero")
+	}
+	w.Add(3)
+	if w.Mean() != 3 || w.Var() != 0 {
+		t.Fatal("single-sample Welford wrong")
+	}
+}
+
+// Property: Welford mean matches naive mean.
+func TestWelfordMatchesNaive(t *testing.T) {
+	err := quick.Check(func(xs []float64) bool {
+		// Filter non-finite fuzz inputs.
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e9 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		var w Welford
+		var sum float64
+		for _, x := range clean {
+			w.Add(x)
+			sum += x
+		}
+		naive := sum / float64(len(clean))
+		return math.Abs(w.Mean()-naive) <= 1e-6*(1+math.Abs(naive))
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10, 1.0)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i%10) + 0.5)
+	}
+	if h.N() != 100 {
+		t.Fatalf("n = %d", h.N())
+	}
+	if q := h.Quantile(0.5); q < 4 || q > 6 {
+		t.Fatalf("median = %v", q)
+	}
+	if q := h.Quantile(1.0); q != 10 {
+		t.Fatalf("q100 = %v", q)
+	}
+}
+
+func TestHistogramOverflow(t *testing.T) {
+	h := NewHistogram(4, 1.0)
+	h.Add(100)
+	h.Add(-5) // clamps to bucket 0
+	if h.N() != 2 {
+		t.Fatalf("n = %d", h.N())
+	}
+	if h.Quantile(1.0) != 100 {
+		t.Fatalf("overflow quantile = %v", h.Quantile(1.0))
+	}
+	if h.Max() != 100 {
+		t.Fatalf("max = %v", h.Max())
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	h := NewHistogram(4, 1.0)
+	if h.Quantile(0.9) != 0 {
+		t.Fatal("empty histogram quantile not 0")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(0, 1)
+}
+
+func TestCounter(t *testing.T) {
+	c := Counter{Name: "ops"}
+	c.Inc()
+	c.Addn(4)
+	if c.Value() != 5 {
+		t.Fatalf("value = %d", c.Value())
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	var u Utilization
+	if u.Value() != 0 {
+		t.Fatal("empty utilization not 0")
+	}
+	for i := 0; i < 10; i++ {
+		u.Tick(i < 3)
+	}
+	if math.Abs(u.Value()-0.3) > 1e-12 {
+		t.Fatalf("value = %v", u.Value())
+	}
+	if math.Abs(u.Loss()-0.7) > 1e-12 {
+		t.Fatalf("loss = %v", u.Loss())
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2, 5}
+	if p := Percentile(xs, 0); p != 1 {
+		t.Fatalf("p0 = %v", p)
+	}
+	if p := Percentile(xs, 100); p != 5 {
+		t.Fatalf("p100 = %v", p)
+	}
+	if p := Percentile(xs, 50); p != 3 {
+		t.Fatalf("p50 = %v", p)
+	}
+	if p := Percentile(xs, 25); p != 2 {
+		t.Fatalf("p25 = %v", p)
+	}
+	// Input must not be mutated.
+	if xs[0] != 4 {
+		t.Fatal("Percentile mutated input")
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile not 0")
+	}
+	if Percentile([]float64{7}, 99) != 7 {
+		t.Fatal("single-element percentile wrong")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("Mean wrong")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Fatal("empty sparkline not empty")
+	}
+	s := Sparkline([]float64{0, 1, 2, 4})
+	if len([]rune(s)) != 4 {
+		t.Fatalf("sparkline length wrong: %q", s)
+	}
+	// All-zero input should render lowest glyph without dividing by zero.
+	z := Sparkline([]float64{0, 0})
+	if len([]rune(z)) != 2 {
+		t.Fatalf("zero sparkline wrong: %q", z)
+	}
+}
+
+func BenchmarkWelfordAdd(b *testing.B) {
+	var w Welford
+	for i := 0; i < b.N; i++ {
+		w.Add(float64(i & 1023))
+	}
+}

@@ -1,0 +1,327 @@
+// Package tables regenerates every table and figure of the paper's
+// evaluation, rendering paper-published values side by side with the values
+// measured from this reproduction's models. cmd/qmtables is a thin wrapper
+// around this package; the root benchmark harness exercises the same
+// drivers.
+package tables
+
+import (
+	"fmt"
+	"strings"
+
+	"npqm/internal/core"
+	"npqm/internal/ddr"
+	"npqm/internal/ixp"
+	"npqm/internal/npu"
+)
+
+// DefaultSeed seeds every stochastic experiment for reproducible output.
+const DefaultSeed = 20050307 // DATE'05 conference date
+
+// Table1 regenerates the DDR throughput-loss table.
+type Table1Row struct {
+	Banks                 int
+	NoOptConflicts        float64
+	NoOptConflictsRW      float64
+	OptConflicts          float64
+	OptConflictsRW        float64
+	PaperNoOptConflicts   float64
+	PaperNoOptConflictsRW float64
+	PaperOptConflicts     float64
+	PaperOptConflictsRW   float64
+}
+
+// PaperTable1 holds the published values.
+var PaperTable1 = map[int][4]float64{
+	// banks: {noOpt/conflicts, noOpt/conflicts+RW, opt/conflicts, opt/conflicts+RW}
+	1:  {0.750, 0.75, 0.750, 0.750},
+	4:  {0.522, 0.5, 0.260, 0.331},
+	8:  {0.384, 0.39, 0.046, 0.199},
+	12: {0.305, 0.347, 0.012, 0.159},
+	16: {0.253, 0.317, 0.003, 0.139},
+}
+
+// Table1 runs the four scheduler/penalty configurations over the paper's
+// bank counts. decisions controls the simulation length per cell.
+func Table1(seed uint64, decisions int) ([]Table1Row, error) {
+	banks := []int{1, 4, 8, 12, 16}
+	rows := make([]Table1Row, 0, len(banks))
+	for _, b := range banks {
+		row := Table1Row{Banks: b}
+		p := PaperTable1[b]
+		row.PaperNoOptConflicts, row.PaperNoOptConflictsRW = p[0], p[1]
+		row.PaperOptConflicts, row.PaperOptConflictsRW = p[2], p[3]
+		cells := []struct {
+			dst   *float64
+			sched ddr.SchedulerKind
+			rw    bool
+		}{
+			{&row.NoOptConflicts, ddr.FCFSRoundRobin, false},
+			{&row.NoOptConflictsRW, ddr.FCFSRoundRobin, true},
+			{&row.OptConflicts, ddr.Reorder, false},
+			{&row.OptConflictsRW, ddr.Reorder, true},
+		}
+		for _, c := range cells {
+			res, err := ddr.RunSaturated(ddr.Config{
+				Banks: b, Scheduler: c.sched, RWInterleave: c.rw,
+			}, seed, decisions)
+			if err != nil {
+				return nil, err
+			}
+			*c.dst = res.Loss
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderTable1 formats the rows like the paper's Table 1, with the paper
+// value in parentheses after each measured value.
+func RenderTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: DDR-DRAM throughput loss using 1 to 16 banks (measured, paper in parens)\n")
+	fmt.Fprintf(&b, "%5s | %-22s %-22s | %-22s %-22s\n", "banks",
+		"no-opt conflicts", "no-opt conf+RW", "opt conflicts", "opt conf+RW")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%5d | %6.3f (%5.3f)%8s %6.3f (%5.3f)%8s | %6.3f (%5.3f)%8s %6.3f (%5.3f)\n",
+			r.Banks,
+			r.NoOptConflicts, r.PaperNoOptConflicts, "",
+			r.NoOptConflictsRW, r.PaperNoOptConflictsRW, "",
+			r.OptConflicts, r.PaperOptConflicts, "",
+			r.OptConflictsRW, r.PaperOptConflictsRW)
+	}
+	return b.String()
+}
+
+// Table2Row pairs measured and paper packet rates.
+type Table2Row struct {
+	Queues       int
+	OneME, SixME float64 // measured Kpps
+	PaperOne     float64
+	PaperSix     float64
+}
+
+// PaperTable2 holds the published Kpps values.
+var PaperTable2 = map[int][2]float64{
+	16:   {956, 5600},
+	128:  {390, 2300},
+	1024: {60, 300},
+}
+
+// Table2 runs the IXP1200 model for the paper's queue counts.
+func Table2() ([]Table2Row, error) {
+	raw, err := ixp.RunTable2()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table2Row, 0, len(raw))
+	for _, r := range raw {
+		p := PaperTable2[r.Queues]
+		rows = append(rows, Table2Row{
+			Queues:   r.Queues,
+			OneME:    r.OneEngine.Kpps,
+			SixME:    r.SixEngines.Kpps,
+			PaperOne: p[0],
+			PaperSix: p[1],
+		})
+	}
+	return rows, nil
+}
+
+// RenderTable2 formats the IXP table.
+func RenderTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: Maximum rate serviced when queue management runs on IXP1200\n")
+	fmt.Fprintf(&b, "%-12s | %-24s | %-24s\n", "queues", "1 microengine", "6 microengines")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12d | %7.0f Kpps (%5.0f)    | %7.2f Mpps (%4.1f)\n",
+			r.Queues, r.OneME, r.PaperOne, r.SixME/1e3, r.PaperSix/1e3)
+	}
+	return b.String()
+}
+
+// Table3Row pairs measured and paper cycle counts for one function row.
+type Table3Row struct {
+	Function string
+	Enqueue  string // rendered (may be "46/68" style)
+	Dequeue  string
+	Paper    string
+}
+
+// Table3 reproduces the cycles-per-operation table.
+func Table3() []Table3Row {
+	rows := npu.Table3()
+	out := make([]Table3Row, 0, len(rows))
+	paper := []string{"34 / 42", "46,68* / 52", "136 / 136", "216,238 / 230"}
+	for i, r := range rows {
+		enq := fmt.Sprintf("%d", r.Enqueue)
+		if r.EnqueueR != 0 && r.EnqueueR != r.Enqueue {
+			enq = fmt.Sprintf("%d,%d", r.Enqueue, r.EnqueueR)
+		}
+		out = append(out, Table3Row{
+			Function: r.Function,
+			Enqueue:  enq,
+			Dequeue:  fmt.Sprintf("%d", r.Dequeue),
+			Paper:    paper[i],
+		})
+	}
+	return out
+}
+
+// RenderTable3 formats the NPU cycle table.
+func RenderTable3(rows []Table3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: Cycles per packet operation on the reference NPU (PowerPC 405 @ 100 MHz)\n")
+	fmt.Fprintf(&b, "%-20s | %-10s | %-8s | %s\n", "function", "enqueue", "dequeue", "paper (enq / deq)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-20s | %-10s | %-8s | %s\n", r.Function, r.Enqueue, r.Dequeue, r.Paper)
+	}
+	fmt.Fprintf(&b, "optimizations: line-copy enq/deq = %d/%d cycles (paper: 128/118); DMA setup 16 + 34 transfer\n",
+		npu.EnqueueCost(false, npu.LineCopy).CPUCycles(), npu.DequeueCost(npu.LineCopy).CPUCycles())
+	fmt.Fprintf(&b, "sustained transit: word %3.0f Mbps, line %3.0f Mbps, dma %3.0f Mbps at 100 MHz\n",
+		npu.TransitMbps(npu.WordCopy, 100), npu.TransitMbps(npu.LineCopy, 100), npu.TransitMbps(npu.DMACopy, 100))
+	return b.String()
+}
+
+// Table4Row pairs a command with its measured and published latency.
+type Table4Row struct {
+	Command string
+	Cycles  int
+	Paper   int
+}
+
+// Table4 reproduces the MMS command latency table.
+func Table4() []Table4Row {
+	out := make([]Table4Row, 0, 9)
+	for _, c := range core.Commands() {
+		out = append(out, Table4Row{Command: c.String(), Cycles: c.Cycles(), Paper: c.PaperCycles()})
+	}
+	return out
+}
+
+// RenderTable4 formats the MMS latency table.
+func RenderTable4(rows []Table4Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4: Latency of the MMS commands (125 MHz clock)\n")
+	fmt.Fprintf(&b, "%-30s | %-7s | %s\n", "command", "cycles", "paper")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-30s | %-7d | %d\n", r.Command, r.Cycles, r.Paper)
+	}
+	return b.String()
+}
+
+// Table5Row pairs measured and published delay decompositions.
+type Table5Row struct {
+	LoadGbps   float64
+	Point      core.LoadPoint
+	PaperFIFO  float64
+	PaperExec  float64
+	PaperData  float64
+	PaperTotal float64
+}
+
+// PaperTable5 holds the published rows keyed by load.
+var PaperTable5 = map[float64][4]float64{
+	6.14: {68, 10.5, 31.3, 109.8},
+	4.8:  {57, 10.5, 30.8, 98.3},
+	4:    {20, 10.5, 30, 60.5},
+	3.2:  {20, 10.5, 29.1, 59.6},
+	1.6:  {20, 10.5, 28, 58.5},
+}
+
+// Table5 runs the MMS load sweep.
+func Table5(seed uint64) ([]Table5Row, error) {
+	pts, err := core.RunTable5(seed)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table5Row, 0, len(pts))
+	for _, p := range pts {
+		paper := PaperTable5[p.LoadGbps]
+		rows = append(rows, Table5Row{
+			LoadGbps: p.LoadGbps, Point: p,
+			PaperFIFO: paper[0], PaperExec: paper[1], PaperData: paper[2], PaperTotal: paper[3],
+		})
+	}
+	return rows, nil
+}
+
+// RenderTable5 formats the delay table.
+func RenderTable5(rows []Table5Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 5: MMS delays (cycles @ 125 MHz; measured, paper in parens)\n")
+	fmt.Fprintf(&b, "%-10s | %-16s %-16s %-16s %-18s\n", "load Gbps", "FIFO", "execution", "data", "total")
+	for _, r := range rows {
+		p := r.Point
+		fmt.Fprintf(&b, "%-10.2f | %6.1f (%4.1f)   %6.1f (%4.1f)   %6.1f (%4.1f)   %6.1f (%5.1f)\n",
+			r.LoadGbps, p.FIFODelay, r.PaperFIFO, p.ExecDelay, r.PaperExec,
+			p.DataDelay, r.PaperData, p.TotalDelay, r.PaperTotal)
+	}
+	fmt.Fprintf(&b, "headline: %.2f Gbps sustained (paper: 6.145 Gbps, 12 Mops/s)\n",
+		core.HeadlineThroughputGbps())
+	return b.String()
+}
+
+// RenderFigure1 prints the reference NPU topology of Figure 1.
+func RenderFigure1() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1: NPU core architecture on the Virtex-II Pro (component graph)\n")
+	for _, c := range npu.Architecture() {
+		attach := strings.Join(c.Attach, ", ")
+		if attach == "" {
+			attach = "-"
+		}
+		fmt.Fprintf(&b, "  %-22s [%-10s] %s\n", c.Name, attach, c.Role)
+	}
+	return b.String()
+}
+
+// RenderFigure2 prints the MMS block structure of Figure 2 with each
+// block's live statistics interface.
+func RenderFigure2() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2: MMS architecture (five parallel blocks)\n")
+	blocks := []struct{ name, role string }{
+		{"Internal Scheduler", "per-port command FIFOs with service priorities (back-pressure on full)"},
+		{"Data Queue Manager", "executes queue commands against the pointer SRAM (Table 4 micro-programs)"},
+		{"Data Memory Controller", "banked DDR access, interleaved commands to minimize bank conflicts"},
+		{"Segmentation", "cuts incoming packets into 64-byte segments"},
+		{"Reassembly", "rebuilds packets from per-flow segment queues"},
+	}
+	for _, bl := range blocks {
+		fmt.Fprintf(&b, "  %-24s %s\n", bl.name, bl.role)
+	}
+	fmt.Fprintf(&b, "  interfaces: IN, OUT, CPU commands; DATA to DRAM; pointers to SRAM; BACKPRESSURE to sources\n")
+	return b.String()
+}
+
+// RenderAll produces the full report.
+func RenderAll(seed uint64, ddrDecisions int) (string, error) {
+	var b strings.Builder
+	t1, err := Table1(seed, ddrDecisions)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(RenderTable1(t1))
+	b.WriteString("\n")
+	t2, err := Table2()
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(RenderTable2(t2))
+	b.WriteString("\n")
+	b.WriteString(RenderTable3(Table3()))
+	b.WriteString("\n")
+	b.WriteString(RenderTable4(Table4()))
+	b.WriteString("\n")
+	t5, err := Table5(seed)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(RenderTable5(t5))
+	b.WriteString("\n")
+	b.WriteString(RenderFigure1())
+	b.WriteString("\n")
+	b.WriteString(RenderFigure2())
+	return b.String(), nil
+}

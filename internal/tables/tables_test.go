@@ -1,0 +1,148 @@
+package tables
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const quickDecisions = 100_000
+
+func TestTable1AgainstPaper(t *testing.T) {
+	rows, err := Table1(DefaultSeed, quickDecisions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// Conflict-only columns are tight; RW columns carry the model
+		// ambiguity documented in EXPERIMENTS.md.
+		if math.Abs(r.NoOptConflicts-r.PaperNoOptConflicts) > 0.015 {
+			t.Errorf("banks %d no-opt conflicts: %.3f vs paper %.3f", r.Banks, r.NoOptConflicts, r.PaperNoOptConflicts)
+		}
+		if math.Abs(r.OptConflicts-r.PaperOptConflicts) > 0.015 {
+			t.Errorf("banks %d opt conflicts: %.3f vs paper %.3f", r.Banks, r.OptConflicts, r.PaperOptConflicts)
+		}
+		if math.Abs(r.NoOptConflictsRW-r.PaperNoOptConflictsRW) > 0.06 {
+			t.Errorf("banks %d no-opt RW: %.3f vs paper %.3f", r.Banks, r.NoOptConflictsRW, r.PaperNoOptConflictsRW)
+		}
+		if math.Abs(r.OptConflictsRW-r.PaperOptConflictsRW) > 0.06 {
+			t.Errorf("banks %d opt RW: %.3f vs paper %.3f", r.Banks, r.OptConflictsRW, r.PaperOptConflictsRW)
+		}
+	}
+	out := RenderTable1(rows)
+	if !strings.Contains(out, "Table 1") || strings.Count(out, "\n") < 6 {
+		t.Fatalf("render too short:\n%s", out)
+	}
+}
+
+func TestTable2AgainstPaper(t *testing.T) {
+	rows, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if rel := math.Abs(r.OneME-r.PaperOne) / r.PaperOne; rel > 0.05 {
+			t.Errorf("queues %d 1ME off %.1f%%", r.Queues, rel*100)
+		}
+		if rel := math.Abs(r.SixME-r.PaperSix) / r.PaperSix; rel > 0.05 {
+			t.Errorf("queues %d 6ME off %.1f%%", r.Queues, rel*100)
+		}
+	}
+	if !strings.Contains(RenderTable2(rows), "IXP1200") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestTable3AgainstPaper(t *testing.T) {
+	rows := Table3()
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	want := map[string][2]string{
+		"Dequeue Free List": {"34", "42"},
+		"Enqueue Segment":   {"46,68", "52"},
+		"Copy a segment":    {"136", "136"},
+		"Total":             {"216,238", "230"},
+	}
+	for _, r := range rows {
+		w, ok := want[r.Function]
+		if !ok {
+			t.Errorf("unexpected function %q", r.Function)
+			continue
+		}
+		if r.Enqueue != w[0] || r.Dequeue != w[1] {
+			t.Errorf("%s: got %s/%s want %s/%s", r.Function, r.Enqueue, r.Dequeue, w[0], w[1])
+		}
+	}
+	out := RenderTable3(rows)
+	if !strings.Contains(out, "line-copy") || !strings.Contains(out, "DMA") {
+		t.Fatal("render missing the Section 5.3 optimizations")
+	}
+}
+
+func TestTable4AgainstPaper(t *testing.T) {
+	rows := Table4()
+	if len(rows) != 9 {
+		t.Fatalf("rows = %d, Table 4 has 9 commands", len(rows))
+	}
+	for _, r := range rows {
+		if r.Cycles != r.Paper {
+			t.Errorf("%s: %d vs paper %d", r.Command, r.Cycles, r.Paper)
+		}
+	}
+	if !strings.Contains(RenderTable4(rows), "Enqueue") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestTable5AgainstPaper(t *testing.T) {
+	rows, err := Table5(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if math.Abs(r.Point.ExecDelay-r.PaperExec) > 0.05 {
+			t.Errorf("load %v exec %.2f vs paper %.1f", r.LoadGbps, r.Point.ExecDelay, r.PaperExec)
+		}
+		if math.Abs(r.Point.DataDelay-r.PaperData) > 3 {
+			t.Errorf("load %v data %.1f vs paper %.1f", r.LoadGbps, r.Point.DataDelay, r.PaperData)
+		}
+	}
+	out := RenderTable5(rows)
+	if !strings.Contains(out, "headline") {
+		t.Fatal("render missing headline")
+	}
+}
+
+func TestFigures(t *testing.T) {
+	f1 := RenderFigure1()
+	for _, block := range []string{"PowerPC 405", "ZBT SRAM", "DDR SDRAM", "Ethernet MAC"} {
+		if !strings.Contains(f1, block) {
+			t.Errorf("Figure 1 render missing %q", block)
+		}
+	}
+	f2 := RenderFigure2()
+	for _, block := range []string{"Internal Scheduler", "Data Queue Manager", "Data Memory Controller", "Segmentation", "Reassembly", "BACKPRESSURE"} {
+		if !strings.Contains(f2, block) {
+			t.Errorf("Figure 2 render missing %q", block)
+		}
+	}
+}
+
+func TestRenderAll(t *testing.T) {
+	out, err := RenderAll(DefaultSeed, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, title := range []string{"Table 1", "Table 2", "Table 3", "Table 4", "Table 5", "Figure 1", "Figure 2"} {
+		if !strings.Contains(out, title) {
+			t.Errorf("report missing %s", title)
+		}
+	}
+}

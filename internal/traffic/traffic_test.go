@@ -1,0 +1,146 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestValidation(t *testing.T) {
+	bad := []Config{
+		{RateGbps: 0, Flows: 1},
+		{RateGbps: 1, Flows: 0},
+		{RateGbps: 1, Flows: 1, BurstMean: -1},
+		{RateGbps: 2, Flows: 1, PeakGbps: 1},
+	}
+	for _, cfg := range bad {
+		if _, err := NewGenerator(cfg); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestRateAccuracy(t *testing.T) {
+	for _, proc := range []Process{CBR, Poisson, OnOff} {
+		g, err := NewGenerator(Config{RateGbps: 2.5, Flows: 64, Sizes: Min64, Proc: proc, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		arr := g.Take(60000)
+		got := MeasuredGbps(arr)
+		if math.Abs(got-2.5)/2.5 > 0.05 {
+			t.Errorf("%v: measured %.3f Gbps, want 2.5", proc, got)
+		}
+	}
+}
+
+func TestArrivalMonotonic(t *testing.T) {
+	for _, proc := range []Process{CBR, Poisson, OnOff} {
+		g, _ := NewGenerator(Config{RateGbps: 1, Flows: 8, Sizes: IMIX, Proc: proc, Seed: 1})
+		prev := -1.0
+		for i := 0; i < 5000; i++ {
+			a := g.Next()
+			if a.TimeNs < prev {
+				t.Fatalf("%v: time went backwards at %d", proc, i)
+			}
+			prev = a.TimeNs
+			if a.Flow >= 8 {
+				t.Fatalf("%v: flow %d out of range", proc, a.Flow)
+			}
+			if a.Bytes < 64 || a.Bytes > 1518 {
+				t.Fatalf("%v: bytes %d out of range", proc, a.Bytes)
+			}
+		}
+	}
+}
+
+func TestOnOffIsBurstier(t *testing.T) {
+	cv := func(proc Process) float64 {
+		g, _ := NewGenerator(Config{RateGbps: 1, Flows: 4, Sizes: Min64, Proc: proc, Seed: 9})
+		arr := g.Take(20000)
+		var gaps []float64
+		for i := 1; i < len(arr); i++ {
+			gaps = append(gaps, arr[i].TimeNs-arr[i-1].TimeNs)
+		}
+		var mean, m2 float64
+		for _, x := range gaps {
+			mean += x
+		}
+		mean /= float64(len(gaps))
+		for _, x := range gaps {
+			m2 += (x - mean) * (x - mean)
+		}
+		return math.Sqrt(m2/float64(len(gaps))) / mean
+	}
+	cbr, onoff := cv(CBR), cv(OnOff)
+	if cbr > 0.001 {
+		t.Fatalf("CBR gap CV = %v, want 0", cbr)
+	}
+	if onoff < 0.8 {
+		t.Fatalf("on-off gap CV = %v, expected strongly bursty", onoff)
+	}
+}
+
+func TestIMIXMean(t *testing.T) {
+	g, _ := NewGenerator(Config{RateGbps: 1, Flows: 4, Sizes: IMIX, Proc: Poisson, Seed: 5})
+	arr := g.Take(60000)
+	var sum float64
+	for _, a := range arr {
+		sum += float64(a.Bytes)
+	}
+	mean := sum / float64(len(arr))
+	want := IMIX.MeanBytes()
+	if math.Abs(mean-want)/want > 0.03 {
+		t.Fatalf("IMIX mean = %.1f, want %.1f", mean, want)
+	}
+}
+
+func TestFlowSpread(t *testing.T) {
+	g, _ := NewGenerator(Config{RateGbps: 1, Flows: 16, Sizes: Min64, Proc: CBR, Seed: 4})
+	counts := make([]int, 16)
+	for i := 0; i < 16000; i++ {
+		counts[g.Next().Flow]++
+	}
+	for f, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Fatalf("flow %d got %d/16000 packets", f, c)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func() []Arrival {
+		g, _ := NewGenerator(Config{RateGbps: 1, Flows: 4, Sizes: IMIX, Proc: OnOff, Seed: 42})
+		return g.Take(1000)
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at %d", i)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Min64.String() == "" || IMIX.String() == "" || Uniform.String() == "" {
+		t.Fatal("SizeDist.String broken")
+	}
+	if CBR.String() == "" || Poisson.String() == "" || OnOff.String() == "" {
+		t.Fatal("Process.String broken")
+	}
+	if SizeDist(9).String() == "" || Process(9).String() == "" {
+		t.Fatal("unknown values must render")
+	}
+}
+
+func TestMeasuredGbpsEdge(t *testing.T) {
+	if MeasuredGbps(nil) != 0 || MeasuredGbps([]Arrival{{TimeNs: 1}}) != 0 {
+		t.Fatal("degenerate inputs must return 0")
+	}
+}
+
+func BenchmarkNextOnOff(b *testing.B) {
+	g, _ := NewGenerator(Config{RateGbps: 5, Flows: 1024, Sizes: IMIX, Proc: OnOff, Seed: 1})
+	for i := 0; i < b.N; i++ {
+		_ = g.Next()
+	}
+}

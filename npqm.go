@@ -1,0 +1,192 @@
+// Package npqm is a Go reproduction of "Queue Management in Network
+// Processors" (Papaefstathiou et al., DATE 2005): a segment-based,
+// per-flow hardware queue manager (the MMS) together with the software
+// baselines the paper measures it against (queue management on the Intel
+// IXP1200 and on a PowerPC-based reference NPU) and the behavioral
+// DDR-SDRAM model underlying its memory analysis.
+//
+// The package exposes a facade over the internal models:
+//
+//   - QueueManager: the functional linked-list queue engine (32K flows,
+//     64-byte segments, enqueue/dequeue/delete/overwrite/append/move);
+//   - MMS: the timed hardware model (Table 4 command latencies, Table 5
+//     delay decomposition, 6.1 Gbps headline throughput);
+//   - Report and the Run* helpers: regenerate every table and figure of
+//     the paper's evaluation.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package npqm
+
+import (
+	"fmt"
+	"io"
+
+	"npqm/internal/core"
+	"npqm/internal/ixp"
+	"npqm/internal/npu"
+	"npqm/internal/queue"
+	"npqm/internal/tables"
+)
+
+// SegmentBytes is the fixed segment size of the queue engine (64 bytes).
+const SegmentBytes = queue.SegmentBytes
+
+// DefaultFlows is the MMS per-flow queue count (32K).
+const DefaultFlows = queue.DefaultNumQueues
+
+// QueueManager is the functional queue engine: hardware-style linked-list
+// queues over a segment pool, as described in Sections 5.2 and 6.
+type QueueManager struct {
+	m *queue.Manager
+}
+
+// NewQueueManager allocates a queue manager with the given flow count
+// (0 means 32K) and segment pool size.
+func NewQueueManager(flows, segments int) (*QueueManager, error) {
+	m, err := queue.New(queue.Config{NumQueues: flows, NumSegments: segments, StoreData: true})
+	if err != nil {
+		return nil, err
+	}
+	return &QueueManager{m: m}, nil
+}
+
+// EnqueuePacket segments data onto flow q; it returns the segment count.
+func (qm *QueueManager) EnqueuePacket(q uint32, data []byte) (int, error) {
+	return qm.m.EnqueuePacket(queue.QueueID(q), data)
+}
+
+// DequeuePacket removes and reassembles the packet at the head of flow q.
+func (qm *QueueManager) DequeuePacket(q uint32) ([]byte, error) {
+	data, _, err := qm.m.DequeuePacket(queue.QueueID(q))
+	return data, err
+}
+
+// MovePacket relinks the head packet of one flow onto another without
+// copying data; it returns the number of segments moved.
+func (qm *QueueManager) MovePacket(from, to uint32) (int, error) {
+	return qm.m.MovePacket(queue.QueueID(from), queue.QueueID(to))
+}
+
+// DeletePacket drops the head packet of flow q, returning its segment count.
+func (qm *QueueManager) DeletePacket(q uint32) (int, error) {
+	return qm.m.DeletePacket(queue.QueueID(q))
+}
+
+// Len returns the number of queued segments on flow q.
+func (qm *QueueManager) Len(q uint32) (int, error) {
+	return qm.m.Len(queue.QueueID(q))
+}
+
+// PacketLen returns the byte and segment length of the head packet of q.
+func (qm *QueueManager) PacketLen(q uint32) (bytes, segments int, err error) {
+	return qm.m.PacketLen(queue.QueueID(q))
+}
+
+// FreeSegments returns the remaining pool capacity.
+func (qm *QueueManager) FreeSegments() int { return qm.m.FreeSegments() }
+
+// CheckInvariants validates the pointer structures (for tests/debugging).
+func (qm *QueueManager) CheckInvariants() error { return qm.m.CheckInvariants() }
+
+// MMS is the timed hardware queue manager of Section 6.
+type MMS struct {
+	m *core.MMS
+}
+
+// NewMMS builds an MMS with the paper's reference configuration (32K flows,
+// 4 ports, 8 DDR banks) and the given segment pool size (0 means 64K).
+func NewMMS(segments int) (*MMS, error) {
+	m, err := core.New(core.Config{NumSegments: segments, StoreData: true})
+	if err != nil {
+		return nil, err
+	}
+	return &MMS{m: m}, nil
+}
+
+// Push segments a packet onto flow q through the Segmentation block.
+func (h *MMS) Push(q uint32, data []byte) (segments int, err error) {
+	return h.m.Seg.Push(queue.QueueID(q), data)
+}
+
+// Pop reassembles and removes the head packet of flow q through the
+// Reassembly block.
+func (h *MMS) Pop(q uint32) ([]byte, error) {
+	data, _, err := h.m.Reasm.Pop(queue.QueueID(q))
+	return data, err
+}
+
+// Move relinks the head packet between flows (the MMS Move command).
+func (h *MMS) Move(from, to uint32) (int, error) {
+	resp, err := h.m.Do(core.Request{Cmd: core.CmdMove, Queue: queue.QueueID(from), Dest: queue.QueueID(to)})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Moved, nil
+}
+
+// Backlog returns the number of queued segments on flow q.
+func (h *MMS) Backlog(q uint32) (int, error) {
+	return h.m.Queues().Len(queue.QueueID(q))
+}
+
+// CommandCycles returns the execution latency of each MMS command in
+// 125 MHz cycles (Table 4).
+func (h *MMS) CommandCycles() map[string]int {
+	out := make(map[string]int)
+	for cmd, cycles := range core.Table4() {
+		out[cmd.String()] = cycles
+	}
+	return out
+}
+
+// HeadlineThroughputGbps is the sustained forwarding throughput of the MMS
+// (the paper's 6.145 Gbps at 125 MHz).
+func HeadlineThroughputGbps() float64 { return core.HeadlineThroughputGbps() }
+
+// SoftwareTransitMbps returns the reference-NPU software throughput for the
+// given copy engine name ("word", "line", "dma") at the given clock — the
+// Section 5 baseline the MMS is compared against.
+func SoftwareTransitMbps(copyEngine string, clockMHz float64) (float64, error) {
+	var e npu.CopyEngine
+	switch copyEngine {
+	case "word":
+		e = npu.WordCopy
+	case "line":
+		e = npu.LineCopy
+	case "dma":
+		e = npu.DMACopy
+	default:
+		return 0, fmt.Errorf("npqm: unknown copy engine %q (want word, line or dma)", copyEngine)
+	}
+	return npu.TransitMbps(e, clockMHz), nil
+}
+
+// IXPKpps returns the IXP1200 software queue-management packet rate for the
+// given queue count and microengine count (Table 2).
+func IXPKpps(queues, engines int) (float64, error) {
+	p, err := ixp.ProfileForQueues(queues)
+	if err != nil {
+		return 0, err
+	}
+	res, err := ixp.Run(ixp.Config{Profile: p, Engines: engines})
+	if err != nil {
+		return 0, err
+	}
+	return res.Kpps, nil
+}
+
+// Report writes the full paper-vs-measured reproduction report (all five
+// tables, both figures) to w. decisions controls the DDR simulation length
+// (0 means 400000).
+func Report(w io.Writer, seed uint64, decisions int) error {
+	if decisions == 0 {
+		decisions = 400_000
+	}
+	out, err := tables.RenderAll(seed, decisions)
+	if err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, out)
+	return err
+}
