@@ -12,6 +12,7 @@ package npqm
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"npqm/internal/core"
@@ -253,6 +254,92 @@ func BenchmarkAblationBanks(b *testing.B) {
 				loss = res.Loss
 			}
 			b.ReportMetric(loss, "loss")
+		})
+	}
+}
+
+// BenchmarkEngineSharded sweeps shard counts over the concurrent engine
+// with GOMAXPROCS goroutines doing enqueue+dequeue round trips, so the
+// speedup of sharding over the single-threaded Manager is measured rather
+// than asserted. On multi-core, aggregate throughput should rise with the
+// shard count until shards exceed cores; shards=1 exposes the cost of a
+// single global lock.
+func BenchmarkEngineSharded(b *testing.B) {
+	for _, shards := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			cm, err := NewConcurrentQueueManager(DefaultFlows, 1<<17, shards)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pkt := make([]byte, 320) // 5 segments, the Table 5 reference burst
+			b.SetBytes(int64(len(pkt)))
+			var gid atomic.Uint32
+			b.RunParallel(func(pb *testing.PB) {
+				// Offset each goroutine into its own region of the flow
+				// space so concurrent goroutines mostly land on
+				// different shards.
+				i := gid.Add(1) * 100_003
+				for pb.Next() {
+					f := (i * 2654435761) % uint32(DefaultFlows)
+					i++
+					if _, err := cm.EnqueuePacket(f, pkt); err != nil {
+						b.Error(err)
+						return
+					}
+					data, err := cm.DequeuePacket(f)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					cm.Release(data)
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkEngineShardedBatch is the batched variant: bursts of 64 packets
+// per EnqueueBatch/DequeueBatch call, locking each shard once per burst.
+func BenchmarkEngineShardedBatch(b *testing.B) {
+	const burst = 64
+	for _, shards := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			cm, err := NewConcurrentQueueManager(DefaultFlows, 1<<17, shards)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pkt := make([]byte, 320)
+			b.SetBytes(int64(len(pkt) * burst))
+			var gid atomic.Uint32
+			b.RunParallel(func(pb *testing.PB) {
+				batch := make([]PacketEnqueue, burst)
+				flows := make([]uint32, burst)
+				i := gid.Add(1) * 100_003
+				for pb.Next() {
+					for j := range batch {
+						f := (i * 2654435761) % uint32(DefaultFlows)
+						i++
+						batch[j] = PacketEnqueue{Flow: f, Data: pkt}
+						flows[j] = f
+					}
+					if _, errs := cm.EnqueueBatch(batch); errs != nil {
+						for _, err := range errs {
+							if err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}
+					pkts, errs := cm.DequeueBatch(flows)
+					for j, err := range errs {
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						cm.Release(pkts[j])
+					}
+				}
+			})
 		})
 	}
 }

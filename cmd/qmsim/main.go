@@ -3,26 +3,32 @@
 //
 // Usage:
 //
-//	qmsim -model ddr  -banks 8 -sched reorder -rw -decisions 500000
-//	qmsim -model mms  -load 5.5 -segments 5 -depth 2
-//	qmsim -model ixp  -queues 128 -engines 4
-//	qmsim -model npu  -copy line -clock 200
+//	qmsim -model ddr    -banks 8 -sched reorder -rw -decisions 500000
+//	qmsim -model mms    -load 5.5 -segments 5 -depth 2
+//	qmsim -model ixp    -queues 128 -engines 4
+//	qmsim -model npu    -copy line -clock 200
+//	qmsim -model engine -shards 16 -parallel 8 -flows 32768 -ops 2000000
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"sync"
+	"time"
 
 	"npqm/internal/core"
 	"npqm/internal/ddr"
+	"npqm/internal/engine"
 	"npqm/internal/ixp"
 	"npqm/internal/npu"
+	"npqm/internal/queue"
 )
 
 func main() {
 	var (
-		model     = flag.String("model", "mms", "model to run: ddr, mms, ixp, npu")
+		model     = flag.String("model", "mms", "model to run: ddr, mms, ixp, npu, engine")
 		seed      = flag.Uint64("seed", 1, "simulation seed")
 		banks     = flag.Int("banks", 8, "ddr: bank count")
 		schedName = flag.String("sched", "reorder", "ddr: scheduler (fcfs, reorder)")
@@ -36,6 +42,12 @@ func main() {
 		engines   = flag.Int("engines", 6, "ixp: microengine count")
 		copyEng   = flag.String("copy", "word", "npu: copy engine (word, line, dma)")
 		clock     = flag.Float64("clock", 100, "npu: CPU clock in MHz")
+		shards    = flag.Int("shards", 16, "engine: shard count (rounded to power of two)")
+		parallel  = flag.Int("parallel", 4, "engine: producer goroutines (consumers match)")
+		flows     = flag.Int("flows", 32768, "engine: flow-ID space")
+		pool      = flag.Int("pool", 1<<17, "engine: total segment pool")
+		pktBytes  = flag.Int("pkt", 320, "engine: packet size in bytes")
+		ops       = flag.Int("ops", 1_000_000, "engine: packets to push through")
 	)
 	flag.Parse()
 
@@ -49,8 +61,10 @@ func main() {
 		err = runIXP(*queues, *engines)
 	case "npu":
 		err = runNPU(*copyEng, *clock)
+	case "engine":
+		err = runEngine(*shards, *parallel, *flows, *pool, *pktBytes, *ops)
 	default:
-		err = fmt.Errorf("unknown model %q (want ddr, mms, ixp, npu)", *model)
+		err = fmt.Errorf("unknown model %q (want ddr, mms, ixp, npu, engine)", *model)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "qmsim: %v\n", err)
@@ -110,6 +124,76 @@ func runIXP(queues, engines int) error {
 	fmt.Printf("%d,%d,%.1f,%.1f,%.3f,%.3f,%.3f\n",
 		queues, engines, res.Kpps, res.MbpsAt64B(),
 		res.UnitBusy[ixp.Scratch], res.UnitBusy[ixp.SRAM], res.UnitBusy[ixp.SDRAM])
+	return nil
+}
+
+// runEngine drives the sharded concurrent engine with parallel producer
+// and consumer goroutines and reports aggregate packet throughput — the
+// software-scaling counterpart of the paper's hardware tables.
+func runEngine(shards, parallel, flows, pool, pktBytes, ops int) error {
+	if parallel < 1 {
+		return fmt.Errorf("parallel must be >= 1, got %d", parallel)
+	}
+	if ops < 1 {
+		return fmt.Errorf("ops must be >= 1, got %d", ops)
+	}
+	e, err := engine.New(engine.Config{
+		Shards:      shards,
+		NumFlows:    flows,
+		NumSegments: pool,
+		StoreData:   true,
+	})
+	if err != nil {
+		return err
+	}
+	perProducer := ops / parallel
+	pkt := make([]byte, pktBytes)
+	var wg sync.WaitGroup
+	var firstErr error
+	var errOnce sync.Once
+	start := time.Now()
+	for p := 0; p < parallel; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			// Each worker is a producer/consumer pair: enqueue onto a
+			// strided flow, then drain the flow it filled, so the pool
+			// never exhausts and every packet transits the engine once.
+			var i uint32
+			for n := 0; n < perProducer; n++ {
+				f := uint32(p)*2654435761 + i*40503
+				i++
+				f %= uint32(flows)
+				if _, err := e.EnqueuePacket(f, pkt); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					return
+				}
+				data, err := e.DequeuePacket(f)
+				if err != nil && !errors.Is(err, queue.ErrQueueEmpty) {
+					errOnce.Do(func() { firstErr = err })
+					return
+				}
+				if err == nil {
+					e.Release(data)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	elapsed := time.Since(start)
+	st := e.Stats()
+	if err := e.CheckInvariants(); err != nil {
+		return err
+	}
+	mpps := float64(st.DequeuedPackets) / elapsed.Seconds() / 1e6
+	gbps := float64(st.DequeuedPackets) * float64(pktBytes) * 8 / elapsed.Seconds() / 1e9
+	fmt.Println("shards,parallel,flows,pkt_bytes,packets,elapsed_s,mpps,gbps,rejected")
+	fmt.Printf("%d,%d,%d,%d,%d,%.3f,%.3f,%.3f,%d\n",
+		e.Shards(), parallel, flows, pktBytes, st.DequeuedPackets,
+		elapsed.Seconds(), mpps, gbps, st.Rejected)
 	return nil
 }
 

@@ -1,0 +1,156 @@
+// Concurrent: the sharded engine under a producer/consumer fleet — M
+// goroutines enqueue packets across the full 32K-flow space while K
+// goroutines drain them, the way a multi-core packet processor splits RX
+// and TX work. At the end the example prints aggregate throughput, the
+// per-shard load spread, and verifies segment conservation.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"npqm"
+)
+
+const (
+	producers  = 4
+	consumers  = 2
+	flows      = 32 * 1024
+	shards     = 16
+	segments   = 1 << 17 // 128K segments = 8 MB of 64-byte buffers
+	perProd    = 100_000
+	packetSize = 320 // 5 segments, the paper's Table 5 reference burst
+)
+
+func main() {
+	cm, err := npqm.NewConcurrentQueueManager(flows, segments, shards)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sharded engine: %d shards, %d flows, %d segments (%d KB buffer)\n",
+		cm.Shards(), flows, segments, segments*npqm.SegmentBytes/1024)
+	fmt.Printf("%d producers x %d packets, %d consumers\n\n", producers, perProd, consumers)
+
+	var produced, consumed atomic.Uint64
+	var prodWG, consWG sync.WaitGroup
+	start := time.Now()
+
+	// Producers: each walks its own stride through the flow space in
+	// bursts, using the batched enqueue path (one shard lock per burst
+	// per shard instead of one per packet). When the segment pool fills,
+	// rejected packets are retried after yielding — backpressure, the way
+	// an RX ring throttles when buffer memory is exhausted.
+	for p := 0; p < producers; p++ {
+		prodWG.Add(1)
+		go func(p int) {
+			defer prodWG.Done()
+			const burst = 64
+			pkt := make([]byte, packetSize)
+			i := uint32(0)
+			for sent := 0; sent < perProd; {
+				n := burst
+				if perProd-sent < n {
+					n = perProd - sent
+				}
+				batch := make([]npqm.PacketEnqueue, 0, n)
+				for j := 0; j < n; j++ {
+					f := (uint32(p)*2654435761 + i*40503) % flows
+					i++
+					batch = append(batch, npqm.PacketEnqueue{Flow: f, Data: pkt})
+				}
+				for len(batch) > 0 {
+					_, errs := cm.EnqueueBatch(batch)
+					var retry []npqm.PacketEnqueue
+					for k, err := range errs {
+						if err == nil {
+							produced.Add(1)
+						} else {
+							retry = append(retry, batch[k])
+						}
+					}
+					batch = retry
+					if len(batch) > 0 {
+						runtime.Gosched() // pool full: let consumers drain
+					}
+				}
+				sent += n
+			}
+		}(p)
+	}
+
+	// Consumers: sweep the flow space round-robin until producers finish
+	// and the queues are drained.
+	done := make(chan struct{})
+	for c := 0; c < consumers; c++ {
+		consWG.Add(1)
+		go func(c int) {
+			defer consWG.Done()
+			f := uint32(c * (flows / consumers))
+			idle := 0
+			for {
+				data, err := cm.DequeuePacket(f % flows)
+				f++
+				if err == nil {
+					consumed.Add(1)
+					cm.Release(data)
+					idle = 0
+					continue
+				}
+				idle++
+				if idle > flows { // a full empty sweep
+					select {
+					case <-done:
+						return
+					default:
+						idle = 0
+					}
+				}
+			}
+		}(c)
+	}
+
+	prodWG.Wait()
+	close(done)
+	consWG.Wait()
+	elapsed := time.Since(start)
+	transited := consumed.Load() // packets that made it through the timed window
+
+	// Drain whatever the consumers left behind after the cutoff.
+	for f := uint32(0); f < flows; f++ {
+		for {
+			data, err := cm.DequeuePacket(f)
+			if err != nil {
+				if !errors.Is(err, npqm.ErrQueueEmpty) {
+					log.Fatalf("drain flow %d: %v", f, err)
+				}
+				break
+			}
+			consumed.Add(1)
+			cm.Release(data)
+		}
+	}
+
+	if produced.Load() != consumed.Load() {
+		log.Fatalf("packet conservation violated: %d produced, %d consumed",
+			produced.Load(), consumed.Load())
+	}
+	if err := cm.CheckInvariants(); err != nil {
+		log.Fatalf("invariants: %v", err)
+	}
+
+	st := cm.Stats()
+	mpps := float64(transited) / elapsed.Seconds() / 1e6
+	gbps := float64(transited) * packetSize * 8 / elapsed.Seconds() / 1e9
+	fmt.Printf("transited %d packets in %v (+%d drained after cutoff): %.2f Mpps, %.2f Gbps\n",
+		transited, elapsed.Round(time.Millisecond), consumed.Load()-transited, mpps, gbps)
+	fmt.Printf("enqueue retries under backpressure: %d\n", st.Rejected)
+	fmt.Printf("pool restored: %d/%d segments free\n\n", cm.FreeSegments(), segments)
+	fmt.Printf("paper context: the MMS sustains %.2f Gbps in hardware at 125 MHz;\n",
+		npqm.HeadlineThroughputGbps())
+	fmt.Println("sharding is how software chases that number on multi-core.")
+}

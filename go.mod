@@ -1,0 +1,3 @@
+module npqm
+
+go 1.24

@@ -1,0 +1,114 @@
+package engine
+
+import "npqm/internal/queue"
+
+// This file implements the batched command path. A network processor never
+// handles one packet at a time: the dispatch loop pulls a burst from the
+// receive ring and issues the whole burst at once. Batching matters to the
+// sharded engine for the same reason hardware pipelining matters to the
+// MMS — the fixed per-command overhead (here, a mutex acquisition; there,
+// command-FIFO handshakes) is paid once per shard per burst instead of once
+// per packet.
+
+// EnqueueReq is one packet of an EnqueueBatch.
+type EnqueueReq struct {
+	Flow uint32
+	Data []byte
+}
+
+// buckets groups batch indices by owning shard so each shard is locked once.
+// The bucket slices are recycled between calls through a pool.
+type buckets struct {
+	byShard [][]int32
+}
+
+func (e *Engine) getBuckets() *buckets {
+	if v := e.bucketPool.Get(); v != nil {
+		b := v.(*buckets)
+		if len(b.byShard) == len(e.shards) {
+			return b
+		}
+	}
+	return &buckets{byShard: make([][]int32, len(e.shards))}
+}
+
+func (e *Engine) putBuckets(b *buckets) {
+	for i := range b.byShard {
+		b.byShard[i] = b.byShard[i][:0]
+	}
+	e.bucketPool.Put(b)
+}
+
+// EnqueueBatch enqueues every request in batch, bucketing by shard and
+// taking each shard lock once. Results are aligned with the batch: errs[i]
+// is nil when batch[i] was accepted. Relative order of packets on the same
+// flow is preserved, so per-flow FIFO holds across batches too. It returns
+// the total number of segments linked.
+func (e *Engine) EnqueueBatch(batch []EnqueueReq) (segments int, errs []error) {
+	if len(batch) == 0 {
+		return 0, nil
+	}
+	errs = make([]error, len(batch))
+	b := e.getBuckets()
+	for i, req := range batch {
+		si := e.ShardOf(req.Flow)
+		b.byShard[si] = append(b.byShard[si], int32(i))
+	}
+	for si, idxs := range b.byShard {
+		if len(idxs) == 0 {
+			continue
+		}
+		s := e.shards[si]
+		s.mu.Lock()
+		for _, i := range idxs {
+			n, err := s.m.EnqueuePacket(queue.QueueID(batch[i].Flow), batch[i].Data)
+			s.noteEnqueue(n, err)
+			if err != nil {
+				errs[i] = err
+				continue
+			}
+			segments += n
+		}
+		s.mu.Unlock()
+	}
+	e.putBuckets(b)
+	return segments, errs
+}
+
+// DequeueBatch dequeues the head packet of every listed flow, bucketing by
+// shard. Results are aligned with flows: pkts[i] is the reassembled payload
+// (from the engine's buffer pool — Release it when done) and errs[i] is nil
+// on success. A flow listed twice yields its first two packets in order.
+func (e *Engine) DequeueBatch(flows []uint32) (pkts [][]byte, errs []error) {
+	if len(flows) == 0 {
+		return nil, nil
+	}
+	pkts = make([][]byte, len(flows))
+	errs = make([]error, len(flows))
+	b := e.getBuckets()
+	for i, flow := range flows {
+		si := e.ShardOf(flow)
+		b.byShard[si] = append(b.byShard[si], int32(i))
+	}
+	for si, idxs := range b.byShard {
+		if len(idxs) == 0 {
+			continue
+		}
+		s := e.shards[si]
+		s.mu.Lock()
+		for _, i := range idxs {
+			buf := e.bufs.Get().([]byte)[:0]
+			out, n, err := s.m.DequeuePacketAppend(queue.QueueID(flows[i]), buf)
+			s.noteDequeue(n, err)
+			if err != nil {
+				e.bufs.Put(buf)
+				errs[i] = err
+				continue
+			}
+			pkts[i] = out
+		}
+		s.mu.Unlock()
+	}
+	e.putBuckets(b)
+	return pkts, errs
+}

@@ -1,0 +1,97 @@
+package engine
+
+import "fmt"
+
+// Stats is an aggregate snapshot of engine activity and occupancy across
+// all shards. Counters are cumulative since New.
+type Stats struct {
+	Shards int
+
+	// Traffic counters.
+	EnqueuedPackets  uint64
+	EnqueuedSegments uint64
+	DequeuedPackets  uint64
+	DequeuedSegments uint64
+	Rejected         uint64 // enqueues refused (pool exhausted or flow capped)
+
+	// Occupancy.
+	FreeSegments   int   // aggregate free-list population
+	QueuedSegments int   // segments currently linked into flow queues
+	BufferedBytes  int64 // payload bytes across all queued segments
+}
+
+// ShardStat is the per-shard slice of Stats, for load-balance inspection.
+type ShardStat struct {
+	Shard           int
+	EnqueuedPackets uint64
+	DequeuedPackets uint64
+	Rejected        uint64
+	FreeSegments    int
+	QueuedSegments  int
+	BufferedBytes   int64
+	PoolSegments    int // this shard's share of the segment pool
+}
+
+// Stats aggregates counters and occupancy across shards. Each shard is
+// snapshotted under its own lock; the result is consistent per shard but
+// not a global atomic cut (concurrent traffic may move between shards'
+// snapshots), which is the standard trade for not stopping the world.
+func (e *Engine) Stats() Stats {
+	st := Stats{Shards: len(e.shards)}
+	for _, s := range e.shards {
+		s.mu.Lock()
+		st.EnqueuedPackets += s.enqPackets
+		st.EnqueuedSegments += s.enqSegments
+		st.DequeuedPackets += s.deqPackets
+		st.DequeuedSegments += s.deqSegments
+		st.Rejected += s.rejected
+		free := s.m.FreeSegments()
+		st.FreeSegments += free
+		st.QueuedSegments += s.m.NumSegments() - free
+		st.BufferedBytes += int64(s.m.TotalBuffered())
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// ShardStats returns one entry per shard, for inspecting hash balance.
+func (e *Engine) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(e.shards))
+	for i, s := range e.shards {
+		s.mu.Lock()
+		free := s.m.FreeSegments()
+		out[i] = ShardStat{
+			Shard:           i,
+			EnqueuedPackets: s.enqPackets,
+			DequeuedPackets: s.deqPackets,
+			Rejected:        s.rejected,
+			FreeSegments:    free,
+			QueuedSegments:  s.m.NumSegments() - free,
+			BufferedBytes:   int64(s.m.TotalBuffered()),
+			PoolSegments:    s.m.NumSegments(),
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// CheckInvariants validates every shard's pointer discipline and the
+// engine-wide segment conservation law (free + queued across shards equals
+// the configured pool). It takes all shard locks one at a time, so it is
+// only a consistent global check when the engine is quiescent.
+func (e *Engine) CheckInvariants() error {
+	totalSegs := 0
+	for _, s := range e.shards {
+		s.mu.Lock()
+		err := s.m.CheckInvariants()
+		totalSegs += s.m.NumSegments()
+		s.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	if totalSegs != e.cfg.NumSegments {
+		return fmt.Errorf("engine: shard pools hold %d segments, config says %d", totalSegs, e.cfg.NumSegments)
+	}
+	return nil
+}

@@ -91,6 +91,31 @@ func (m *Manager) DequeuePacket(q QueueID) ([]byte, int, error) {
 	return out, n, nil
 }
 
+// DequeuePacketAppend is DequeuePacket appending into buf (which may be
+// nil or recycled) instead of allocating, for callers that pool reassembly
+// buffers. It returns the extended buffer and the segment count.
+func (m *Manager) DequeuePacketAppend(q QueueID, buf []byte) ([]byte, int, error) {
+	if err := m.checkQueue(q); err != nil {
+		return buf, 0, err
+	}
+	_, n, err := m.findPacketEnd(q)
+	if err != nil {
+		return buf, 0, err
+	}
+	for i := 0; i < n; i++ {
+		h := m.qhead[q]
+		if m.data != nil {
+			base := int(h) * SegmentBytes
+			buf = append(buf, m.data[base:base+int(m.segLen[h])]...)
+		}
+		s := m.unlinkHead(q)
+		if err := m.Free(s); err != nil {
+			return buf, i, err
+		}
+	}
+	return buf, n, nil
+}
+
 // PacketLen returns the byte length and segment count of the packet at the
 // head of q without dequeuing it.
 func (m *Manager) PacketLen(q QueueID) (bytes, segments int, err error) {

@@ -9,6 +9,8 @@
 //
 //   - QueueManager: the functional linked-list queue engine (32K flows,
 //     64-byte segments, enqueue/dequeue/delete/overwrite/append/move);
+//   - ConcurrentQueueManager: the goroutine-safe sharded engine — the flow
+//     space hash-partitioned over independent shards for multi-core use;
 //   - MMS: the timed hardware model (Table 4 command latencies, Table 5
 //     delay decomposition, 6.1 Gbps headline throughput);
 //   - Report and the Run* helpers: regenerate every table and figure of
@@ -31,6 +33,15 @@ import (
 
 // SegmentBytes is the fixed segment size of the queue engine (64 bytes).
 const SegmentBytes = queue.SegmentBytes
+
+// Sentinel errors of the queue engine, re-exported so callers can classify
+// failures with errors.Is without importing internal packages.
+var (
+	ErrQueueEmpty     = queue.ErrQueueEmpty
+	ErrNoFreeSegments = queue.ErrNoFreeSegments
+	ErrQueueLimit     = queue.ErrQueueLimit
+	ErrNoPacket       = queue.ErrNoPacket
+)
 
 // DefaultFlows is the MMS per-flow queue count (32K).
 const DefaultFlows = queue.DefaultNumQueues

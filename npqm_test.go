@@ -138,3 +138,60 @@ func TestReport(t *testing.T) {
 		}
 	}
 }
+
+func TestConcurrentQueueManager(t *testing.T) {
+	cm, err := NewConcurrentQueueManager(1024, 8192, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Shards() != 4 {
+		t.Fatalf("Shards = %d, want 4", cm.Shards())
+	}
+	pkt := bytes.Repeat([]byte{0x77}, 300)
+	if _, err := cm.EnqueuePacket(9, pkt); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cm.DequeuePacket(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pkt) {
+		t.Fatalf("round trip lost data: %d bytes", len(got))
+	}
+	cm.Release(got)
+
+	batch := make([]PacketEnqueue, 50)
+	for i := range batch {
+		batch[i] = PacketEnqueue{Flow: uint32(i % 10), Data: pkt}
+	}
+	segs, errs := cm.EnqueueBatch(batch)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("batch[%d]: %v", i, err)
+		}
+	}
+	if segs != 50*5 {
+		t.Fatalf("batch segments = %d, want 250", segs)
+	}
+	st := cm.Stats()
+	if st.EnqueuedPackets != 51 || st.QueuedSegments != 250 {
+		t.Fatalf("stats = %+v", st)
+	}
+	flows := make([]uint32, 50)
+	for i := range flows {
+		flows[i] = uint32(i % 10)
+	}
+	pkts, derrs := cm.DequeueBatch(flows)
+	for i, err := range derrs {
+		if err != nil {
+			t.Fatalf("dequeue[%d]: %v", i, err)
+		}
+		cm.Release(pkts[i])
+	}
+	if err := cm.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if cm.FreeSegments() != 8192 {
+		t.Fatalf("FreeSegments = %d, want 8192", cm.FreeSegments())
+	}
+}
