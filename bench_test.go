@@ -344,6 +344,96 @@ func BenchmarkEngineShardedBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkEnginePolicy measures the admission-policy overhead on the
+// enqueue/dequeue round trip: "none" is the policy-free baseline; the
+// acceptance bar is tail-drop within 10% of it (the tail check is two
+// integer compares under a lock already held). The traffic pattern keeps
+// queues shallow so no policy actually drops — this isolates the cost of
+// consulting the policy, not of dropping.
+func BenchmarkEnginePolicy(b *testing.B) {
+	cases := []struct {
+		name string
+		adm  AdmissionConfig
+	}{
+		{"none", AdmissionConfig{}},
+		{"tail", TailDrop(64)},
+		{"lqd", LQD()},
+		{"red", RED(0.25, 0.75, 0.1, 0.002)},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			cm, err := NewConcurrentEngine(ConcurrentConfig{
+				Flows:     DefaultFlows,
+				Segments:  1 << 17,
+				Shards:    16,
+				Admission: tc.adm,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			pkt := make([]byte, 320)
+			b.SetBytes(int64(len(pkt)))
+			var gid atomic.Uint32
+			b.RunParallel(func(pb *testing.PB) {
+				i := gid.Add(1) * 100_003
+				for pb.Next() {
+					f := (i * 2654435761) % uint32(DefaultFlows)
+					i++
+					if _, err := cm.EnqueuePacket(f, pkt); err != nil {
+						b.Error(err)
+						return
+					}
+					data, err := cm.DequeuePacket(f)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					cm.Release(data)
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkEngineEgress measures the integrated scheduler's pick+dequeue
+// path for each discipline, against a standing backlog refilled per
+// iteration.
+func BenchmarkEngineEgress(b *testing.B) {
+	for _, eg := range []EgressConfig{
+		RoundRobinEgress(), PriorityEgress(), WRREgress(2), DRREgress(512),
+	} {
+		b.Run(eg.Kind.String(), func(b *testing.B) {
+			cm, err := NewConcurrentEngine(ConcurrentConfig{
+				Flows:    1024,
+				Segments: 1 << 15,
+				Shards:   16,
+				Egress:   eg,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			pkt := make([]byte, 320)
+			for f := uint32(0); f < 1024; f++ {
+				if _, err := cm.EnqueuePacket(f, pkt); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(len(pkt)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, ok := cm.DequeueNext()
+				if !ok {
+					b.Fatal("scheduler idle with backlog")
+				}
+				cm.Release(out.Data)
+				if _, err := cm.EnqueuePacket(out.Flow, pkt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkQueueEngine measures the raw functional engine (no timing),
 // the fast path a downstream user of the library hits.
 func BenchmarkQueueEngine(b *testing.B) {

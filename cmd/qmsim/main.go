@@ -8,6 +8,7 @@
 //	qmsim -model ixp    -queues 128 -engines 4
 //	qmsim -model npu    -copy line -clock 200
 //	qmsim -model engine -shards 16 -parallel 8 -flows 32768 -ops 2000000
+//	qmsim -model engine -policy lqd -pool 4096 -egress drr -ops 500000
 package main
 
 import (
@@ -15,7 +16,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"npqm/internal/core"
@@ -23,6 +26,7 @@ import (
 	"npqm/internal/engine"
 	"npqm/internal/ixp"
 	"npqm/internal/npu"
+	"npqm/internal/policy"
 	"npqm/internal/queue"
 )
 
@@ -48,6 +52,15 @@ func main() {
 		pool      = flag.Int("pool", 1<<17, "engine: total segment pool")
 		pktBytes  = flag.Int("pkt", 320, "engine: packet size in bytes")
 		ops       = flag.Int("ops", 1_000_000, "engine: packets to push through")
+		polName   = flag.String("policy", "none", "engine: admission policy (none, tail, lqd, red)")
+		limit     = flag.Int("limit", 0, "engine: tail-drop per-flow segment cap (0 = pool only)")
+		minth     = flag.Float64("minth", 0.25, "engine: RED min threshold (fraction of pool)")
+		maxth     = flag.Float64("maxth", 0.75, "engine: RED max threshold (fraction of pool)")
+		maxp      = flag.Float64("maxp", 0.1, "engine: RED max drop probability")
+		wq        = flag.Float64("wq", 0.002, "engine: RED EWMA weight")
+		egName    = flag.String("egress", "rr", "engine: egress discipline (rr, prio, wrr, drr)")
+		quantum   = flag.Int("quantum", 512, "engine: DRR byte quantum per weight unit")
+		burst     = flag.Int("burst", 1, "engine: packets per flow burst (bursty arrivals)")
 	)
 	flag.Parse()
 
@@ -62,7 +75,13 @@ func main() {
 	case "npu":
 		err = runNPU(*copyEng, *clock)
 	case "engine":
-		err = runEngine(*shards, *parallel, *flows, *pool, *pktBytes, *ops)
+		err = runEngine(engineArgs{
+			shards: *shards, parallel: *parallel, flows: *flows, pool: *pool,
+			pktBytes: *pktBytes, ops: *ops, seed: *seed,
+			policy: *polName, limit: *limit,
+			minth: *minth, maxth: *maxth, maxp: *maxp, wq: *wq,
+			egress: *egName, quantum: *quantum, burst: *burst,
+		})
 	default:
 		err = fmt.Errorf("unknown model %q (want ddr, mms, ixp, npu, engine)", *model)
 	}
@@ -127,61 +146,162 @@ func runIXP(queues, engines int) error {
 	return nil
 }
 
-// runEngine drives the sharded concurrent engine with parallel producer
-// and consumer goroutines and reports aggregate packet throughput — the
-// software-scaling counterpart of the paper's hardware tables.
-func runEngine(shards, parallel, flows, pool, pktBytes, ops int) error {
-	if parallel < 1 {
-		return fmt.Errorf("parallel must be >= 1, got %d", parallel)
+type engineArgs struct {
+	shards, parallel, flows, pool, pktBytes, ops int
+	seed                                         uint64
+	policy                                       string
+	limit                                        int
+	minth, maxth, maxp, wq                       float64
+	egress                                       string
+	quantum                                      int
+	burst                                        int
+}
+
+// runEngine drives the sharded concurrent engine: parallel producers offer
+// packets across the flow space while matching consumers drain through the
+// integrated egress scheduler, with the selected admission policy deciding
+// drops under pool pressure. The CSV reports goodput plus the policy
+// columns (drops, push-outs, peak occupancy) — shrink -pool to put the
+// admission policy under stress.
+func runEngine(a engineArgs) error {
+	if a.parallel < 1 {
+		return fmt.Errorf("parallel must be >= 1, got %d", a.parallel)
 	}
-	if ops < 1 {
-		return fmt.Errorf("ops must be >= 1, got %d", ops)
+	if a.ops < 1 {
+		return fmt.Errorf("ops must be >= 1, got %d", a.ops)
+	}
+	if a.pktBytes < 1 {
+		return fmt.Errorf("pkt must be >= 1, got %d", a.pktBytes)
+	}
+	if a.burst < 1 {
+		a.burst = 1
+	}
+	kind, err := policy.ParseKind(a.policy)
+	if err != nil {
+		return err
+	}
+	egKind, err := policy.ParseEgressKind(a.egress)
+	if err != nil {
+		return err
 	}
 	e, err := engine.New(engine.Config{
-		Shards:      shards,
-		NumFlows:    flows,
-		NumSegments: pool,
+		Shards:      a.shards,
+		NumFlows:    a.flows,
+		NumSegments: a.pool,
 		StoreData:   true,
+		Admission: policy.Config{
+			Kind: kind, Limit: a.limit,
+			MinTh: a.minth, MaxTh: a.maxth, MaxP: a.maxp, Weight: a.wq,
+			Seed: a.seed,
+		},
+		Egress: policy.EgressConfig{Kind: egKind, QuantumBytes: a.quantum},
 	})
 	if err != nil {
 		return err
 	}
-	perProducer := ops / parallel
-	pkt := make([]byte, pktBytes)
-	var wg sync.WaitGroup
+	perProducer := a.ops / a.parallel
+	pkt := make([]byte, a.pktBytes)
+	var prodWG, consWG sync.WaitGroup
 	var firstErr error
 	var errOnce sync.Once
+	var peakResident atomic.Int64
+	done := make(chan struct{})
 	start := time.Now()
-	for p := 0; p < parallel; p++ {
-		wg.Add(1)
+
+	for p := 0; p < a.parallel; p++ {
+		prodWG.Add(1)
 		go func(p int) {
-			defer wg.Done()
-			// Each worker is a producer/consumer pair: enqueue onto a
-			// strided flow, then drain the flow it filled, so the pool
-			// never exhausts and every packet transits the engine once.
+			defer prodWG.Done()
 			var i uint32
 			for n := 0; n < perProducer; n++ {
-				f := uint32(p)*2654435761 + i*40503
+				// Bursty arrivals: a.burst consecutive packets land on the
+				// same flow before the stride advances, building the long
+				// queues that separate shared-buffer policies.
+				f := uint32(p)*2654435761 + (i/uint32(a.burst))*40503
 				i++
-				f %= uint32(flows)
-				if _, err := e.EnqueuePacket(f, pkt); err != nil {
+				f %= uint32(a.flows)
+				_, err := e.EnqueuePacket(f, pkt)
+				switch {
+				case err == nil:
+				case errors.Is(err, engine.ErrAdmissionDrop):
+					// Counted by the engine; the policy is the backpressure.
+				case errors.Is(err, queue.ErrNoFreeSegments):
+					// No admission policy: drop at the physical limit, as a
+					// line card does when buffer memory is gone.
+				default:
 					errOnce.Do(func() { firstErr = err })
 					return
-				}
-				data, err := e.DequeuePacket(f)
-				if err != nil && !errors.Is(err, queue.ErrQueueEmpty) {
-					errOnce.Do(func() { firstErr = err })
-					return
-				}
-				if err == nil {
-					e.Release(data)
 				}
 			}
 		}(p)
 	}
-	wg.Wait()
+
+	for c := 0; c < a.parallel; c++ {
+		consWG.Add(1)
+		go func() {
+			defer consWG.Done()
+			for {
+				batch := e.DequeueNextBatch(64)
+				for _, d := range batch {
+					e.Release(d.Data)
+				}
+				if len(batch) == 0 {
+					select {
+					case <-done:
+						return
+					default:
+						// Yield so producers get CPU on few-core hosts;
+						// without this the consumer burns its timeslice
+						// polling an empty engine and the CSV measures
+						// scheduler timeslices, not policy behavior.
+						runtime.Gosched()
+					}
+				}
+			}
+		}()
+	}
+
+	// Sample occupancy while the run is hot.
+	sampler := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-sampler:
+				return
+			case <-tick.C:
+				st := e.Stats()
+				if r := int64(st.QueuedSegments); r > peakResident.Load() {
+					peakResident.Store(r)
+				}
+			}
+		}
+	}()
+
+	prodWG.Wait()
+	// Sample at end-of-offer: the resident column reports the backlog the
+	// consumers still faced when the offered load stopped (not the
+	// post-drain zero), and short runs never report an idle buffer.
+	residentAtCutoff := e.Stats().QueuedSegments
+	if int64(residentAtCutoff) > peakResident.Load() {
+		peakResident.Store(int64(residentAtCutoff))
+	}
+	close(done)
+	consWG.Wait()
+	close(sampler)
 	if firstErr != nil {
 		return firstErr
+	}
+	// Drain whatever the consumers left at the cutoff.
+	for {
+		batch := e.DequeueNextBatch(256)
+		if len(batch) == 0 {
+			break
+		}
+		for _, d := range batch {
+			e.Release(d.Data)
+		}
 	}
 	elapsed := time.Since(start)
 	st := e.Stats()
@@ -189,11 +309,14 @@ func runEngine(shards, parallel, flows, pool, pktBytes, ops int) error {
 		return err
 	}
 	mpps := float64(st.DequeuedPackets) / elapsed.Seconds() / 1e6
-	gbps := float64(st.DequeuedPackets) * float64(pktBytes) * 8 / elapsed.Seconds() / 1e9
-	fmt.Println("shards,parallel,flows,pkt_bytes,packets,elapsed_s,mpps,gbps,rejected")
-	fmt.Printf("%d,%d,%d,%d,%d,%.3f,%.3f,%.3f,%d\n",
-		e.Shards(), parallel, flows, pktBytes, st.DequeuedPackets,
-		elapsed.Seconds(), mpps, gbps, st.Rejected)
+	gbps := float64(st.DequeuedPackets) * float64(a.pktBytes) * 8 / elapsed.Seconds() / 1e9
+	occPct := 100 * float64(peakResident.Load()) / float64(a.pool)
+	fmt.Println("shards,parallel,flows,policy,egress,pkt_bytes,offered,delivered,dropped,pushed_out,rejected,resident,peak_occupancy_pct,elapsed_s,mpps,gbps")
+	fmt.Printf("%d,%d,%d,%s,%s,%d,%d,%d,%d,%d,%d,%d,%.1f,%.3f,%.3f,%.3f\n",
+		e.Shards(), a.parallel, a.flows, kind, egKind, a.pktBytes,
+		uint64(a.parallel)*uint64(perProducer), st.DequeuedPackets,
+		st.DroppedPackets, st.PushedOutPackets, st.Rejected,
+		residentAtCutoff, occPct, elapsed.Seconds(), mpps, gbps)
 	return nil
 }
 

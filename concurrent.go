@@ -98,6 +98,41 @@ func (cm *ConcurrentQueueManager) SetFlowLimit(q uint32, limit int) error {
 // FreeSegments returns the aggregate remaining pool capacity.
 func (cm *ConcurrentQueueManager) FreeSegments() int { return cm.e.FreeSegments() }
 
+// DequeueNext serves one packet chosen by the configured egress
+// discipline (round-robin unless set otherwise). ok is false when the
+// engine holds no packets. Release the data when done.
+func (cm *ConcurrentQueueManager) DequeueNext() (DequeuedPacket, bool) {
+	return cm.e.DequeueNext()
+}
+
+// DequeueNextBatch serves up to max packets chosen by the configured
+// egress discipline, rotating the starting shard per call. Buffers are
+// pooled; Release each packet's Data when done.
+func (cm *ConcurrentQueueManager) DequeueNextBatch(max int) []DequeuedPacket {
+	return cm.e.DequeueNextBatch(max)
+}
+
+// SetAdmission swaps the admission policy on every shard; safe while
+// traffic flows (counters are not reset).
+func (cm *ConcurrentQueueManager) SetAdmission(cfg AdmissionConfig) error {
+	return cm.e.SetAdmission(cfg)
+}
+
+// SetEgress swaps the egress discipline on every shard; safe while
+// traffic flows. Per-flow weights survive the switch.
+func (cm *ConcurrentQueueManager) SetEgress(cfg EgressConfig) error {
+	return cm.e.SetEgress(cfg)
+}
+
+// SetWeight sets flow q's egress weight for WRR (packets per visit) and
+// DRR (quantum multiplier). Weights must be positive.
+func (cm *ConcurrentQueueManager) SetWeight(q uint32, weight int) error {
+	return cm.e.SetWeight(q, weight)
+}
+
+// ActiveFlows returns the number of flows holding queued segments.
+func (cm *ConcurrentQueueManager) ActiveFlows() int { return cm.e.ActiveFlows() }
+
 // Stats returns cumulative traffic counters and occupancy across shards.
 func (cm *ConcurrentQueueManager) Stats() EngineStats { return cm.e.Stats() }
 

@@ -1,12 +1,15 @@
 // Concurrent: the sharded engine under a producer/consumer fleet — M
 // goroutines enqueue packets across the full 32K-flow space while K
-// goroutines drain them, the way a multi-core packet processor splits RX
-// and TX work. At the end the example prints aggregate throughput, the
-// per-shard load spread, and verifies segment conservation.
+// goroutines drain them through the engine's integrated egress scheduler,
+// the way a multi-core packet processor splits RX and TX work. Admission
+// runs the shared-buffer Longest Queue Drop policy, so when producers
+// outrun consumers the buffer sheds load by pushing out the hoarding
+// flows instead of blocking the RX path. At the end the example prints
+// aggregate throughput and verifies segment conservation (enqueued =
+// dequeued + pushed-out + resident).
 package main
 
 import (
-	"errors"
 	"fmt"
 	"log"
 	"runtime"
@@ -28,13 +31,20 @@ const (
 )
 
 func main() {
-	cm, err := npqm.NewConcurrentQueueManager(flows, segments, shards)
+	cm, err := npqm.NewConcurrentEngine(npqm.ConcurrentConfig{
+		Flows:     flows,
+		Segments:  segments,
+		Shards:    shards,
+		Admission: npqm.LQD(),
+		Egress:    npqm.RoundRobinEgress(),
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("sharded engine: %d shards, %d flows, %d segments (%d KB buffer)\n",
+	fmt.Printf("sharded engine: %d shards, %d flows, %d segments (%d KB buffer), LQD admission\n",
 		cm.Shards(), flows, segments, segments*npqm.SegmentBytes/1024)
-	fmt.Printf("%d producers x %d packets, %d consumers\n\n", producers, perProd, consumers)
+	fmt.Printf("%d producers x %d packets, %d consumers on the integrated scheduler\n\n",
+		producers, perProd, consumers)
 
 	var produced, consumed atomic.Uint64
 	var prodWG, consWG sync.WaitGroup
@@ -42,9 +52,8 @@ func main() {
 
 	// Producers: each walks its own stride through the flow space in
 	// bursts, using the batched enqueue path (one shard lock per burst
-	// per shard instead of one per packet). When the segment pool fills,
-	// rejected packets are retried after yielding — backpressure, the way
-	// an RX ring throttles when buffer memory is exhausted.
+	// per shard instead of one per packet). Under LQD every burst is
+	// admitted — overload is shed by push-out, not producer spinning.
 	for p := 0; p < producers; p++ {
 		prodWG.Add(1)
 		go func(p int) {
@@ -63,19 +72,12 @@ func main() {
 					i++
 					batch = append(batch, npqm.PacketEnqueue{Flow: f, Data: pkt})
 				}
-				for len(batch) > 0 {
-					_, errs := cm.EnqueueBatch(batch)
-					var retry []npqm.PacketEnqueue
-					for k, err := range errs {
-						if err == nil {
-							produced.Add(1)
-						} else {
-							retry = append(retry, batch[k])
-						}
-					}
-					batch = retry
-					if len(batch) > 0 {
-						runtime.Gosched() // pool full: let consumers drain
+				_, errs := cm.EnqueueBatch(batch)
+				for _, err := range errs {
+					if err == nil {
+						produced.Add(1)
+					} else {
+						log.Fatalf("enqueue under LQD should not fail: %v", err)
 					}
 				}
 				sent += n
@@ -83,35 +85,29 @@ func main() {
 		}(p)
 	}
 
-	// Consumers: sweep the flow space round-robin until producers finish
-	// and the queues are drained.
+	// Consumers: no flow polling — the engine's egress scheduler picks the
+	// next active flows and each batch locks each shard at most once.
 	done := make(chan struct{})
 	for c := 0; c < consumers; c++ {
 		consWG.Add(1)
-		go func(c int) {
+		go func() {
 			defer consWG.Done()
-			f := uint32(c * (flows / consumers))
-			idle := 0
 			for {
-				data, err := cm.DequeuePacket(f % flows)
-				f++
-				if err == nil {
+				batch := cm.DequeueNextBatch(64)
+				for _, pkt := range batch {
 					consumed.Add(1)
-					cm.Release(data)
-					idle = 0
-					continue
+					cm.Release(pkt.Data)
 				}
-				idle++
-				if idle > flows { // a full empty sweep
+				if len(batch) == 0 {
 					select {
 					case <-done:
 						return
 					default:
-						idle = 0
+						runtime.Gosched()
 					}
 				}
 			}
-		}(c)
+		}()
 	}
 
 	prodWG.Wait()
@@ -121,35 +117,34 @@ func main() {
 	transited := consumed.Load() // packets that made it through the timed window
 
 	// Drain whatever the consumers left behind after the cutoff.
-	for f := uint32(0); f < flows; f++ {
-		for {
-			data, err := cm.DequeuePacket(f)
-			if err != nil {
-				if !errors.Is(err, npqm.ErrQueueEmpty) {
-					log.Fatalf("drain flow %d: %v", f, err)
-				}
-				break
-			}
+	for {
+		batch := cm.DequeueNextBatch(256)
+		if len(batch) == 0 {
+			break
+		}
+		for _, pkt := range batch {
 			consumed.Add(1)
-			cm.Release(data)
+			cm.Release(pkt.Data)
 		}
 	}
 
-	if produced.Load() != consumed.Load() {
-		log.Fatalf("packet conservation violated: %d produced, %d consumed",
-			produced.Load(), consumed.Load())
+	st := cm.Stats()
+	if produced.Load() != consumed.Load()+st.PushedOutPackets {
+		log.Fatalf("packet conservation violated: %d produced, %d consumed + %d pushed out",
+			produced.Load(), consumed.Load(), st.PushedOutPackets)
 	}
 	if err := cm.CheckInvariants(); err != nil {
 		log.Fatalf("invariants: %v", err)
 	}
 
-	st := cm.Stats()
 	mpps := float64(transited) / elapsed.Seconds() / 1e6
 	gbps := float64(transited) * packetSize * 8 / elapsed.Seconds() / 1e9
 	fmt.Printf("transited %d packets in %v (+%d drained after cutoff): %.2f Mpps, %.2f Gbps\n",
 		transited, elapsed.Round(time.Millisecond), consumed.Load()-transited, mpps, gbps)
-	fmt.Printf("enqueue retries under backpressure: %d\n", st.Rejected)
-	fmt.Printf("pool restored: %d/%d segments free\n\n", cm.FreeSegments(), segments)
+	fmt.Printf("LQD pushed out %d packets (%d segments) under overload\n",
+		st.PushedOutPackets, st.PushedOutSegments)
+	fmt.Printf("pool restored: %d/%d segments free, %d flows active\n\n",
+		cm.FreeSegments(), segments, cm.ActiveFlows())
 	fmt.Printf("paper context: the MMS sustains %.2f Gbps in hardware at 125 MHz;\n",
 		npqm.HeadlineThroughputGbps())
 	fmt.Println("sharding is how software chases that number on multi-core.")

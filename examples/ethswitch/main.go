@@ -3,20 +3,23 @@
 // switching (with QoS e.g. 802.1p, 802.1q)").
 //
 // Tagged frames are classified by their priority code point (PCP) onto
-// eight class queues in the queue manager. The egress side drains at a
-// fixed line rate under two schedulers — strict priority and 4:2:1:1
-// weighted round robin — and the example reports per-class delivered
-// throughput and drops under 2:1 congestion, showing the high-priority
-// class protected by strict priority and bandwidth shared by WRR.
+// eight class queues. Where this example used to hand-roll scheduler loops
+// around internal/sched, classification and service now both run through
+// the policy-aware engine: a tail-drop admission policy caps each class's
+// share of the shared buffer, and the egress side drains at a fixed line
+// rate through the engine's integrated scheduler — strict priority and
+// 4:4:2:2:1:1:1:1 weighted round robin — under 2:1 congestion, showing
+// the high-priority class protected by strict priority and bandwidth
+// shared by WRR.
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 
+	"npqm"
 	"npqm/internal/packet"
-	"npqm/internal/queue"
-	"npqm/internal/sched"
 	"npqm/internal/traffic"
 )
 
@@ -25,6 +28,7 @@ const (
 	lineGbps  = 1.0 // egress line rate
 	offerGbps = 2.0 // offered load: 2:1 congestion
 	frames    = 40000
+	perClass  = 256 // tail-drop cap per class queue (segments)
 )
 
 func main() {
@@ -36,26 +40,29 @@ func main() {
 }
 
 func run(policy string) error {
-	qm, err := queue.New(queue.Config{NumQueues: classes, NumSegments: 2048, StoreData: false})
+	egress := npqm.PriorityEgress()
+	if policy == "wrr" {
+		egress = npqm.WRREgress(1)
+	}
+	// One shard: eight class queues share one pool and one scheduler, like
+	// a single output port. Class 0 is the highest priority (PCP 7).
+	cm, err := npqm.NewConcurrentEngine(npqm.ConcurrentConfig{
+		Flows:     classes,
+		Segments:  2048,
+		Shards:    1,
+		Admission: npqm.TailDrop(perClass),
+		Egress:    egress,
+	})
 	if err != nil {
 		return err
 	}
-
-	var pick func(backlog func(int) int) (int, bool)
-	switch policy {
-	case "strict":
-		sp, err := sched.NewStrictPriority(classes)
-		if err != nil {
-			return err
-		}
-		pick = sp.Next
-	case "wrr":
+	if policy == "wrr" {
 		// Classes 0-1 get weight 4, 2-3 weight 2, rest weight 1.
-		w, err := sched.NewWeightedRoundRobin([]int{4, 4, 2, 2, 1, 1, 1, 1})
-		if err != nil {
-			return err
+		for class, w := range []int{4, 4, 2, 2, 1, 1, 1, 1} {
+			if err := cm.SetWeight(uint32(class), w); err != nil {
+				return err
+			}
 		}
-		pick = w.Next
 	}
 
 	gen, err := traffic.NewGenerator(traffic.Config{
@@ -71,10 +78,6 @@ func run(policy string) error {
 		delivered [classes]int
 		dropped   [classes]int
 	)
-	backlog := func(q int) int {
-		n, _ := qm.Len(queue.QueueID(q))
-		return n
-	}
 
 	// Egress drains one 64-byte frame per frame-time at lineGbps.
 	frameTimeNs := float64(64*8) / lineGbps
@@ -92,37 +95,45 @@ func run(policy string) error {
 			return err
 		}
 		// 802.1p: higher PCP = higher priority; queue 0 is served first by
-		// the strict-priority scheduler, so PCP 7 maps to queue 0.
+		// the priority egress, so PCP 7 maps to queue 0.
 		class := int(7 - parsed.PCP)
 		offered[class]++
 
-		// Drain the egress port up to this arrival's time.
+		// Drain the egress port up to this arrival's time: the engine's
+		// integrated scheduler picks the class to serve.
 		for nextDrainNs <= a.TimeNs {
-			if q, ok := pick(backlog); ok {
-				if err := qm.DeleteSegment(queue.QueueID(q)); err != nil {
-					return err
-				}
-				delivered[q]++
+			if pkt, ok := cm.DequeueNext(); ok {
+				delivered[pkt.Flow]++
+				cm.Release(pkt.Data)
 			}
 			nextDrainNs += frameTimeNs
 		}
 
-		// Enqueue the new frame (one segment per 64-byte frame); tail-drop
-		// on pool exhaustion.
-		if _, err := qm.Enqueue(queue.QueueID(class), frame[:64], true); err != nil {
+		// Enqueue the new frame; the admission policy tail-drops beyond
+		// each class's segment cap.
+		if _, err := cm.EnqueuePacket(uint32(class), frame[:64]); err != nil {
+			if !errors.Is(err, npqm.ErrAdmissionDrop) {
+				return err
+			}
 			dropped[class]++
 		}
 	}
 
+	st := cm.Stats()
 	fmt.Printf("== %s scheduler: %d frames offered at %.1f Gbps into a %.1f Gbps port ==\n",
 		policy, frames, offerGbps, lineGbps)
 	fmt.Printf("%5s %5s %9s %9s %9s %9s\n", "queue", "pcp", "offered", "sent", "dropped", "queued")
 	for c := 0; c < classes; c++ {
-		fmt.Printf("%5d %5d %9d %9d %9d %9d\n", c, 7-c, offered[c], delivered[c], dropped[c], backlog(c))
+		n, err := cm.Len(uint32(c))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%5d %5d %9d %9d %9d %9d\n", c, 7-c, offered[c], delivered[c], dropped[c], n)
 	}
-	if err := qm.CheckInvariants(); err != nil {
+	if err := cm.CheckInvariants(); err != nil {
 		return fmt.Errorf("invariant violation: %w", err)
 	}
-	fmt.Println()
+	fmt.Printf("engine: %d admission drops counted, %d flows still active\n\n",
+		st.DroppedPackets, st.ActiveFlows)
 	return nil
 }

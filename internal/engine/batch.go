@@ -61,8 +61,7 @@ func (e *Engine) EnqueueBatch(batch []EnqueueReq) (segments int, errs []error) {
 		s := e.shards[si]
 		s.mu.Lock()
 		for _, i := range idxs {
-			n, err := s.m.EnqueuePacket(queue.QueueID(batch[i].Flow), batch[i].Data)
-			s.noteEnqueue(n, err)
+			n, err := s.enqueueLocked(batch[i].Flow, batch[i].Data)
 			if err != nil {
 				errs[i] = err
 				continue
@@ -105,6 +104,7 @@ func (e *Engine) DequeueBatch(flows []uint32) (pkts [][]byte, errs []error) {
 				errs[i] = err
 				continue
 			}
+			s.syncActive(flows[i])
 			pkts[i] = out
 		}
 		s.mu.Unlock()

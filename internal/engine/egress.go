@@ -1,0 +1,382 @@
+package engine
+
+// The integrated egress scheduler. Each shard keeps a bitmap of its active
+// flows (one bit per flow ID, set while the flow's queue is non-empty), so
+// picking the next flow to serve is a word-level bit scan — O(1) amortized
+// — instead of the O(flows) Occupancy polling the examples used to
+// hand-roll around internal/sched. Four disciplines are supported (see
+// policy.EgressKind): round-robin, strict priority by flow ID, weighted
+// round-robin, and deficit round-robin for variable-length packets.
+//
+// All egress state lives per shard under the shard lock: a flow always
+// hashes to the same shard, so per-flow cursor/credit/deficit state never
+// migrates. Cross-shard fairness comes from rotating the shard a batch
+// starts on.
+
+import (
+	"fmt"
+	"math/bits"
+
+	"npqm/internal/policy"
+	"npqm/internal/queue"
+)
+
+// Dequeued is one packet returned by DequeueNextBatch: the flow it was
+// queued on and its reassembled payload (from the engine's buffer pool —
+// Release it when done; empty when data storage is off).
+type Dequeued struct {
+	Flow uint32
+	Data []byte
+}
+
+// egressState is one shard's scheduler state, guarded by the shard mutex.
+type egressState struct {
+	kind          policy.EgressKind
+	defaultWeight int
+	quantum       int // DRR bytes per weight unit per visit
+
+	cursor   uint32  // flow position for RR/WRR/DRR
+	visiting bool    // WRR/DRR: cursor points at a flow mid-visit
+	credit   int64   // WRR: packets left in the current visit
+	deficit  []int64 // DRR: per-flow byte deficit (lazily allocated)
+	weights  []int32 // per-flow weights, 0 = defaultWeight (lazily allocated)
+}
+
+// SetEgress replaces the egress discipline on every shard, resetting the
+// per-shard cursor and credit state. Per-flow weights set with SetWeight
+// survive a discipline change. Safe while traffic flows.
+func (e *Engine) SetEgress(cfg policy.EgressConfig) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	cfg = cfg.WithDefaults()
+	for _, s := range e.shards {
+		s.mu.Lock()
+		s.eg.kind = cfg.Kind
+		s.eg.defaultWeight = cfg.DefaultWeight
+		s.eg.quantum = cfg.QuantumBytes
+		s.eg.cursor = 0
+		s.eg.visiting = false
+		s.eg.credit = 0
+		s.eg.deficit = nil
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// SetWeight sets flow's egress weight for WRR (packets per visit) and DRR
+// (quantum multiplier). Weights must be positive; flows default to the
+// configured DefaultWeight. Safe while traffic flows.
+func (e *Engine) SetWeight(flow uint32, weight int) error {
+	if weight <= 0 {
+		return fmt.Errorf("engine: non-positive weight %d for flow %d", weight, flow)
+	}
+	if int(flow) >= e.cfg.NumFlows {
+		return fmt.Errorf("%w: flow %d (have %d)", queue.ErrBadQueue, flow, e.cfg.NumFlows)
+	}
+	s := e.shardOf(flow)
+	s.mu.Lock()
+	if s.eg.weights == nil {
+		s.eg.weights = make([]int32, e.cfg.NumFlows)
+	}
+	s.eg.weights[flow] = int32(weight)
+	s.mu.Unlock()
+	return nil
+}
+
+// DequeueNext serves one packet chosen by the egress discipline. ok is
+// false when the engine holds no packets. Release the data when done.
+// Unlike DequeueNextBatch it allocates nothing beyond the pooled payload
+// buffer, so per-packet drain loops stay allocation-free.
+func (e *Engine) DequeueNext() (Dequeued, bool) {
+	n := len(e.shards)
+	start := int((e.egCursor.Add(1) - 1) & uint32(n-1))
+	for i := 0; i < n; i++ {
+		s := e.shards[(start+i)%n]
+		s.mu.Lock()
+		d, ok := e.dequeuePickedLocked(s)
+		s.mu.Unlock()
+		if ok {
+			return d, true
+		}
+	}
+	return Dequeued{}, false
+}
+
+// DequeueNextBatch serves up to max packets, choosing flows by the
+// configured egress discipline. The starting shard rotates per call so
+// shards share the egress bandwidth; within a shard, flows are picked by
+// the discipline against the active bitmap. Buffers come from the engine
+// pool — Release each packet's Data when done.
+func (e *Engine) DequeueNextBatch(max int) []Dequeued {
+	if max <= 0 {
+		return nil
+	}
+	n := len(e.shards)
+	// n is a power of two; mask before the int conversion so the uint32
+	// cursor wrapping past 2^31 cannot go negative on 32-bit platforms.
+	start := int((e.egCursor.Add(1) - 1) & uint32(n-1))
+	var out []Dequeued
+	for i := 0; i < n && len(out) < max; i++ {
+		s := e.shards[(start+i)%n]
+		s.mu.Lock()
+		for len(out) < max {
+			d, ok := e.dequeuePickedLocked(s)
+			if !ok {
+				break
+			}
+			out = append(out, d)
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// dequeuePickedLocked serves one packet picked by the discipline from
+// shard s; caller holds s.mu. ok is false when the shard has nothing
+// servable.
+func (e *Engine) dequeuePickedLocked(s *shard) (Dequeued, bool) {
+	for {
+		flow, ok := s.pickLocked()
+		if !ok {
+			return Dequeued{}, false
+		}
+		buf := e.bufs.Get().([]byte)[:0]
+		data, segs, err := s.m.DequeuePacketAppend(queue.QueueID(flow), buf)
+		s.noteDequeue(segs, err)
+		if err != nil {
+			// The bitmap said active but no complete packet is available
+			// (raw-segment misuse): clear the bit so the pick loop cannot
+			// spin on this flow.
+			e.bufs.Put(buf)
+			s.clearActive(flow)
+			continue
+		}
+		s.syncActive(flow)
+		return Dequeued{Flow: flow, Data: data}, true
+	}
+}
+
+// ActiveFlows returns the number of flows with queued segments.
+func (e *Engine) ActiveFlows() int {
+	total := 0
+	for _, s := range e.shards {
+		s.mu.Lock()
+		total += s.activeFlows
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// --- bitmap maintenance (caller holds s.mu) ---
+
+func (s *shard) isActive(flow uint32) bool {
+	return s.active[flow>>6]&(1<<(flow&63)) != 0
+}
+
+func (s *shard) setActive(flow uint32) {
+	w, bit := int(flow>>6), uint64(1)<<(flow&63)
+	if s.active[w]&bit == 0 {
+		s.active[w] |= bit
+		s.activeFlows++
+		if w < s.lowWord {
+			s.lowWord = w
+		}
+	}
+}
+
+func (s *shard) clearActive(flow uint32) {
+	w, bit := int(flow>>6), uint64(1)<<(flow&63)
+	if s.active[w]&bit != 0 {
+		s.active[w] &^= bit
+		s.activeFlows--
+		if s.eg.deficit != nil {
+			// A queue that empties forfeits its banked DRR deficit, no
+			// matter which dequeue path emptied it — otherwise a flow
+			// drained directly (DequeuePacket) returns with stale credit
+			// and bursts ahead of its weight.
+			s.eg.deficit[flow] = 0
+		}
+	}
+}
+
+// syncActive reconciles flow's bit with its queue occupancy.
+func (s *shard) syncActive(flow uint32) {
+	n, err := s.m.Len(queue.QueueID(flow))
+	if err == nil && n > 0 {
+		s.setActive(flow)
+	} else {
+		s.clearActive(flow)
+	}
+}
+
+// nextActive returns the first active flow at or after from, wrapping at
+// the end of the flow space. ok is false when no flow is active.
+func (s *shard) nextActive(from uint32) (uint32, bool) {
+	if s.activeFlows == 0 {
+		return 0, false
+	}
+	nw := len(s.active)
+	w := int(from >> 6)
+	if w >= nw {
+		w, from = 0, 0
+	}
+	word := s.active[w] &^ ((1 << (from & 63)) - 1) // mask bits below from
+	for i := 0; i <= nw; i++ {
+		if word != 0 {
+			return uint32(w<<6 + bits.TrailingZeros64(word)), true
+		}
+		w++
+		if w == nw {
+			w = 0
+		}
+		word = s.active[w]
+	}
+	return 0, false
+}
+
+// --- pickers (caller holds s.mu) ---
+
+// pickLocked returns the next flow the discipline serves. The scheduler is
+// work-conserving: whenever any flow is active, a flow is returned.
+func (s *shard) pickLocked() (uint32, bool) {
+	if s.activeFlows == 0 {
+		return 0, false
+	}
+	switch s.eg.kind {
+	case policy.EgressPrio:
+		return s.pickPrio()
+	case policy.EgressWRR:
+		return s.pickWRR()
+	case policy.EgressDRR:
+		return s.pickDRR()
+	default:
+		return s.pickRR()
+	}
+}
+
+func (s *shard) pickRR() (uint32, bool) {
+	f, ok := s.nextActive(s.eg.cursor)
+	if !ok {
+		return 0, false
+	}
+	s.eg.cursor = f + 1
+	return f, true
+}
+
+// pickPrio serves the lowest-numbered active flow. lowWord is a lower
+// bound under which no bits are set: it only decreases when a lower bit is
+// set and advances here as empty words are skipped, so the scan is O(1)
+// amortized.
+func (s *shard) pickPrio() (uint32, bool) {
+	for w := s.lowWord; w < len(s.active); w++ {
+		if word := s.active[w]; word != 0 {
+			s.lowWord = w
+			return uint32(w<<6 + bits.TrailingZeros64(word)), true
+		}
+		s.lowWord = w + 1
+	}
+	return 0, false
+}
+
+func (s *shard) weightOf(flow uint32) int64 {
+	if s.eg.weights != nil && s.eg.weights[flow] > 0 {
+		return int64(s.eg.weights[flow])
+	}
+	return int64(s.eg.defaultWeight)
+}
+
+// pickWRR serves the flow under the cursor weight(q) packets per visit.
+func (s *shard) pickWRR() (uint32, bool) {
+	eg := &s.eg
+	if eg.visiting {
+		f := eg.cursor
+		if s.isActive(f) && eg.credit > 0 {
+			eg.credit--
+			if eg.credit == 0 {
+				eg.visiting = false
+				eg.cursor = f + 1
+			}
+			return f, true
+		}
+		eg.visiting = false
+		eg.cursor = f + 1
+	}
+	f, ok := s.nextActive(eg.cursor)
+	if !ok {
+		return 0, false
+	}
+	eg.cursor = f
+	eg.visiting = true
+	eg.credit = s.weightOf(f) - 1
+	if eg.credit == 0 {
+		eg.visiting = false
+		eg.cursor = f + 1
+	}
+	return f, true
+}
+
+// drrAdvance moves the DRR visit to the next active flow after from,
+// crediting it one quantum's worth of deficit for the new visit; caller
+// holds s.mu. ok is false when no flow is active.
+func (s *shard) drrAdvance(from uint32) (uint32, bool) {
+	eg := &s.eg
+	eg.visiting = false
+	f, ok := s.nextActive(from + 1)
+	if !ok {
+		return 0, false
+	}
+	eg.cursor = f
+	eg.visiting = true
+	eg.deficit[f] += s.weightOf(f) * int64(eg.quantum)
+	return f, true
+}
+
+// pickDRR implements deficit round-robin: each visit a flow earns
+// weight(q)*quantum bytes of deficit and may send head packets its deficit
+// covers. A flow that empties forfeits its deficit (see clearActive). The
+// loop is bounded; if a pathological quantum/packet-size ratio exhausts
+// the bound, the current candidate is served anyway so the scheduler
+// stays work-conserving.
+func (s *shard) pickDRR() (uint32, bool) {
+	eg := &s.eg
+	if eg.deficit == nil {
+		eg.deficit = make([]int64, len(s.active)*64)
+	}
+	f := eg.cursor
+	if !eg.visiting {
+		var ok bool
+		if f, ok = s.drrAdvance(f - 1); !ok {
+			return 0, false
+		}
+	}
+	// Each full rotation adds at least quantum bytes of deficit to every
+	// active flow, so any head packet is reachable within
+	// maxPacketBytes/quantum rotations; the cap covers jumbo frames at
+	// single-byte quanta.
+	maxIter := s.activeFlows*2048 + 8
+	for iter := 0; iter < maxIter; iter++ {
+		if !s.isActive(f) {
+			var ok bool
+			if f, ok = s.drrAdvance(f); !ok {
+				return 0, false
+			}
+			continue
+		}
+		bytes, _, err := s.m.PacketLen(queue.QueueID(f))
+		if err == nil && int64(bytes) <= eg.deficit[f] {
+			eg.deficit[f] -= int64(bytes)
+			return f, true
+		}
+		if err != nil {
+			// No complete packet (raw-segment misuse): skip the flow.
+			s.clearActive(f)
+		}
+		// Not enough deficit (or unservable): bank it, move on.
+		var ok bool
+		if f, ok = s.drrAdvance(f); !ok {
+			return 0, false
+		}
+	}
+	return f, true // bound exhausted: serve anyway (work conservation)
+}

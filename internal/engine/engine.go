@@ -24,7 +24,9 @@ import (
 	"fmt"
 	"math/bits"
 	"sync"
+	"sync/atomic"
 
+	"npqm/internal/policy"
 	"npqm/internal/queue"
 )
 
@@ -35,6 +37,12 @@ const DefaultShards = 8
 // different shards and data storage is disabled (so the packet cannot be
 // re-segmented through a copy).
 var ErrShardMismatch = errors.New("engine: flows map to different shards and data storage is off")
+
+// ErrAdmissionDrop is returned by the enqueue paths when the configured
+// admission policy refuses the arrival. The drop is counted in
+// Stats.DroppedPackets/DroppedSegments; it is the policy working as
+// intended, not a caller error.
+var ErrAdmissionDrop = errors.New("engine: packet dropped by admission policy")
 
 // Config sizes an Engine.
 type Config struct {
@@ -52,6 +60,13 @@ type Config struct {
 	StoreData bool
 	// PerFlowLimit caps every flow at this many segments (0 = uncapped).
 	PerFlowLimit int
+	// Admission selects the shared-buffer admission policy. The zero value
+	// (policy.KindNone) admits everything the pool can hold. Each shard
+	// gets a private policy instance consulted under the shard lock.
+	Admission policy.Config
+	// Egress parameterizes the integrated egress scheduler used by
+	// DequeueNextBatch. The zero value is round-robin over active flows.
+	Egress policy.EgressConfig
 }
 
 // shard pairs one single-threaded Manager with its lock and local counters.
@@ -67,6 +82,29 @@ type shard struct {
 	deqPackets  uint64
 	deqSegments uint64
 	rejected    uint64 // enqueues refused (pool exhausted or flow capped)
+
+	// Policy counters, guarded by mu. Dropped arrivals never entered the
+	// buffer; pushed-out packets were resident and were evicted, so the
+	// conservation law reads enqueued = dequeued + pushed-out + resident.
+	dropPackets  uint64 // arrivals refused by the admission policy
+	dropSegments uint64
+	poPackets    uint64 // resident packets evicted by push-out
+	poSegments   uint64
+
+	// Admission policy instance (nil = accept all), guarded by mu.
+	// admKind/admLimit mirror the config so the tail-drop decision — two
+	// integer compares — runs inline without the interface dispatch, which
+	// keeps the hot enqueue path within the no-policy budget.
+	adm      policy.Admission
+	admKind  policy.Kind
+	admLimit int
+
+	// Egress state: the active-flow bitmap plus the discipline's cursor
+	// and credit state (see egress.go), guarded by mu.
+	active      []uint64
+	activeFlows int
+	lowWord     int // no active bits live in words below this index
+	eg          egressState
 }
 
 // Engine is the concurrent sharded queue manager. All methods are safe for
@@ -75,6 +113,8 @@ type Engine struct {
 	cfg    Config
 	shift  uint // 32 - log2(shards): top hash bits select the shard
 	shards []*shard
+
+	egCursor atomic.Uint32 // rotating start shard for DequeueNextBatch
 
 	bufs       sync.Pool // reassembly scratch buffers, see Release
 	bucketPool sync.Pool // per-shard index buckets for the batch paths
@@ -101,6 +141,8 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.PerFlowLimit < 0 {
 		return nil, fmt.Errorf("engine: negative PerFlowLimit %d", cfg.PerFlowLimit)
 	}
+	// cfg.Admission and cfg.Egress are validated by the SetAdmission and
+	// SetEgress calls below.
 	e := &Engine{
 		cfg:    cfg,
 		shift:  uint(32 - bits.TrailingZeros(uint(cfg.Shards))),
@@ -128,9 +170,48 @@ func New(cfg Config) (*Engine, error) {
 				}
 			}
 		}
-		e.shards[i] = &shard{m: m}
+		e.shards[i] = &shard{
+			m:      m,
+			active: make([]uint64, (cfg.NumFlows+63)/64),
+		}
+	}
+	if err := e.SetAdmission(cfg.Admission); err != nil {
+		return nil, err
+	}
+	if err := e.SetEgress(cfg.Egress); err != nil {
+		return nil, err
 	}
 	return e, nil
+}
+
+// SetAdmission replaces the admission policy on every shard. Each shard
+// gets a private instance (RED seeds are derived per shard) swapped in
+// under the shard lock, so reconfiguration is safe while traffic flows.
+// Counters are not reset. Longest-queue tracking is enabled exactly when
+// the policy can return a push-out verdict.
+func (e *Engine) SetAdmission(cfg policy.Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	track := cfg.Kind == policy.KindLQD
+	for i, s := range e.shards {
+		shardCfg := cfg
+		if shardCfg.Seed == 0 {
+			shardCfg.Seed = 1
+		}
+		shardCfg.Seed += uint64(i) * 0x9e3779b97f4a7c15
+		adm, err := policy.New(shardCfg)
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.adm = adm
+		s.admKind = cfg.Kind
+		s.admLimit = cfg.Limit
+		s.m.SetLongestTracking(track)
+		s.mu.Unlock()
+	}
+	return nil
 }
 
 // Shards returns the (power-of-two) shard count.
@@ -153,14 +234,102 @@ func (e *Engine) shardOf(flow uint32) *shard {
 	return e.shards[e.ShardOf(flow)]
 }
 
-// EnqueuePacket segments data onto flow, returning the segment count.
+// EnqueuePacket segments data onto flow, returning the segment count. When
+// an admission policy is configured it is consulted first; a refusal
+// returns ErrAdmissionDrop, and under LQD the arrival may instead evict
+// packets from the shard's longest queue to make room.
 func (e *Engine) EnqueuePacket(flow uint32, data []byte) (int, error) {
 	s := e.shardOf(flow)
 	s.mu.Lock()
-	n, err := s.m.EnqueuePacket(queue.QueueID(flow), data)
-	s.noteEnqueue(n, err)
+	n, err := s.enqueueLocked(flow, data)
 	s.mu.Unlock()
 	return n, err
+}
+
+// enqueueLocked runs admission then the manager enqueue; caller holds s.mu.
+// Drops return the bare ErrAdmissionDrop sentinel: overloaded callers see
+// millions of drops, so the error must not allocate.
+func (s *shard) enqueueLocked(flow uint32, data []byte) (int, error) {
+	if s.adm != nil && len(data) > 0 {
+		need := (len(data) + queue.SegmentBytes - 1) / queue.SegmentBytes
+		if s.admKind == policy.KindTailDrop {
+			// Inline fast path: the verdict is two compares on counters
+			// that are already cache-hot under the shard lock.
+			segs, err := s.m.Len(queue.QueueID(flow))
+			if err == nil && (need > s.m.FreeSegments() ||
+				(s.admLimit > 0 && segs+need > s.admLimit)) {
+				s.dropPackets++
+				s.dropSegments += uint64(need)
+				return 0, ErrAdmissionDrop
+			}
+		} else if !s.admitLocked(flow, need, true) {
+			return 0, ErrAdmissionDrop
+		}
+	}
+	n, err := s.m.EnqueuePacket(queue.QueueID(flow), data)
+	s.noteEnqueue(n, err)
+	if err == nil {
+		s.setActive(flow)
+	}
+	return n, err
+}
+
+// admitTransferLocked consults the admission policy for a packet of need
+// segments transferring into this shard via a cross-shard MovePacket;
+// caller holds s.mu. Refusals are not counted as drops — the packet stays
+// on its source queue — but push-out verdicts still evict (and count as
+// pushed-out), matching what a direct arrival would have caused.
+func (s *shard) admitTransferLocked(flow uint32, need int) bool {
+	if s.adm == nil {
+		return true
+	}
+	return s.admitLocked(flow, need, false)
+}
+
+// admitLocked consults the admission policy for a packet of need segments
+// entering this shard, performing push-out eviction when the verdict asks
+// for it; caller holds s.mu and has checked s.adm != nil. countDrops
+// selects arrival semantics (refusals counted as drops) versus transfer
+// semantics (the packet survives elsewhere). It reports whether the
+// packet may proceed.
+func (s *shard) admitLocked(flow uint32, need int, countDrops bool) bool {
+	refuse := func() bool {
+		if countDrops {
+			s.dropPackets++
+			s.dropSegments += uint64(need)
+		}
+		return false
+	}
+	occ, err := s.m.Occupancy(queue.QueueID(flow))
+	if err != nil {
+		return true // out-of-range flow: let the manager report ErrBadQueue
+	}
+	if lim, _ := s.m.SegmentLimit(queue.QueueID(flow)); lim > 0 && occ.Segments+need > lim {
+		// The manager's per-flow cap will refuse this packet no matter
+		// what the policy says; pass it through so the caller sees
+		// ErrQueueLimit — and, crucially, so a push-out verdict does not
+		// evict an innocent victim for an arrival that cannot land.
+		return true
+	}
+	verdict := s.adm.Admit(flow, need,
+		policy.QueueState{Segments: occ.Segments},
+		policy.PoolState{Free: s.m.FreeSegments(), Capacity: s.m.NumSegments()})
+	switch verdict {
+	case policy.Drop:
+		return refuse()
+	case policy.PushOut:
+		for s.m.FreeSegments() < need {
+			q, segs, err := s.m.PushOutLongest()
+			if err != nil {
+				// Nothing left to evict; refuse instead.
+				return refuse()
+			}
+			s.poPackets++
+			s.poSegments += uint64(segs)
+			s.syncActive(uint32(q))
+		}
+	}
+	return true
 }
 
 // DequeuePacket removes and reassembles the head packet of flow. The
@@ -172,6 +341,9 @@ func (e *Engine) DequeuePacket(flow uint32) ([]byte, error) {
 	s.mu.Lock()
 	out, n, err := s.m.DequeuePacketAppend(queue.QueueID(flow), buf)
 	s.noteDequeue(n, err)
+	if err == nil {
+		s.syncActive(flow)
+	}
 	s.mu.Unlock()
 	if err != nil {
 		e.bufs.Put(buf)
@@ -194,13 +366,30 @@ func (e *Engine) Release(buf []byte) {
 // is reassembled and re-segmented (one copy), which requires StoreData.
 // Either way a move leaves the traffic counters untouched — the packet
 // neither entered nor left the engine.
+//
+// The admission policy applies to the destination: a same-shard move (pool
+// occupancy unchanged) honors only the tail-drop per-queue cap; a
+// cross-shard move consumes the destination shard's pool, so the full
+// policy runs there — LQD may push out to make room, and a refusal
+// returns ErrAdmissionDrop with the packet left on its source queue.
 func (e *Engine) MovePacket(from, to uint32) (int, error) {
 	si, di := e.ShardOf(from), e.ShardOf(to)
 	if si == di {
 		s := e.shards[si]
 		s.mu.Lock()
+		defer s.mu.Unlock()
+		if from != to && s.adm != nil && s.admKind == policy.KindTailDrop && s.admLimit > 0 {
+			if _, need, err := s.m.PacketLen(queue.QueueID(from)); err == nil {
+				if dstSegs, derr := s.m.Len(queue.QueueID(to)); derr == nil && dstSegs+need > s.admLimit {
+					return 0, ErrAdmissionDrop
+				}
+			}
+		}
 		n, err := s.m.MovePacket(queue.QueueID(from), queue.QueueID(to))
-		s.mu.Unlock()
+		if err == nil {
+			s.syncActive(from)
+			s.syncActive(to)
+		}
 		return n, err
 	}
 	if !e.cfg.StoreData {
@@ -209,20 +398,40 @@ func (e *Engine) MovePacket(from, to uint32) (int, error) {
 	src, dst := e.shards[si], e.shards[di]
 	buf := e.bufs.Get().([]byte)[:0]
 	src.mu.Lock()
-	data, _, err := src.m.DequeuePacketAppend(queue.QueueID(from), buf)
+	data, segs, err := src.m.DequeuePacketAppend(queue.QueueID(from), buf)
+	if err == nil {
+		src.syncActive(from)
+	}
 	src.mu.Unlock()
 	if err != nil {
 		e.bufs.Put(buf)
 		return 0, err
 	}
+	var n int
 	dst.mu.Lock()
-	n, err := dst.m.EnqueuePacket(queue.QueueID(to), data)
+	if dst.admitTransferLocked(to, segs) {
+		n, err = dst.m.EnqueuePacket(queue.QueueID(to), data)
+		if err == nil {
+			dst.setActive(to)
+		}
+	} else {
+		err = ErrAdmissionDrop
+	}
 	dst.mu.Unlock()
 	if err != nil {
 		// Restore the packet to its source flow so the move is
 		// all-or-nothing from the caller's point of view.
 		src.mu.Lock()
 		_, rerr := src.m.EnqueuePacket(queue.QueueID(from), data)
+		if rerr == nil {
+			src.setActive(from)
+		} else {
+			// The packet is gone: count it as an eviction on the source
+			// shard so the conservation law (enqueued = dequeued +
+			// pushed-out + resident) keeps holding.
+			src.poPackets++
+			src.poSegments += uint64(segs)
+		}
 		src.mu.Unlock()
 		e.Release(data)
 		if rerr != nil {
@@ -240,6 +449,9 @@ func (e *Engine) DeletePacket(flow uint32) (int, error) {
 	s.mu.Lock()
 	n, err := s.m.DeletePacket(queue.QueueID(flow))
 	s.noteDequeue(n, err)
+	if err == nil {
+		s.syncActive(flow)
+	}
 	s.mu.Unlock()
 	return n, err
 }

@@ -1,6 +1,10 @@
 package engine
 
-import "fmt"
+import (
+	"fmt"
+
+	"npqm/internal/queue"
+)
 
 // Stats is an aggregate snapshot of engine activity and occupancy across
 // all shards. Counters are cumulative since New.
@@ -14,22 +18,35 @@ type Stats struct {
 	DequeuedSegments uint64
 	Rejected         uint64 // enqueues refused (pool exhausted or flow capped)
 
+	// Policy counters. Dropped arrivals were refused by the admission
+	// policy and never buffered; pushed-out packets were buffered and then
+	// evicted (LQD push-out), so conservation reads
+	// EnqueuedSegments = DequeuedSegments + PushedOutSegments + QueuedSegments.
+	DroppedPackets    uint64
+	DroppedSegments   uint64
+	PushedOutPackets  uint64
+	PushedOutSegments uint64
+
 	// Occupancy.
 	FreeSegments   int   // aggregate free-list population
 	QueuedSegments int   // segments currently linked into flow queues
 	BufferedBytes  int64 // payload bytes across all queued segments
+	ActiveFlows    int   // flows with at least one queued segment
 }
 
 // ShardStat is the per-shard slice of Stats, for load-balance inspection.
 type ShardStat struct {
-	Shard           int
-	EnqueuedPackets uint64
-	DequeuedPackets uint64
-	Rejected        uint64
-	FreeSegments    int
-	QueuedSegments  int
-	BufferedBytes   int64
-	PoolSegments    int // this shard's share of the segment pool
+	Shard            int
+	EnqueuedPackets  uint64
+	DequeuedPackets  uint64
+	Rejected         uint64
+	DroppedPackets   uint64
+	PushedOutPackets uint64
+	FreeSegments     int
+	QueuedSegments   int
+	BufferedBytes    int64
+	ActiveFlows      int
+	PoolSegments     int // this shard's share of the segment pool
 }
 
 // Stats aggregates counters and occupancy across shards. Each shard is
@@ -45,10 +62,15 @@ func (e *Engine) Stats() Stats {
 		st.DequeuedPackets += s.deqPackets
 		st.DequeuedSegments += s.deqSegments
 		st.Rejected += s.rejected
+		st.DroppedPackets += s.dropPackets
+		st.DroppedSegments += s.dropSegments
+		st.PushedOutPackets += s.poPackets
+		st.PushedOutSegments += s.poSegments
 		free := s.m.FreeSegments()
 		st.FreeSegments += free
 		st.QueuedSegments += s.m.NumSegments() - free
 		st.BufferedBytes += int64(s.m.TotalBuffered())
+		st.ActiveFlows += s.activeFlows
 		s.mu.Unlock()
 	}
 	return st
@@ -61,30 +83,45 @@ func (e *Engine) ShardStats() []ShardStat {
 		s.mu.Lock()
 		free := s.m.FreeSegments()
 		out[i] = ShardStat{
-			Shard:           i,
-			EnqueuedPackets: s.enqPackets,
-			DequeuedPackets: s.deqPackets,
-			Rejected:        s.rejected,
-			FreeSegments:    free,
-			QueuedSegments:  s.m.NumSegments() - free,
-			BufferedBytes:   int64(s.m.TotalBuffered()),
-			PoolSegments:    s.m.NumSegments(),
+			Shard:            i,
+			EnqueuedPackets:  s.enqPackets,
+			DequeuedPackets:  s.deqPackets,
+			Rejected:         s.rejected,
+			DroppedPackets:   s.dropPackets,
+			PushedOutPackets: s.poPackets,
+			FreeSegments:     free,
+			QueuedSegments:   s.m.NumSegments() - free,
+			BufferedBytes:    int64(s.m.TotalBuffered()),
+			ActiveFlows:      s.activeFlows,
+			PoolSegments:     s.m.NumSegments(),
 		}
 		s.mu.Unlock()
 	}
 	return out
 }
 
-// CheckInvariants validates every shard's pointer discipline and the
-// engine-wide segment conservation law (free + queued across shards equals
-// the configured pool). It takes all shard locks one at a time, so it is
-// only a consistent global check when the engine is quiescent.
+// CheckInvariants validates every shard's pointer discipline, the active
+// bitmap, and the engine-wide conservation laws: free + queued across
+// shards equals the configured pool, and every enqueued segment was either
+// dequeued, pushed out by the admission policy, or is still resident
+// (enqueued = dequeued + pushed-out + resident). It takes all shard locks
+// one at a time, so it is only a consistent global check when the engine
+// is quiescent.
 func (e *Engine) CheckInvariants() error {
 	totalSegs := 0
-	for _, s := range e.shards {
+	var enq, deq, pushed uint64
+	resident := 0
+	for i, s := range e.shards {
 		s.mu.Lock()
 		err := s.m.CheckInvariants()
+		if err == nil {
+			err = s.checkActiveLocked(i)
+		}
 		totalSegs += s.m.NumSegments()
+		enq += s.enqSegments
+		deq += s.deqSegments
+		pushed += s.poSegments
+		resident += s.m.NumSegments() - s.m.FreeSegments()
 		s.mu.Unlock()
 		if err != nil {
 			return err
@@ -92,6 +129,38 @@ func (e *Engine) CheckInvariants() error {
 	}
 	if totalSegs != e.cfg.NumSegments {
 		return fmt.Errorf("engine: shard pools hold %d segments, config says %d", totalSegs, e.cfg.NumSegments)
+	}
+	if enq != deq+pushed+uint64(resident) {
+		return fmt.Errorf("engine: segment conservation violated: enqueued %d != dequeued %d + pushed-out %d + resident %d",
+			enq, deq, pushed, resident)
+	}
+	return nil
+}
+
+// checkActiveLocked validates the shard's active bitmap against the queue
+// table; caller holds s.mu.
+func (s *shard) checkActiveLocked(shardIdx int) error {
+	count := 0
+	for q := 0; q < s.m.NumQueues(); q++ {
+		n, err := s.m.Len(queue.QueueID(q))
+		if err != nil {
+			return err
+		}
+		bit := s.active[q>>6]&(1<<(uint(q)&63)) != 0
+		if (n > 0) != bit {
+			return fmt.Errorf("engine: shard %d flow %d has %d segments but active bit is %v", shardIdx, q, n, bit)
+		}
+		if bit {
+			count++
+		}
+	}
+	if count != s.activeFlows {
+		return fmt.Errorf("engine: shard %d bitmap holds %d flows, counter says %d", shardIdx, count, s.activeFlows)
+	}
+	for w := 0; w < s.lowWord && w < len(s.active); w++ {
+		if s.active[w] != 0 {
+			return fmt.Errorf("engine: shard %d has active bits below lowWord %d", shardIdx, s.lowWord)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,103 @@
+package policy
+
+// The egress side of the policy layer. The four service disciplines the
+// example applications used to hand-roll around internal/sched — strict
+// priority, round-robin, weighted round-robin, and deficit round-robin —
+// move behind the engine: each shard keeps an active-queue bitmap and
+// serves flows by one of these kinds in O(1) amortized per pick, instead
+// of callers polling Occupancy over the whole flow space. This file holds
+// only the configuration vocabulary; the pickers live next to the bitmap
+// in internal/engine.
+//
+// Scope: a discipline arbitrates among the flows of one shard; the engine
+// rotates the starting shard per batch so shards share egress bandwidth
+// evenly. Global priority ordering or exact global weight ratios hold
+// only when the competing flows live on the same shard (one shard, or
+// flow IDs that hash together).
+
+import "fmt"
+
+// EgressKind selects the integrated egress scheduler's discipline.
+type EgressKind uint8
+
+const (
+	// EgressRR serves active flows in cyclic flow-ID order (the default).
+	EgressRR EgressKind = iota
+	// EgressPrio always serves the lowest-numbered active flow: flow 0 is
+	// the highest priority, as in 802.1p class selection.
+	EgressPrio
+	// EgressWRR serves each active flow weight(q) packets per visit.
+	EgressWRR
+	// EgressDRR gives each active flow weight(q)*QuantumBytes of byte
+	// credit per visit and serves head packets the credit covers, making
+	// weighted sharing fair for variable-length packets.
+	EgressDRR
+)
+
+// String returns the kind's flag spelling.
+func (k EgressKind) String() string {
+	switch k {
+	case EgressRR:
+		return "rr"
+	case EgressPrio:
+		return "prio"
+	case EgressWRR:
+		return "wrr"
+	case EgressDRR:
+		return "drr"
+	}
+	return fmt.Sprintf("egress(%d)", uint8(k))
+}
+
+// ParseEgressKind parses an -egress flag value.
+func ParseEgressKind(s string) (EgressKind, error) {
+	switch s {
+	case "rr", "":
+		return EgressRR, nil
+	case "prio", "priority":
+		return EgressPrio, nil
+	case "wrr":
+		return EgressWRR, nil
+	case "drr":
+		return EgressDRR, nil
+	}
+	return EgressRR, fmt.Errorf("policy: unknown egress discipline %q (want rr, prio, wrr, drr)", s)
+}
+
+// EgressConfig parameterizes the integrated egress scheduler. The zero
+// value is round-robin.
+type EgressConfig struct {
+	Kind EgressKind
+	// DefaultWeight is the weight of flows with no explicit weight set
+	// (WRR packets per visit, DRR quantum multiplier). Default 1.
+	DefaultWeight int
+	// QuantumBytes is the DRR byte quantum earned per weight unit per
+	// visit. Default 512.
+	QuantumBytes int
+}
+
+// WithDefaults fills zero-valued fields.
+func (c EgressConfig) WithDefaults() EgressConfig {
+	if c.DefaultWeight == 0 {
+		c.DefaultWeight = 1
+	}
+	if c.QuantumBytes == 0 {
+		c.QuantumBytes = 512
+	}
+	return c
+}
+
+// Validate reports whether the configuration is usable.
+func (c EgressConfig) Validate() error {
+	c = c.WithDefaults()
+	if c.Kind > EgressDRR {
+		return fmt.Errorf("policy: unknown egress kind %d", c.Kind)
+	}
+	if c.DefaultWeight < 0 {
+		return fmt.Errorf("policy: negative egress default weight %d", c.DefaultWeight)
+	}
+	if c.QuantumBytes < 0 {
+		return fmt.Errorf("policy: negative egress quantum %d", c.QuantumBytes)
+	}
+	return nil
+}

@@ -31,12 +31,20 @@ func (m *Manager) Occupancy(q QueueID) (Occupancy, error) {
 
 // SetSegmentLimit caps queue q at the given number of linked segments
 // (0 removes the cap). Enqueues beyond the cap fail with ErrQueueLimit.
+//
+// The cap is an admission threshold, not a reservation: setting it below
+// the queue's current occupancy only blocks future enqueues. Limits larger
+// than the segment pool are unreachable (the pool empties first), so they
+// are clamped to NumSegments; SegmentLimit reports the clamped value.
 func (m *Manager) SetSegmentLimit(q QueueID, limit int) error {
 	if err := m.checkQueue(q); err != nil {
 		return err
 	}
 	if limit < 0 {
 		return fmt.Errorf("%w: negative limit %d", ErrBadLength, limit)
+	}
+	if limit > m.cfg.NumSegments {
+		limit = m.cfg.NumSegments
 	}
 	if m.qlimit == nil {
 		if limit == 0 {
@@ -77,6 +85,7 @@ func (m *Manager) noteLink(q QueueID, s Seg) {
 	if m.eop[s] {
 		m.qpkts[q]++
 	}
+	m.fixLongest(q)
 }
 
 // noteUnlink updates accounting when segment s leaves queue q.
@@ -86,6 +95,7 @@ func (m *Manager) noteUnlink(q QueueID, s Seg) {
 	if m.eop[s] {
 		m.qpkts[q]--
 	}
+	m.fixLongest(q)
 }
 
 // noteRewrite updates accounting when a queued segment's length or EOP

@@ -1,0 +1,208 @@
+package queue
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzManagerCommands drives a small Manager with a byte-coded command
+// stream — enqueue, dequeue, move, set-limit, push-out — and cross-checks
+// every step against a trivially correct reference model (queues as slices
+// of byte-slice packets). The reference recomputes admissibility, free
+// space, victim selection and payload contents from first principles, so
+// any divergence in the pointer engine (or its heap, accounting, or limit
+// handling) surfaces as a mismatch rather than silent corruption.
+//
+// Command records are 3 bytes: opcode, operand a, operand b.
+//
+//	op%5 == 0: enqueue  q=a%8, size=1+2*b bytes
+//	op%5 == 1: dequeue  q=a%8
+//	op%5 == 2: move     from=a%8, to=b%8
+//	op%5 == 3: setlimit q=a%8, limit=b%64 (pool is 48: exercises clamping)
+//	op%5 == 4: push-out longest
+func FuzzManagerCommands(f *testing.F) {
+	f.Add([]byte("\x00\x00\x64\x00\x01\xc8\x00\x02\x32\x01\x00\x00\x02\x00\x01\x04\x00\x00"))
+	f.Add([]byte("\x03\x01\x3f\x00\x01\xff\x00\x01\xff\x00\x01\xff\x01\x01\x00\x04\x00\x00\x04\x00\x00"))
+	f.Add([]byte("\x00\x00\x10\x00\x01\x10\x02\x00\x01\x02\x01\x01\x03\x00\x02\x00\x00\x01\x01\x00\x00"))
+	f.Add([]byte("\x00\x07\x7f\x00\x07\x7f\x00\x07\x7f\x00\x06\x01\x04\x00\x00\x02\x07\x06\x01\x06\x00"))
+
+	const (
+		nq   = 8
+		pool = 48
+	)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := New(Config{NumQueues: nq, NumSegments: pool, StoreData: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.SetLongestTracking(true)
+
+		// Reference model.
+		var (
+			queues [nq][][]byte
+			limits [nq]int
+			free   = pool
+		)
+		segsOf := func(b []byte) int { return (len(b) + SegmentBytes - 1) / SegmentBytes }
+		qsegs := func(q int) int {
+			n := 0
+			for _, p := range queues[q] {
+				n += segsOf(p)
+			}
+			return n
+		}
+		longest := func() (int, int) { // lowest-ID queue with max segments
+			best, bestLen := 0, 0
+			for q := 0; q < nq; q++ {
+				if n := qsegs(q); n > bestLen {
+					best, bestLen = q, n
+				}
+			}
+			return best, bestLen
+		}
+
+		var fill byte
+		for i := 0; i+2 < len(data); i += 3 {
+			op, a, b := data[i]%5, data[i+1], data[i+2]
+			switch op {
+			case 0: // enqueue
+				q := int(a) % nq
+				size := 1 + 2*int(b)
+				pkt := make([]byte, size)
+				for j := range pkt {
+					pkt[j] = fill
+					fill++
+				}
+				need := segsOf(pkt)
+				var wantErr error
+				if limits[q] != 0 && qsegs(q)+need > limits[q] {
+					wantErr = ErrQueueLimit
+				} else if need > free {
+					wantErr = ErrNoFreeSegments
+				}
+				n, err := m.EnqueuePacket(QueueID(q), pkt)
+				if wantErr != nil {
+					if !errors.Is(err, wantErr) {
+						t.Fatalf("op %d: enqueue(q=%d, %dB) err = %v, reference wants %v", i, q, size, err, wantErr)
+					}
+					continue
+				}
+				if err != nil || n != need {
+					t.Fatalf("op %d: enqueue(q=%d, %dB) = (%d, %v), reference wants (%d, nil)", i, q, size, n, err, need)
+				}
+				queues[q] = append(queues[q], pkt)
+				free -= need
+
+			case 1: // dequeue
+				q := int(a) % nq
+				got, n, err := m.DequeuePacket(QueueID(q))
+				if len(queues[q]) == 0 {
+					if !errors.Is(err, ErrQueueEmpty) {
+						t.Fatalf("op %d: dequeue(empty q=%d) err = %v, want ErrQueueEmpty", i, q, err)
+					}
+					continue
+				}
+				want := queues[q][0]
+				if err != nil || n != segsOf(want) || !bytes.Equal(got, want) {
+					t.Fatalf("op %d: dequeue(q=%d) = (%dB, %d, %v), reference wants (%dB, %d, nil)",
+						i, q, len(got), n, err, len(want), segsOf(want))
+				}
+				queues[q] = queues[q][1:]
+				free += n
+
+			case 2: // move
+				from, to := int(a)%nq, int(b)%nq
+				n, err := m.MovePacket(QueueID(from), QueueID(to))
+				if len(queues[from]) == 0 {
+					if !errors.Is(err, ErrQueueEmpty) {
+						t.Fatalf("op %d: move(empty %d->%d) err = %v, want ErrQueueEmpty", i, from, to, err)
+					}
+					continue
+				}
+				head := queues[from][0]
+				need := segsOf(head)
+				if from == to {
+					if err != nil || n != need {
+						t.Fatalf("op %d: rotate(q=%d) = (%d, %v), want (%d, nil)", i, from, n, err, need)
+					}
+					if len(queues[from]) > 1 { // whole-queue packet is a no-op
+						queues[from] = append(queues[from][1:], head)
+					}
+					continue
+				}
+				if limits[to] != 0 && qsegs(to)+need > limits[to] {
+					if !errors.Is(err, ErrQueueLimit) {
+						t.Fatalf("op %d: move(%d->%d over limit) err = %v, want ErrQueueLimit", i, from, to, err)
+					}
+					continue
+				}
+				if err != nil || n != need {
+					t.Fatalf("op %d: move(%d->%d) = (%d, %v), want (%d, nil)", i, from, to, n, err, need)
+				}
+				queues[from] = queues[from][1:]
+				queues[to] = append(queues[to], head)
+
+			case 3: // setlimit
+				q := int(a) % nq
+				limit := int(b) % 64
+				if err := m.SetSegmentLimit(QueueID(q), limit); err != nil {
+					t.Fatalf("op %d: setlimit(q=%d, %d): %v", i, q, limit, err)
+				}
+				if limit > pool {
+					limit = pool // the documented clamp
+				}
+				limits[q] = limit
+				if got, _ := m.SegmentLimit(QueueID(q)); got != limit {
+					t.Fatalf("op %d: SegmentLimit(q=%d) = %d, want %d", i, q, got, limit)
+				}
+
+			case 4: // push-out longest
+				victimWant, maxLen := longest()
+				q, n, err := m.PushOutLongest()
+				if maxLen == 0 {
+					if !errors.Is(err, ErrQueueEmpty) {
+						t.Fatalf("op %d: push-out on empty err = %v, want ErrQueueEmpty", i, err)
+					}
+					continue
+				}
+				head := queues[victimWant][0]
+				if err != nil || int(q) != victimWant || n != segsOf(head) {
+					t.Fatalf("op %d: push-out = (q=%d, %d, %v), reference wants (q=%d, %d, nil)",
+						i, q, n, err, victimWant, segsOf(head))
+				}
+				queues[victimWant] = queues[victimWant][1:]
+				free += n
+			}
+
+			if i%(3*32) == 0 {
+				if err := m.CheckInvariants(); err != nil {
+					t.Fatalf("op %d: %v", i, err)
+				}
+			}
+		}
+
+		// Final full cross-check: occupancy, free space, invariants.
+		if got := m.FreeSegments(); got != free {
+			t.Fatalf("free segments %d, reference says %d", got, free)
+		}
+		for q := 0; q < nq; q++ {
+			occ, err := m.Occupancy(QueueID(q))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantBytes, wantPkts := 0, len(queues[q])
+			for _, p := range queues[q] {
+				wantBytes += len(p)
+			}
+			if occ.Segments != qsegs(q) || occ.Bytes != wantBytes || occ.Packets != wantPkts {
+				t.Fatalf("queue %d occupancy %+v, reference wants %d segs / %d B / %d pkts",
+					q, occ, qsegs(q), wantBytes, wantPkts)
+			}
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -21,6 +21,9 @@ func (m *Manager) EnqueuePacket(q QueueID, data []byte) (int, error) {
 		return 0, fmt.Errorf("%w: need %d segments, have %d",
 			ErrNoFreeSegments, needed, m.FreeSegments())
 	}
+	if done := m.bulkFix(q); done != nil {
+		defer done()
+	}
 	n := 0
 	for off := 0; off < len(data); off += SegmentBytes {
 		end := off + SegmentBytes
@@ -77,6 +80,9 @@ func (m *Manager) DequeuePacket(q QueueID) ([]byte, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	if done := m.bulkFix(q); done != nil {
+		defer done()
+	}
 	var out []byte
 	for i := 0; i < n; i++ {
 		_, payload, err := m.Dequeue(q)
@@ -101,6 +107,9 @@ func (m *Manager) DequeuePacketAppend(q QueueID, buf []byte) ([]byte, int, error
 	_, n, err := m.findPacketEnd(q)
 	if err != nil {
 		return buf, 0, err
+	}
+	if done := m.bulkFix(q); done != nil {
+		defer done()
 	}
 	for i := 0; i < n; i++ {
 		h := m.qhead[q]
@@ -231,6 +240,34 @@ func (m *Manager) CheckInvariants() error {
 	if m.freeCount+queued+floating != int32(m.cfg.NumSegments) {
 		return fmt.Errorf("queue: conservation violated: %d free + %d queued + %d floating != %d",
 			m.freeCount, queued, floating, m.cfg.NumSegments)
+	}
+
+	// Longest-queue heap discipline (when tracking is enabled): the heap
+	// holds exactly the non-empty queues, positions match, and every parent
+	// sorts no later than its children.
+	if m.heapPos != nil {
+		nonEmpty := 0
+		for q := 0; q < m.cfg.NumQueues; q++ {
+			if m.qsegs[q] > 0 {
+				nonEmpty++
+				if m.heapPos[q] < 0 {
+					return fmt.Errorf("queue: non-empty queue %d missing from longest-heap", q)
+				}
+			} else if m.heapPos[q] >= 0 {
+				return fmt.Errorf("queue: empty queue %d present in longest-heap", q)
+			}
+		}
+		if nonEmpty != len(m.heap) {
+			return fmt.Errorf("queue: longest-heap holds %d queues, %d are non-empty", len(m.heap), nonEmpty)
+		}
+		for i, q := range m.heap {
+			if m.heapPos[q] != int32(i) {
+				return fmt.Errorf("queue: longest-heap position of queue %d is %d, index says %d", q, m.heapPos[q], i)
+			}
+			if i > 0 && m.heapLess(int32(i), int32((i-1)/2)) {
+				return fmt.Errorf("queue: longest-heap property violated at index %d (queue %d)", i, q)
+			}
+		}
 	}
 	return nil
 }

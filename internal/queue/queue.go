@@ -115,6 +115,18 @@ type Manager struct {
 
 	floating int32 // segments allocated but not yet queued
 
+	// Longest-queue tracking (see pushout.go): an indexed max-heap over
+	// qsegs, maintained only when heapPos is non-nil. heapSuspended defers
+	// per-segment maintenance during multi-segment packet operations,
+	// which reconcile once at the end (see bulkFix).
+	heap          []int32
+	heapPos       []int32
+	heapSuspended bool
+
+	// Drop accounting: packets removed by push-out or DropHeadPacket.
+	droppedPackets  uint64
+	droppedSegments uint64
+
 	// Data memory (optional).
 	data []byte
 }
@@ -415,6 +427,9 @@ func (m *Manager) DeletePacket(q QueueID) (int, error) {
 		return 0, err
 	}
 	_ = end
+	if done := m.bulkFix(q); done != nil {
+		defer done()
+	}
 	for i := 0; i < n; i++ {
 		s := m.unlinkHead(q)
 		if err := m.Free(s); err != nil {
@@ -529,6 +544,8 @@ func (m *Manager) MovePacket(from, to QueueID) (int, error) {
 	}
 	m.qtail[to] = int32(end)
 	m.qsegs[to] += int32(n)
+	m.fixLongest(from)
+	m.fixLongest(to)
 	return n, nil
 }
 

@@ -1,0 +1,118 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+
+	"npqm/internal/xrand"
+)
+
+// TestSchedulersWorkConserving is the property test behind the policy
+// layer's egress guarantee: a scheduler must never report "all empty"
+// while any queue has backlog, and must never pick an empty queue. Each
+// trial builds random backlogs, then serves packet by packet until the
+// system drains; any idle verdict with work outstanding fails.
+func TestSchedulersWorkConserving(t *testing.T) {
+	rng := xrand.New(20260729)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(8)
+		weights := make([]int, n)
+		for q := range weights {
+			weights[q] = 1 + rng.Intn(5)
+		}
+		rr, err := NewRoundRobin(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := NewStrictPriority(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wrr, err := NewWeightedRoundRobin(weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		schedulers := []struct {
+			name string
+			s    Scheduler
+		}{
+			{"rr", rr}, {"prio", sp}, {"wrr", wrr},
+		}
+		for _, sc := range schedulers {
+			sc := sc
+			t.Run(fmt.Sprintf("trial%d/%s", trial, sc.name), func(t *testing.T) {
+				backlog := make([]int, n)
+				total := 0
+				for q := range backlog {
+					backlog[q] = rng.Intn(6) // zeros included
+					total += backlog[q]
+				}
+				look := func(q int) int { return backlog[q] }
+				for total > 0 {
+					q, ok := sc.s.Next(look)
+					if !ok {
+						t.Fatalf("scheduler idle with %d packets backlogged (%v)", total, backlog)
+					}
+					if backlog[q] <= 0 {
+						t.Fatalf("scheduler picked empty queue %d (%v)", q, backlog)
+					}
+					backlog[q]--
+					total--
+					sc.s.Served(q, 64)
+				}
+				if _, ok := sc.s.Next(look); ok {
+					t.Fatal("scheduler claims work on a drained system")
+				}
+			})
+		}
+	}
+}
+
+// TestDRRWorkConserving drives DeficitRoundRobin through NextPacket with
+// random variable-length packets: the deficit mechanism must still serve
+// some queue whenever backlog exists, for any quantum/packet-size mix.
+func TestDRRWorkConserving(t *testing.T) {
+	rng := xrand.New(42)
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(6)
+		quanta := make([]int, n)
+		for q := range quanta {
+			quanta[q] = 1 + rng.Intn(1500)
+		}
+		drr, err := NewDeficitRoundRobin(quanta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Per-queue FIFO of packet lengths.
+		pkts := make([][]int, n)
+		total := 0
+		for q := range pkts {
+			for i := rng.Intn(5); i > 0; i-- {
+				pkts[q] = append(pkts[q], 64+rng.Intn(1455))
+				total++
+			}
+		}
+		backlog := func(q int) int { return len(pkts[q]) }
+		head := func(q int) int {
+			if len(pkts[q]) == 0 {
+				return 0
+			}
+			return pkts[q][0]
+		}
+		for total > 0 {
+			q, ok := drr.NextPacket(backlog, head)
+			if !ok {
+				t.Fatalf("trial %d: DRR idle with %d packets backlogged", trial, total)
+			}
+			if len(pkts[q]) == 0 {
+				t.Fatalf("trial %d: DRR picked empty queue %d", trial, q)
+			}
+			drr.Served(q, pkts[q][0])
+			pkts[q] = pkts[q][1:]
+			total--
+		}
+		if _, ok := drr.NextPacket(backlog, head); ok {
+			t.Fatalf("trial %d: DRR claims work on a drained system", trial)
+		}
+	}
+}

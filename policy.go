@@ -1,0 +1,112 @@
+package npqm
+
+// Facade over the policy layer: admission-policy and egress-discipline
+// constructors re-exported so applications configure buffer management
+// without importing internal packages. See internal/policy for semantics.
+
+import (
+	"npqm/internal/engine"
+	"npqm/internal/policy"
+)
+
+// AdmissionConfig selects and parameterizes an admission policy; build one
+// with TailDrop, LQD, or RED (the zero value admits everything the pool
+// can hold).
+type AdmissionConfig = policy.Config
+
+// EgressConfig parameterizes the integrated egress scheduler; build one
+// with RoundRobinEgress, PriorityEgress, WRREgress, or DRREgress (the zero
+// value is round-robin).
+//
+// Disciplines arbitrate within each shard; across shards, batches rotate
+// the starting shard so every shard gets egress bandwidth. Strict global
+// priority or exact global weight ratios therefore need the competing
+// flows on one shard — use Shards: 1 (as examples/ethswitch does for its
+// eight 802.1p classes) or flow IDs that hash together.
+type EgressConfig = policy.EgressConfig
+
+// DequeuedPacket is one packet served by the integrated egress scheduler.
+type DequeuedPacket = engine.Dequeued
+
+// ErrAdmissionDrop is returned by enqueue paths when the admission policy
+// refuses the arrival; classify with errors.Is. The drop is counted in
+// EngineStats.DroppedPackets — it is policy behavior, not a caller error.
+var ErrAdmissionDrop = engine.ErrAdmissionDrop
+
+// TailDrop returns an admission policy that drops arrivals beyond a
+// per-queue segment cap (0 = pool-limited only) or when the pool is full.
+func TailDrop(limit int) AdmissionConfig {
+	return policy.Config{Kind: policy.KindTailDrop, Limit: limit}
+}
+
+// LQD returns the Longest Queue Drop shared-buffer policy: when the pool
+// is exhausted, arrivals are admitted by pushing out the head packet of
+// the longest queue (1.5-competitive for shared-memory switches).
+func LQD() AdmissionConfig {
+	return policy.Config{Kind: policy.KindLQD}
+}
+
+// RED returns a Random Early Detection policy over pool occupancy. minTh
+// and maxTh are occupancy fractions in (0, 1]; maxP is the drop
+// probability at maxTh; weight is the EWMA weight. Zero values take the
+// classic defaults (0.25, 0.75, 0.1, 0.002).
+func RED(minTh, maxTh, maxP, weight float64) AdmissionConfig {
+	return policy.Config{Kind: policy.KindRED, MinTh: minTh, MaxTh: maxTh, MaxP: maxP, Weight: weight}
+}
+
+// RoundRobinEgress serves active flows in cyclic flow-ID order.
+func RoundRobinEgress() EgressConfig {
+	return policy.EgressConfig{Kind: policy.EgressRR}
+}
+
+// PriorityEgress always serves the lowest-numbered active flow (flow 0 is
+// the highest priority, as in 802.1p class selection).
+func PriorityEgress() EgressConfig {
+	return policy.EgressConfig{Kind: policy.EgressPrio}
+}
+
+// WRREgress serves each active flow its weight in packets per visit; set
+// per-flow weights with SetWeight (defaultWeight covers the rest, 0 = 1).
+func WRREgress(defaultWeight int) EgressConfig {
+	return policy.EgressConfig{Kind: policy.EgressWRR, DefaultWeight: defaultWeight}
+}
+
+// DRREgress is deficit round-robin: each visit a flow earns
+// quantumBytes*weight of byte credit and sends the head packets it covers,
+// making weighted sharing fair for variable-length packets (0 = 512).
+func DRREgress(quantumBytes int) EgressConfig {
+	return policy.EgressConfig{Kind: policy.EgressDRR, QuantumBytes: quantumBytes}
+}
+
+// ConcurrentConfig sizes a policy-aware sharded engine for
+// NewConcurrentEngine.
+type ConcurrentConfig struct {
+	// Flows is the flow-ID space (0 means 32K).
+	Flows int
+	// Segments is the total segment pool, divided across shards (required).
+	Segments int
+	// Shards is the shard count (0 means 8; rounded up to a power of two).
+	Shards int
+	// Admission is the buffer admission policy (zero value: accept all).
+	Admission AdmissionConfig
+	// Egress is the integrated scheduler discipline (zero value: RR).
+	Egress EgressConfig
+}
+
+// NewConcurrentEngine allocates a sharded queue manager with admission and
+// egress policies threaded through the datapath. It generalizes
+// NewConcurrentQueueManager, which remains the policy-free shorthand.
+func NewConcurrentEngine(cfg ConcurrentConfig) (*ConcurrentQueueManager, error) {
+	e, err := engine.New(engine.Config{
+		Shards:      cfg.Shards,
+		NumFlows:    cfg.Flows,
+		NumSegments: cfg.Segments,
+		StoreData:   true,
+		Admission:   cfg.Admission,
+		Egress:      cfg.Egress,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ConcurrentQueueManager{e: e}, nil
+}
