@@ -12,6 +12,7 @@ package npqm
 
 import (
 	"fmt"
+	"runtime"
 	"sync/atomic"
 	"testing"
 
@@ -20,6 +21,7 @@ import (
 	"npqm/internal/ixp"
 	"npqm/internal/npu"
 	"npqm/internal/queue"
+	"npqm/internal/segstore"
 )
 
 // BenchmarkTable1DDRSchedulers regenerates the DDR throughput-loss cells:
@@ -450,6 +452,92 @@ func BenchmarkQueueEngine(b *testing.B) {
 		}
 		if _, err := qm.DequeuePacket(q); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSegstore compares the shared segment store against the old
+// static per-shard pool split at the allocation layer. Each worker holds a
+// live set of segments and churns (alloc one, trim to target): "uniform"
+// sizes every worker's target just under an even pool share; "zipf" skews
+// demand so the hottest workers want several times their share. Under the
+// static split the hot workers' allocations fail once their private pool
+// is exhausted — capacity stranded in the cold workers' pools — while the
+// shared store serves the skew from one pool. The fail metric reports
+// failed allocations per successful one.
+func BenchmarkSegstore(b *testing.B) {
+	const pool = 1 << 16
+	workers := runtime.GOMAXPROCS(0)
+	targets := func(dist string) []int {
+		t := make([]int, workers)
+		switch dist {
+		case "uniform":
+			for w := range t {
+				t[w] = pool * 9 / 10 / workers
+			}
+		case "zipf":
+			weights := make([]float64, workers)
+			var sum float64
+			for w := range weights {
+				weights[w] = 1 / float64(w+1)
+				sum += weights[w]
+			}
+			for w := range t {
+				t[w] = int(float64(pool) * 0.9 * weights[w] / sum)
+			}
+		}
+		return t
+	}
+	for _, mode := range []string{"shared", "static"} {
+		for _, dist := range []string{"uniform", "zipf"} {
+			b.Run(fmt.Sprintf("%s/%s", mode, dist), func(b *testing.B) {
+				tgt := targets(dist)
+				srcs := make([]segstore.Source, workers)
+				switch mode {
+				case "shared":
+					st, err := segstore.New(segstore.Config{NumSegments: pool})
+					if err != nil {
+						b.Fatal(err)
+					}
+					for w := range srcs {
+						srcs[w] = st.NewCache()
+					}
+				case "static":
+					per := pool / workers
+					for w := range srcs {
+						p, err := segstore.NewPrivate(segstore.Config{NumSegments: per})
+						if err != nil {
+							b.Fatal(err)
+						}
+						srcs[w] = p
+					}
+				}
+				var fails, oks atomic.Uint64
+				var gid atomic.Uint32
+				b.RunParallel(func(pb *testing.PB) {
+					w := int(gid.Add(1)-1) % workers
+					src := srcs[w]
+					held := make([]int32, 0, tgt[w]+1)
+					for pb.Next() {
+						if s, ok := src.Alloc(); ok {
+							held = append(held, s)
+							oks.Add(1)
+						} else {
+							fails.Add(1)
+						}
+						for len(held) > tgt[w] {
+							src.Free(held[len(held)-1])
+							held = held[:len(held)-1]
+						}
+					}
+					for _, s := range held {
+						src.Free(s)
+					}
+				})
+				if oks.Load() > 0 {
+					b.ReportMetric(float64(fails.Load())/float64(oks.Load()), "fails/alloc")
+				}
+			})
 		}
 	}
 }

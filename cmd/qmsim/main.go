@@ -9,12 +9,18 @@
 //	qmsim -model npu    -copy line -clock 200
 //	qmsim -model engine -shards 16 -parallel 8 -flows 32768 -ops 2000000
 //	qmsim -model engine -policy lqd -pool 4096 -egress drr -ops 500000
+//	qmsim -model engine -policy lqd -pool 8192 -zipf 1.2 -ops 500000
+//
+// The engine's segment pool is one shared buffer: -limit, -minth/-maxth and
+// LQD eviction are pool-wide, and a skewed workload (-zipf > 1 concentrates
+// traffic on few flows) can push one flow to nearly the whole pool.
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"sync"
@@ -61,6 +67,7 @@ func main() {
 		egName    = flag.String("egress", "rr", "engine: egress discipline (rr, prio, wrr, drr)")
 		quantum   = flag.Int("quantum", 512, "engine: DRR byte quantum per weight unit")
 		burst     = flag.Int("burst", 1, "engine: packets per flow burst (bursty arrivals)")
+		zipf      = flag.Float64("zipf", 0, "engine: Zipf skew exponent for flow selection (0 = uniform stride, >1 = skewed)")
 	)
 	flag.Parse()
 
@@ -81,6 +88,7 @@ func main() {
 			policy: *polName, limit: *limit,
 			minth: *minth, maxth: *maxth, maxp: *maxp, wq: *wq,
 			egress: *egName, quantum: *quantum, burst: *burst,
+			zipf: *zipf,
 		})
 	default:
 		err = fmt.Errorf("unknown model %q (want ddr, mms, ixp, npu, engine)", *model)
@@ -155,6 +163,7 @@ type engineArgs struct {
 	egress                                       string
 	quantum                                      int
 	burst                                        int
+	zipf                                         float64
 }
 
 // runEngine drives the sharded concurrent engine: parallel producers offer
@@ -175,6 +184,12 @@ func runEngine(a engineArgs) error {
 	}
 	if a.burst < 1 {
 		a.burst = 1
+	}
+	if a.zipf != 0 && a.zipf <= 1 {
+		return fmt.Errorf("zipf exponent must be > 1 (or 0 for uniform), got %g", a.zipf)
+	}
+	if a.zipf != 0 && a.burst > 1 {
+		return fmt.Errorf("-zipf and -burst are mutually exclusive: zipf draws a fresh flow per packet")
 	}
 	kind, err := policy.ParseKind(a.policy)
 	if err != nil {
@@ -212,14 +227,28 @@ func runEngine(a engineArgs) error {
 		prodWG.Add(1)
 		go func(p int) {
 			defer prodWG.Done()
+			// Zipf-skewed flow selection concentrates arrivals on few hot
+			// flows — the workload where a shared pool beats a static
+			// split: the hot flows can fill the whole buffer instead of
+			// one shard's fragment.
+			var zrng *rand.Zipf
+			if a.zipf > 1 {
+				src := rand.New(rand.NewSource(int64(a.seed) + int64(p)))
+				zrng = rand.NewZipf(src, a.zipf, 1, uint64(a.flows-1))
+			}
 			var i uint32
 			for n := 0; n < perProducer; n++ {
 				// Bursty arrivals: a.burst consecutive packets land on the
 				// same flow before the stride advances, building the long
 				// queues that separate shared-buffer policies.
-				f := uint32(p)*2654435761 + (i/uint32(a.burst))*40503
-				i++
-				f %= uint32(a.flows)
+				var f uint32
+				if zrng != nil {
+					f = uint32(zrng.Uint64())
+				} else {
+					f = uint32(p)*2654435761 + (i/uint32(a.burst))*40503
+					i++
+					f %= uint32(a.flows)
+				}
 				_, err := e.EnqueuePacket(f, pkt)
 				switch {
 				case err == nil:
@@ -311,6 +340,11 @@ func runEngine(a engineArgs) error {
 	mpps := float64(st.DequeuedPackets) / elapsed.Seconds() / 1e6
 	gbps := float64(st.DequeuedPackets) * float64(a.pktBytes) * 8 / elapsed.Seconds() / 1e9
 	occPct := 100 * float64(peakResident.Load()) / float64(a.pool)
+	if occPct > 100 {
+		// Stats snapshots shards one lock at a time, not as an atomic cut,
+		// so a sampled sum can transiently exceed the pool.
+		occPct = 100
+	}
 	fmt.Println("shards,parallel,flows,policy,egress,pkt_bytes,offered,delivered,dropped,pushed_out,rejected,resident,peak_occupancy_pct,elapsed_s,mpps,gbps")
 	fmt.Printf("%d,%d,%d,%s,%s,%d,%d,%d,%d,%d,%d,%d,%.1f,%.3f,%.3f,%.3f\n",
 		e.Shards(), a.parallel, a.flows, kind, egKind, a.pktBytes,

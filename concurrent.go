@@ -3,14 +3,20 @@ package npqm
 import "npqm/internal/engine"
 
 // ConcurrentQueueManager is the goroutine-safe, sharded variant of
-// QueueManager: the flow space is hash-partitioned across independent
-// queue-manager shards (each with its own segment pool, free list and
-// lock), so enqueues and dequeues on different shards proceed in parallel.
-// Per-flow FIFO order is preserved — a flow always maps to the same shard.
+// QueueManager: the flow space is hash-partitioned across queue-manager
+// shards (one lock each), so enqueues and dequeues on different shards
+// proceed in parallel, while segment memory stays one shared pool — as in
+// the paper, where every per-flow queue allocates 64-byte segments from a
+// single data memory. Shards draw from the pool through per-shard magazine
+// caches (a lock-free depot underneath), so a single hot flow can consume
+// nearly the whole buffer and admission policies see true pool-wide
+// occupancy. Per-flow FIFO order is preserved — a flow always maps to the
+// same shard.
 //
 // This is the software analogue of how the paper's MMS scales: hardware
 // pipelines commands because per-flow state is independent; the sharded
-// engine turns that same independence into multi-core parallelism.
+// engine turns that same independence into multi-core parallelism without
+// fragmenting the buffer.
 type ConcurrentQueueManager struct {
 	e *engine.Engine
 }
@@ -25,9 +31,9 @@ type PacketEnqueue struct {
 type EngineStats = engine.Stats
 
 // NewConcurrentQueueManager allocates a sharded queue manager with the
-// given flow count (0 means 32K), total segment pool, and shard count
-// (0 means 8; rounded up to a power of two). The pool is divided evenly
-// across shards.
+// given flow count (0 means 32K), shared segment pool, and shard count
+// (0 means 8; rounded up to a power of two). All shards allocate from the
+// one pool.
 func NewConcurrentQueueManager(flows, segments, shards int) (*ConcurrentQueueManager, error) {
 	e, err := engine.New(engine.Config{
 		Shards:      shards,
@@ -76,8 +82,9 @@ func (cm *ConcurrentQueueManager) DequeueBatch(flows []uint32) ([][]byte, []erro
 	return cm.e.DequeueBatch(flows)
 }
 
-// MovePacket relinks the head packet of one flow onto another. Same-shard
-// moves are pure pointer surgery; cross-shard moves copy once.
+// MovePacket relinks the head packet of one flow onto another — pure
+// pointer surgery on the shared slab whether or not the flows share a
+// shard; data is never copied.
 func (cm *ConcurrentQueueManager) MovePacket(from, to uint32) (int, error) {
 	return cm.e.MovePacket(from, to)
 }
@@ -95,7 +102,7 @@ func (cm *ConcurrentQueueManager) SetFlowLimit(q uint32, limit int) error {
 	return cm.e.SetFlowLimit(q, limit)
 }
 
-// FreeSegments returns the aggregate remaining pool capacity.
+// FreeSegments returns the shared pool's free population.
 func (cm *ConcurrentQueueManager) FreeSegments() int { return cm.e.FreeSegments() }
 
 // DequeueNext serves one packet chosen by the configured egress

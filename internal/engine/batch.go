@@ -1,6 +1,10 @@
 package engine
 
-import "npqm/internal/queue"
+import (
+	"errors"
+
+	"npqm/internal/queue"
+)
 
 // This file implements the batched command path. A network processor never
 // handles one packet at a time: the dispatch loop pulls a burst from the
@@ -44,6 +48,11 @@ func (e *Engine) putBuckets(b *buckets) {
 // is nil when batch[i] was accepted. Relative order of packets on the same
 // flow is preserved, so per-flow FIFO holds across batches too. It returns
 // the total number of segments linked.
+//
+// When an LQD arrival needs push-out eviction the batch degrades to the
+// per-packet path for the rest of that shard's bucket: eviction must run
+// with no shard lock held (the victim may live on another shard), and
+// processing later same-flow packets inline would break per-flow FIFO.
 func (e *Engine) EnqueueBatch(batch []EnqueueReq) (segments int, errs []error) {
 	if len(batch) == 0 {
 		return 0, nil
@@ -59,9 +68,18 @@ func (e *Engine) EnqueueBatch(batch []EnqueueReq) (segments int, errs []error) {
 			continue
 		}
 		s := e.shards[si]
+		slow := -1 // first index needing lock-free slow-path handling
 		s.mu.Lock()
-		for _, i := range idxs {
+		for k, i := range idxs {
 			n, err := s.enqueueLocked(batch[i].Flow, batch[i].Data)
+			if err == errWantPushOut || //nolint:errorlint // internal sentinel, never wrapped
+				(err != nil && errors.Is(err, queue.ErrNoFreeSegments) && e.store.Free() > 0) {
+				// Push-out eviction or a stranded-cache flush must run with
+				// no shard lock held; hand the rest of the bucket to the
+				// per-packet path.
+				slow = k
+				break
+			}
 			if err != nil {
 				errs[i] = err
 				continue
@@ -69,6 +87,16 @@ func (e *Engine) EnqueueBatch(batch []EnqueueReq) (segments int, errs []error) {
 			segments += n
 		}
 		s.mu.Unlock()
+		if slow >= 0 {
+			for _, i := range idxs[slow:] {
+				n, err := e.EnqueuePacket(batch[i].Flow, batch[i].Data)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				segments += n
+			}
+		}
 	}
 	e.putBuckets(b)
 	return segments, errs
@@ -96,11 +124,11 @@ func (e *Engine) DequeueBatch(flows []uint32) (pkts [][]byte, errs []error) {
 		s := e.shards[si]
 		s.mu.Lock()
 		for _, i := range idxs {
-			buf := e.bufs.Get().([]byte)[:0]
+			buf := e.getBuf()
 			out, n, err := s.m.DequeuePacketAppend(queue.QueueID(flows[i]), buf)
 			s.noteDequeue(n, err)
 			if err != nil {
-				e.bufs.Put(buf)
+				e.putBuf(buf)
 				errs[i] = err
 				continue
 			}

@@ -141,14 +141,14 @@ func (e *Engine) dequeuePickedLocked(s *shard) (Dequeued, bool) {
 		if !ok {
 			return Dequeued{}, false
 		}
-		buf := e.bufs.Get().([]byte)[:0]
+		buf := e.getBuf()
 		data, segs, err := s.m.DequeuePacketAppend(queue.QueueID(flow), buf)
 		s.noteDequeue(segs, err)
 		if err != nil {
 			// The bitmap said active but no complete packet is available
 			// (raw-segment misuse): clear the bit so the pick loop cannot
 			// spin on this flow.
-			e.bufs.Put(buf)
+			e.putBuf(buf)
 			s.clearActive(flow)
 			continue
 		}

@@ -1,22 +1,31 @@
-// Package engine is the concurrent, sharded queue-manager subsystem: it
-// wraps N independent queue.Manager instances (one per shard, each with its
-// own segment pool, free list and mutex) behind a goroutine-safe API.
+// Package engine is the concurrent, sharded queue-manager subsystem: N
+// queue.Manager shards (one mutex each) drawing from one shared segment
+// store, behind a goroutine-safe API.
 //
 // The paper's MMS reaches its 6.1 Gbps by exploiting the independence of
 // per-flow state: every command touches one queue's pointers and the shared
 // free list, and the hardware pipelines commands because flows do not
 // interfere. Software gets the same parallelism by partitioning the flow
 // space: flows are hashed onto shards, each shard owns a private Manager
-// (flat pointer arrays and a private free list, so there is no shared
-// allocator to serialize on), and commands for different shards proceed on
-// different cores with no coordination at all. Per-flow FIFO order is
-// preserved because a flow always maps to the same shard and each shard is
-// internally sequential.
+// (its own queue table and lock), and commands for different shards proceed
+// on different cores. Per-flow FIFO order is preserved because a flow
+// always maps to the same shard and each shard is internally sequential.
+//
+// Segment memory, by contrast, is not partitioned — exactly as in the
+// paper, where all per-flow queues allocate 64-byte segments from one data
+// memory. Every shard allocates from a single segstore.Store through a
+// per-shard magazine cache, so the steady-state cost of sharing is one CAS
+// per ~64 segments while a single hot flow can still consume (nearly) the
+// whole pool. That makes the shared-buffer admission policies honest:
+// tail-drop, LQD and RED all consult pool-wide occupancy, LQD evicts the
+// globally longest queue, and the competitive guarantees stated for one
+// global buffer apply. Cross-shard MovePacket is pure pointer relinking on
+// the shared slab — no copy, no allocation.
 //
 // Batched operations (EnqueueBatch / DequeueBatch) amortize the per-shard
 // lock: a batch is bucketed by shard and each shard is locked once per
 // batch rather than once per packet. Payload buffers for reassembly are
-// recycled through a sync.Pool; callers return them with Release.
+// recycled through a bounded sync.Pool; callers return them with Release.
 package engine
 
 import (
@@ -28,21 +37,34 @@ import (
 
 	"npqm/internal/policy"
 	"npqm/internal/queue"
+	"npqm/internal/segstore"
 )
 
 // DefaultShards is the shard count used when Config.Shards is zero.
 const DefaultShards = 8
-
-// ErrShardMismatch is returned by MovePacket when the two flows hash to
-// different shards and data storage is disabled (so the packet cannot be
-// re-segmented through a copy).
-var ErrShardMismatch = errors.New("engine: flows map to different shards and data storage is off")
 
 // ErrAdmissionDrop is returned by the enqueue paths when the configured
 // admission policy refuses the arrival. The drop is counted in
 // Stats.DroppedPackets/DroppedSegments; it is the policy working as
 // intended, not a caller error.
 var ErrAdmissionDrop = errors.New("engine: packet dropped by admission policy")
+
+// errWantPushOut is an internal sentinel: the admission policy admitted the
+// arrival contingent on push-out eviction, which must run without the
+// arrival shard's lock held (the globally longest queue may live on another
+// shard, and shard locks never nest). The enqueue entry points catch it,
+// evict, and retry.
+var errWantPushOut = errors.New("engine: admission wants push-out eviction")
+
+// maxEvictAttempts bounds the evict-and-retry loop of an LQD arrival: under
+// heavy contention another shard can consume the freed space between the
+// eviction and the retry; after this many rounds the arrival is dropped.
+const maxEvictAttempts = 8
+
+// maxPooledBufBytes caps the capacity of reassembly buffers kept in the
+// engine's pool. A buffer that grew past this (one giant reassembled
+// packet) is dropped on Release instead of pinning its memory forever.
+const maxPooledBufBytes = 64 * queue.SegmentBytes
 
 // Config sizes an Engine.
 type Config struct {
@@ -53,8 +75,9 @@ type Config struct {
 	// 32K). Every shard accepts the full flow range; the hash decides
 	// which shard owns which flow.
 	NumFlows int
-	// NumSegments is the total segment pool, divided evenly across shards
-	// (required, >= Shards).
+	// NumSegments is the shared segment pool (required, > 0). All shards
+	// allocate from this one pool through per-shard magazine caches, so a
+	// single hot flow can consume (nearly) all of it.
 	NumSegments int
 	// StoreData controls whether payloads are stored (as in queue.Config).
 	StoreData bool
@@ -62,7 +85,9 @@ type Config struct {
 	PerFlowLimit int
 	// Admission selects the shared-buffer admission policy. The zero value
 	// (policy.KindNone) admits everything the pool can hold. Each shard
-	// gets a private policy instance consulted under the shard lock.
+	// gets a private policy instance consulted under the shard lock; all
+	// instances see pool-wide occupancy, so thresholds are fractions of
+	// the whole buffer and LQD evicts the globally longest queue.
 	Admission policy.Config
 	// Egress parameterizes the integrated egress scheduler used by
 	// DequeueNextBatch. The zero value is round-robin over active flows.
@@ -112,6 +137,7 @@ type shard struct {
 type Engine struct {
 	cfg    Config
 	shift  uint // 32 - log2(shards): top hash bits select the shard
+	store  *segstore.Store
 	shards []*shard
 
 	egCursor atomic.Uint32 // rotating start shard for DequeueNextBatch
@@ -120,8 +146,8 @@ type Engine struct {
 	bucketPool sync.Pool // per-shard index buckets for the batch paths
 }
 
-// New builds an Engine. The segment pool is split evenly across shards, the
-// first NumSegments%Shards shards taking one extra segment.
+// New builds an Engine: one shared segment store, one queue manager per
+// shard drawing from it through a magazine cache.
 func New(cfg Config) (*Engine, error) {
 	if cfg.Shards == 0 {
 		cfg.Shards = DefaultShards
@@ -135,31 +161,42 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.NumFlows == 0 {
 		cfg.NumFlows = queue.DefaultNumQueues
 	}
-	if cfg.NumSegments < cfg.Shards {
-		return nil, fmt.Errorf("engine: NumSegments %d < Shards %d", cfg.NumSegments, cfg.Shards)
+	if cfg.NumSegments <= 0 {
+		return nil, fmt.Errorf("engine: NumSegments must be positive, got %d", cfg.NumSegments)
 	}
 	if cfg.PerFlowLimit < 0 {
 		return nil, fmt.Errorf("engine: negative PerFlowLimit %d", cfg.PerFlowLimit)
 	}
 	// cfg.Admission and cfg.Egress are validated by the SetAdmission and
 	// SetEgress calls below.
+	// Scale the magazine size down for pools small relative to the shard
+	// count, so the depot always holds enough magazines that no shard can
+	// strand a large fraction of the pool in its cache.
+	mag := segstore.MagazineSegments
+	if perShard := cfg.NumSegments / (4 * cfg.Shards); perShard < mag {
+		mag = perShard
+		if mag < 1 {
+			mag = 1
+		}
+	}
+	store, err := segstore.New(segstore.Config{
+		NumSegments:  cfg.NumSegments,
+		SegmentBytes: queue.SegmentBytes,
+		StoreData:    cfg.StoreData,
+		MagazineSize: mag,
+	})
+	if err != nil {
+		return nil, err
+	}
 	e := &Engine{
 		cfg:    cfg,
 		shift:  uint(32 - bits.TrailingZeros(uint(cfg.Shards))),
+		store:  store,
 		shards: make([]*shard, cfg.Shards),
 	}
 	e.bufs.New = func() any { return make([]byte, 0, 4*queue.SegmentBytes) }
-	per, extra := cfg.NumSegments/cfg.Shards, cfg.NumSegments%cfg.Shards
 	for i := range e.shards {
-		segs := per
-		if i < extra {
-			segs++
-		}
-		m, err := queue.New(queue.Config{
-			NumQueues:   cfg.NumFlows,
-			NumSegments: segs,
-			StoreData:   cfg.StoreData,
-		})
+		m, err := queue.NewWithStore(queue.Config{NumQueues: cfg.NumFlows}, store.NewCache())
 		if err != nil {
 			return nil, err
 		}
@@ -237,24 +274,60 @@ func (e *Engine) shardOf(flow uint32) *shard {
 // EnqueuePacket segments data onto flow, returning the segment count. When
 // an admission policy is configured it is consulted first; a refusal
 // returns ErrAdmissionDrop, and under LQD the arrival may instead evict
-// packets from the shard's longest queue to make room.
+// packets from the globally longest queue — on any shard — to make room.
 func (e *Engine) EnqueuePacket(flow uint32, data []byte) (int, error) {
 	s := e.shardOf(flow)
-	s.mu.Lock()
-	n, err := s.enqueueLocked(flow, data)
-	s.mu.Unlock()
-	return n, err
+	need := (len(data) + queue.SegmentBytes - 1) / queue.SegmentBytes
+	for attempt := 0; ; attempt++ {
+		s.mu.Lock()
+		n, err := s.enqueueLocked(flow, data)
+		s.mu.Unlock()
+		switch {
+		case err == errWantPushOut: //nolint:errorlint // internal sentinel, never wrapped
+			if attempt >= maxEvictAttempts || !e.evictForSpace(need) {
+				// Nothing left to evict (or the freed space kept being
+				// stolen): the arrival is dropped after all.
+				s.mu.Lock()
+				s.dropPackets++
+				s.dropSegments += uint64(need)
+				s.mu.Unlock()
+				return 0, ErrAdmissionDrop
+			}
+		case attempt < maxEvictAttempts && errors.Is(err, queue.ErrNoFreeSegments) && e.store.Free() >= need:
+			// The pool holds enough free segments, but they are stranded in
+			// other shards' magazine caches. Flush every cache to the depot
+			// and retry (bounded — concurrent shards can re-strand frees
+			// while we flush); the refused attempts stay counted in
+			// Rejected.
+			e.flushCaches()
+		default:
+			return n, err
+		}
+	}
+}
+
+// flushCaches returns every shard's cached free segments to the depot so
+// any shard can allocate them. Slow path only: it takes each shard lock in
+// turn (never nested).
+func (e *Engine) flushCaches() {
+	for _, s := range e.shards {
+		s.mu.Lock()
+		s.m.FlushFree()
+		s.mu.Unlock()
+	}
 }
 
 // enqueueLocked runs admission then the manager enqueue; caller holds s.mu.
 // Drops return the bare ErrAdmissionDrop sentinel: overloaded callers see
-// millions of drops, so the error must not allocate.
+// millions of drops, so the error must not allocate. errWantPushOut asks
+// the caller to release the lock, evict globally, and retry.
 func (s *shard) enqueueLocked(flow uint32, data []byte) (int, error) {
 	if s.adm != nil && len(data) > 0 {
 		need := (len(data) + queue.SegmentBytes - 1) / queue.SegmentBytes
 		if s.admKind == policy.KindTailDrop {
-			// Inline fast path: the verdict is two compares on counters
-			// that are already cache-hot under the shard lock.
+			// Inline fast path: one pool-wide free-count read (an atomic
+			// load per cache) and a per-queue cap compare, with no
+			// interface dispatch.
 			segs, err := s.m.Len(queue.QueueID(flow))
 			if err == nil && (need > s.m.FreeSegments() ||
 				(s.admLimit > 0 && segs+need > s.admLimit)) {
@@ -262,8 +335,15 @@ func (s *shard) enqueueLocked(flow uint32, data []byte) (int, error) {
 				s.dropSegments += uint64(need)
 				return 0, ErrAdmissionDrop
 			}
-		} else if !s.admitLocked(flow, need, true) {
-			return 0, ErrAdmissionDrop
+		} else {
+			switch s.admitLocked(flow, need) {
+			case admitDrop:
+				s.dropPackets++
+				s.dropSegments += uint64(need)
+				return 0, ErrAdmissionDrop
+			case admitPushOut:
+				return 0, errWantPushOut
+			}
 		}
 	}
 	n, err := s.m.EnqueuePacket(queue.QueueID(flow), data)
@@ -274,69 +354,103 @@ func (s *shard) enqueueLocked(flow uint32, data []byte) (int, error) {
 	return n, err
 }
 
-// admitTransferLocked consults the admission policy for a packet of need
-// segments transferring into this shard via a cross-shard MovePacket;
-// caller holds s.mu. Refusals are not counted as drops — the packet stays
-// on its source queue — but push-out verdicts still evict (and count as
-// pushed-out), matching what a direct arrival would have caused.
-func (s *shard) admitTransferLocked(flow uint32, need int) bool {
-	if s.adm == nil {
-		return true
-	}
-	return s.admitLocked(flow, need, false)
-}
+// admitResult is the outcome of consulting the admission policy.
+type admitResult uint8
+
+const (
+	admitOK      admitResult = iota // proceed with the enqueue
+	admitDrop                       // refuse the arrival
+	admitPushOut                    // admit after global eviction (caller handles)
+)
 
 // admitLocked consults the admission policy for a packet of need segments
-// entering this shard, performing push-out eviction when the verdict asks
-// for it; caller holds s.mu and has checked s.adm != nil. countDrops
-// selects arrival semantics (refusals counted as drops) versus transfer
-// semantics (the packet survives elsewhere). It reports whether the
-// packet may proceed.
-func (s *shard) admitLocked(flow uint32, need int, countDrops bool) bool {
-	refuse := func() bool {
-		if countDrops {
-			s.dropPackets++
-			s.dropSegments += uint64(need)
-		}
-		return false
-	}
+// arriving on this shard; caller holds s.mu and has checked s.adm != nil.
+// The policy sees pool-wide occupancy. A PushOut verdict is not executed
+// here: the globally longest queue may live on another shard, and shard
+// locks never nest, so the caller evicts after releasing this lock.
+func (s *shard) admitLocked(flow uint32, need int) admitResult {
 	occ, err := s.m.Occupancy(queue.QueueID(flow))
 	if err != nil {
-		return true // out-of-range flow: let the manager report ErrBadQueue
+		return admitOK // out-of-range flow: let the manager report ErrBadQueue
 	}
 	if lim, _ := s.m.SegmentLimit(queue.QueueID(flow)); lim > 0 && occ.Segments+need > lim {
 		// The manager's per-flow cap will refuse this packet no matter
 		// what the policy says; pass it through so the caller sees
 		// ErrQueueLimit — and, crucially, so a push-out verdict does not
 		// evict an innocent victim for an arrival that cannot land.
-		return true
+		return admitOK
 	}
+	// Free() walks every cache's atomic mirror; read it once per decision.
+	free := s.m.FreeSegments()
 	verdict := s.adm.Admit(flow, need,
 		policy.QueueState{Segments: occ.Segments},
-		policy.PoolState{Free: s.m.FreeSegments(), Capacity: s.m.NumSegments()})
+		policy.PoolState{Free: free, Capacity: s.m.NumSegments()})
 	switch verdict {
 	case policy.Drop:
-		return refuse()
+		return admitDrop
 	case policy.PushOut:
-		for s.m.FreeSegments() < need {
-			q, segs, err := s.m.PushOutLongest()
-			if err != nil {
-				// Nothing left to evict; refuse instead.
-				return refuse()
-			}
-			s.poPackets++
-			s.poSegments += uint64(segs)
-			s.syncActive(uint32(q))
+		if free >= need {
+			return admitOK // the policy is stricter than the pool; no eviction needed
+		}
+		return admitPushOut
+	}
+	return admitOK
+}
+
+// evictForSpace implements the global half of LQD: push out head packets of
+// the globally longest queue — wherever it lives — until the shared pool
+// holds need free segments. Shard locks are taken one at a time (peek, then
+// evict), never nested, so concurrent evictions from different shards
+// cannot deadlock. The victim's magazine cache is flushed so the freed
+// segments are reachable from the arrival's shard. Returns false when no
+// victim remains.
+func (e *Engine) evictForSpace(need int) bool {
+	for rounds := 0; e.store.Free() < need; rounds++ {
+		if rounds > e.cfg.NumSegments {
+			return false // livelock guard; cannot trigger without contention
+		}
+		victim := e.longestShard()
+		if victim == nil {
+			return false
+		}
+		victim.mu.Lock()
+		q, segs, err := victim.m.PushOutLongest()
+		if err == nil {
+			victim.poPackets++
+			victim.poSegments += uint64(segs)
+			victim.syncActive(uint32(q))
+			victim.m.FlushFree()
+		}
+		victim.mu.Unlock()
+		if err != nil {
+			return false
 		}
 	}
 	return true
+}
+
+// longestShard returns the shard holding the longest queue right now, or
+// nil when every queue is empty. Each shard is peeked under its own lock;
+// with LQD configured the per-shard lookup is O(1) via the longest-queue
+// heap.
+func (e *Engine) longestShard() *shard {
+	var victim *shard
+	best := 0
+	for _, s := range e.shards {
+		s.mu.Lock()
+		if _, l, ok := s.m.LongestQueue(); ok && l > best {
+			best, victim = l, s
+		}
+		s.mu.Unlock()
+	}
+	return victim
 }
 
 // DequeuePacket removes and reassembles the head packet of flow. The
 // returned buffer comes from an internal pool; pass it to Release when done
 // to recycle it (keeping it, or not releasing, is safe but allocates more).
 func (e *Engine) DequeuePacket(flow uint32) ([]byte, error) {
-	buf := e.bufs.Get().([]byte)[:0]
+	buf := e.getBuf()
 	s := e.shardOf(flow)
 	s.mu.Lock()
 	out, n, err := s.m.DequeuePacketAppend(queue.QueueID(flow), buf)
@@ -346,7 +460,7 @@ func (e *Engine) DequeuePacket(flow uint32) ([]byte, error) {
 	}
 	s.mu.Unlock()
 	if err != nil {
-		e.bufs.Put(buf)
+		e.putBuf(buf)
 		return nil, err
 	}
 	return out, nil
@@ -354,24 +468,29 @@ func (e *Engine) DequeuePacket(flow uint32) ([]byte, error) {
 
 // Release returns a buffer obtained from DequeuePacket or DequeueBatch to
 // the engine's pool. The caller must not use buf afterwards.
-func (e *Engine) Release(buf []byte) {
-	if cap(buf) == 0 {
+func (e *Engine) Release(buf []byte) { e.putBuf(buf) }
+
+// getBuf takes a reassembly buffer from the pool.
+func (e *Engine) getBuf() []byte { return e.bufs.Get().([]byte)[:0] }
+
+// putBuf recycles a reassembly buffer, unless it grew past
+// maxPooledBufBytes: pooling one giant reassembled packet would pin its
+// memory for the engine's lifetime.
+func (e *Engine) putBuf(buf []byte) {
+	if c := cap(buf); c == 0 || c > maxPooledBufBytes {
 		return
 	}
 	e.bufs.Put(buf[:0])
 }
 
-// MovePacket relinks the head packet of from onto to. When both flows live
-// on the same shard this is pure pointer surgery; across shards the packet
-// is reassembled and re-segmented (one copy), which requires StoreData.
-// Either way a move leaves the traffic counters untouched — the packet
-// neither entered nor left the engine.
-//
-// The admission policy applies to the destination: a same-shard move (pool
-// occupancy unchanged) honors only the tail-drop per-queue cap; a
-// cross-shard move consumes the destination shard's pool, so the full
-// policy runs there — LQD may push out to make room, and a refusal
-// returns ErrAdmissionDrop with the packet left on its source queue.
+// MovePacket relinks the head packet of from onto to — pure pointer surgery
+// on the shared slab whether or not the flows share a shard. A move leaves
+// the traffic counters untouched (the packet neither entered nor left the
+// engine) and allocates nothing: the segments are already resident, so
+// pool-pressure admission (LQD push-out, RED) does not apply. Only the
+// per-queue caps guard the destination — the tail-drop per-queue limit
+// (ErrAdmissionDrop) and the per-flow segment cap (ErrQueueLimit); a
+// refused move leaves the packet on its source queue.
 func (e *Engine) MovePacket(from, to uint32) (int, error) {
 	si, di := e.ShardOf(from), e.ShardOf(to)
 	if si == di {
@@ -392,55 +511,44 @@ func (e *Engine) MovePacket(from, to uint32) (int, error) {
 		}
 		return n, err
 	}
-	if !e.cfg.StoreData {
-		return 0, ErrShardMismatch
-	}
 	src, dst := e.shards[si], e.shards[di]
-	buf := e.bufs.Get().([]byte)[:0]
 	src.mu.Lock()
-	data, segs, err := src.m.DequeuePacketAppend(queue.QueueID(from), buf)
+	ch, err := src.m.UnlinkHeadPacket(queue.QueueID(from))
 	if err == nil {
 		src.syncActive(from)
 	}
 	src.mu.Unlock()
 	if err != nil {
-		e.bufs.Put(buf)
 		return 0, err
 	}
-	var n int
+	// The chain is in transit, owned by this goroutine; neither shard can
+	// see a half-moved packet.
 	dst.mu.Lock()
-	if dst.admitTransferLocked(to, segs) {
-		n, err = dst.m.EnqueuePacket(queue.QueueID(to), data)
+	if dst.adm != nil && dst.admKind == policy.KindTailDrop && dst.admLimit > 0 {
+		if dstSegs, derr := dst.m.Len(queue.QueueID(to)); derr == nil && dstSegs+ch.Segs > dst.admLimit {
+			err = ErrAdmissionDrop
+		}
+	}
+	if err == nil {
+		err = dst.m.LinkPacketTail(queue.QueueID(to), ch)
 		if err == nil {
 			dst.setActive(to)
 		}
-	} else {
-		err = ErrAdmissionDrop
 	}
 	dst.mu.Unlock()
 	if err != nil {
-		// Restore the packet to its source flow so the move is
-		// all-or-nothing from the caller's point of view.
+		// Restore the packet at the head of its source queue. This is
+		// pointer relinking that cannot fail, so a refused move is
+		// all-or-nothing — the pre-segstore copy path could lose the
+		// packet when the rollback enqueue found the source pool refilled,
+		// and miscounted the loss as a push-out.
 		src.mu.Lock()
-		_, rerr := src.m.EnqueuePacket(queue.QueueID(from), data)
-		if rerr == nil {
-			src.setActive(from)
-		} else {
-			// The packet is gone: count it as an eviction on the source
-			// shard so the conservation law (enqueued = dequeued +
-			// pushed-out + resident) keeps holding.
-			src.poPackets++
-			src.poSegments += uint64(segs)
-		}
+		_ = src.m.LinkPacketHead(queue.QueueID(from), ch)
+		src.setActive(from)
 		src.mu.Unlock()
-		e.Release(data)
-		if rerr != nil {
-			return 0, fmt.Errorf("engine: cross-shard move failed (%w) and rollback failed (%v): packet dropped", err, rerr)
-		}
 		return 0, err
 	}
-	e.Release(data)
-	return n, nil
+	return ch.Segs, nil
 }
 
 // DeletePacket drops the head packet of flow, returning its segment count.
@@ -483,16 +591,9 @@ func (e *Engine) SetFlowLimit(flow uint32, limit int) error {
 	return err
 }
 
-// FreeSegments returns the aggregate free-list population across shards.
-func (e *Engine) FreeSegments() int {
-	total := 0
-	for _, s := range e.shards {
-		s.mu.Lock()
-		total += s.m.FreeSegments()
-		s.mu.Unlock()
-	}
-	return total
-}
+// FreeSegments returns the shared pool's free population (depot plus every
+// shard's magazine cache). Lock-free.
+func (e *Engine) FreeSegments() int { return e.store.Free() }
 
 // noteEnqueue records an enqueue outcome; caller holds s.mu.
 func (s *shard) noteEnqueue(segments int, err error) {

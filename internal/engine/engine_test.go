@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"npqm/internal/queue"
@@ -24,8 +25,12 @@ func TestConfigValidation(t *testing.T) {
 	if _, err := New(Config{Shards: -1, NumSegments: 16}); err == nil {
 		t.Error("negative Shards accepted")
 	}
-	if _, err := New(Config{Shards: 8, NumSegments: 4}); err == nil {
-		t.Error("NumSegments < Shards accepted")
+	if _, err := New(Config{Shards: 8}); err == nil {
+		t.Error("zero NumSegments accepted")
+	}
+	// The pool is shared: fewer segments than shards is legal now.
+	if _, err := New(Config{Shards: 8, NumSegments: 4}); err != nil {
+		t.Errorf("NumSegments < Shards rejected on a shared pool: %v", err)
 	}
 	if _, err := New(Config{Shards: 4, NumSegments: 16, PerFlowLimit: -2}); err == nil {
 		t.Error("negative PerFlowLimit accepted")
@@ -172,6 +177,9 @@ func TestMovePacketSameAndCrossShard(t *testing.T) {
 }
 
 func TestMovePacketCrossShardNoData(t *testing.T) {
+	// Cross-shard moves are pointer relinking on the shared slab, so they
+	// work even with payload storage off (the pre-segstore engine had to
+	// refuse them: it could only move across shards by copying data).
 	e, err := New(Config{Shards: 4, NumFlows: 1024, NumSegments: 4096})
 	if err != nil {
 		t.Fatal(err)
@@ -183,11 +191,20 @@ func TestMovePacketCrossShardNoData(t *testing.T) {
 			break
 		}
 	}
-	if _, err := e.EnqueuePacket(0, make([]byte, 64)); err != nil {
+	if _, err := e.EnqueuePacket(0, make([]byte, 130)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.MovePacket(0, cross); !errors.Is(err, ErrShardMismatch) {
-		t.Errorf("cross-shard move without data storage: %v", err)
+	if n, err := e.MovePacket(0, cross); err != nil || n != 3 {
+		t.Fatalf("cross-shard move without data storage = (%d, %v), want (3, nil)", n, err)
+	}
+	if l, _ := e.Len(cross); l != 3 {
+		t.Errorf("destination holds %d segments, want 3", l)
+	}
+	if l, _ := e.Len(0); l != 0 {
+		t.Errorf("source still holds %d segments", l)
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -277,7 +294,7 @@ func TestBatchRoundTrip(t *testing.T) {
 
 func TestBatchPartialFailure(t *testing.T) {
 	e := newTest(t, 2, 64, 64)
-	big := make([]byte, 64*queue.SegmentBytes) // more than one shard holds
+	big := make([]byte, 65*queue.SegmentBytes) // more than the whole pool
 	_, errs := e.EnqueueBatch([]EnqueueReq{
 		{Flow: 1, Data: make([]byte, 64)},
 		{Flow: 2, Data: big},
@@ -512,10 +529,10 @@ func TestShardStats(t *testing.T) {
 		t.Fatalf("ShardStats len = %d", len(per))
 	}
 	var pkts uint64
-	var pool int
+	var queued int
 	for _, s := range per {
 		pkts += s.EnqueuedPackets
-		pool += s.PoolSegments
+		queued += s.QueuedSegments
 		if s.EnqueuedPackets == 0 {
 			t.Errorf("shard %d saw no traffic — hash imbalance", s.Shard)
 		}
@@ -523,8 +540,11 @@ func TestShardStats(t *testing.T) {
 	if pkts != 256 {
 		t.Errorf("total enqueued = %d, want 256", pkts)
 	}
-	if pool != 1024 {
-		t.Errorf("pool across shards = %d, want 1024", pool)
+	if queued != 256 {
+		t.Errorf("queued across shards = %d, want 256", queued)
+	}
+	if st := e.Stats(); st.QueuedSegments+st.FreeSegments != 1024 {
+		t.Errorf("queued %d + free %d != pool 1024", st.QueuedSegments, st.FreeSegments)
 	}
 }
 
@@ -551,4 +571,176 @@ func BenchmarkEngineEnqueueDequeue(b *testing.B) {
 			})
 		})
 	}
+}
+
+// TestHotFlowConsumesSharedPool is the shared-buffer acceptance test: with
+// several shards, one hot flow must be able to occupy (nearly) the whole
+// pool. Under the old per-shard pool split a flow could never exceed
+// NumSegments/Shards — 25% here.
+func TestHotFlowConsumesSharedPool(t *testing.T) {
+	const segments = 4096
+	e := newTest(t, 4, 256, segments)
+	hot := uint32(42)
+	for {
+		if _, err := e.EnqueuePacket(hot, make([]byte, queue.SegmentBytes)); err != nil {
+			if !errors.Is(err, queue.ErrNoFreeSegments) {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	n, err := e.Len(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min := segments * 9 / 10; n < min {
+		t.Fatalf("hot flow occupies %d of %d segments, want >= %d (90%%)", n, segments, min)
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Drain and confirm the pool comes back whole.
+	for {
+		data, err := e.DequeuePacket(hot)
+		if err != nil {
+			break
+		}
+		e.Release(data)
+	}
+	if free := e.FreeSegments(); free != segments {
+		t.Fatalf("FreeSegments = %d, want %d after drain", free, segments)
+	}
+}
+
+// TestConcurrentCrossShardMoves hammers cross-shard MovePacket (pointer
+// relinking between shards on the shared slab) concurrently with producers
+// and consumers, then drains and checks segment conservation and payload
+// integrity. Run under -race.
+func TestConcurrentCrossShardMoves(t *testing.T) {
+	const (
+		flows    = 64
+		segments = 8192
+		perProd  = 3000
+	)
+	e := newTest(t, 8, flows, segments)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Producers: stamped payloads so corruption is detectable.
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			pkt := make([]byte, 130)
+			for i := 0; i < perProd; i++ {
+				for b := range pkt {
+					pkt[b] = byte(i)
+				}
+				f := uint32((p*perProd + i) % flows)
+				if _, err := e.EnqueuePacket(f, pkt); err != nil &&
+					!errors.Is(err, queue.ErrNoFreeSegments) {
+					t.Errorf("producer: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	// Movers: shuffle head packets between random flows (mostly cross-shard).
+	var moved atomic.Uint64
+	for m := 0; m < 3; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				from := uint32((m*31 + i*7) % flows)
+				to := uint32((m*17 + i*13) % flows)
+				if _, err := e.MovePacket(from, to); err == nil {
+					moved.Add(1)
+				} else if !errors.Is(err, queue.ErrQueueEmpty) && !errors.Is(err, queue.ErrNoPacket) {
+					t.Errorf("mover: %v", err)
+					return
+				}
+			}
+		}(m)
+	}
+	// Consumers: drain through the direct path.
+	var consWG sync.WaitGroup
+	for c := 0; c < 2; c++ {
+		consWG.Add(1)
+		go func(c int) {
+			defer consWG.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				data, err := e.DequeuePacket(uint32((c*100 + i) % flows))
+				if err == nil {
+					// Every byte of a packet must carry the same stamp:
+					// a torn move would interleave two packets.
+					for _, b := range data {
+						if b != data[0] {
+							t.Errorf("corrupt packet: stamp %d vs %d", data[0], b)
+							e.Release(data)
+							return
+						}
+					}
+					e.Release(data)
+				} else if !errors.Is(err, queue.ErrQueueEmpty) && !errors.Is(err, queue.ErrNoPacket) {
+					t.Errorf("consumer: %v", err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(stop)
+	consWG.Wait()
+	for f := uint32(0); f < flows; f++ {
+		for {
+			data, err := e.DequeuePacket(f)
+			if err != nil {
+				break
+			}
+			e.Release(data)
+		}
+	}
+	if moved.Load() == 0 {
+		t.Error("no moves succeeded; test exercised nothing")
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if free := e.FreeSegments(); free != segments {
+		t.Fatalf("FreeSegments = %d, want %d after drain", free, segments)
+	}
+	st := e.Stats()
+	if st.EnqueuedSegments != st.DequeuedSegments {
+		t.Errorf("conservation: enqueued %d != dequeued %d", st.EnqueuedSegments, st.DequeuedSegments)
+	}
+}
+
+// TestReleaseBoundsPool verifies the reassembly-buffer pool drops oversized
+// buffers instead of pinning them: a giant reassembled packet must not
+// leave a giant buffer in the pool.
+func TestReleaseBoundsPool(t *testing.T) {
+	e := newTest(t, 1, 16, 1024)
+	big := make([]byte, 200*queue.SegmentBytes)
+	if _, err := e.EnqueuePacket(1, big); err != nil {
+		t.Fatal(err)
+	}
+	data, err := e.DequeuePacket(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != len(big) {
+		t.Fatalf("reassembled %d bytes, want %d", len(data), len(big))
+	}
+	e.Release(data) // must not be pooled
+	if buf := e.getBuf(); cap(buf) > maxPooledBufBytes {
+		t.Fatalf("pool returned a %d-byte buffer, cap is %d", cap(buf), maxPooledBufBytes)
+	}
+	// Small buffers do recycle.
+	small := make([]byte, 0, 2*queue.SegmentBytes)
+	e.putBuf(small)
 }

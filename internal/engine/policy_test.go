@@ -539,9 +539,10 @@ func TestMovePacketHonorsAdmission(t *testing.T) {
 	}
 }
 
-func TestCrossShardMoveLQDPushesOut(t *testing.T) {
-	// Two shards, LQD: moving into a full shard must push out there, not
-	// fail with ErrNoFreeSegments like the pre-policy engine did.
+func TestCrossShardMoveIntoFullPool(t *testing.T) {
+	// A cross-shard move allocates nothing — the packet's segments are
+	// already resident in the shared pool — so it must succeed even when
+	// the pool is completely full, and must not evict anything.
 	e, err := New(Config{
 		Shards: 2, NumFlows: 64, NumSegments: 16, StoreData: true,
 		Admission: policy.Config{Kind: policy.KindLQD},
@@ -557,25 +558,73 @@ func TestCrossShardMoveLQDPushesOut(t *testing.T) {
 			break
 		}
 	}
-	// Fill the destination shard completely via dst.
-	for {
-		if _, err := e.EnqueuePacket(dst, seg(2)); err != nil {
-			t.Fatal(err)
-		}
-		if e.shards[e.ShardOf(dst)].m.FreeSegments() == 0 {
-			break
-		}
-	}
 	if _, err := e.EnqueuePacket(src, seg(2)); err != nil {
 		t.Fatal(err)
 	}
+	// Fill the rest of the pool via dst.
+	for e.FreeSegments() > 0 {
+		if _, err := e.EnqueuePacket(dst, seg(2)); err != nil {
+			t.Fatal(err)
+		}
+	}
 	n, err := e.MovePacket(src, dst)
 	if err != nil || n != 2 {
-		t.Fatalf("cross-shard move into full LQD shard = (%d, %v), want (2, nil) via push-out", n, err)
+		t.Fatalf("cross-shard move with full pool = (%d, %v), want (2, nil)", n, err)
+	}
+	st := e.Stats()
+	if st.PushedOutPackets != 0 {
+		t.Fatalf("move evicted %d packets; it allocates nothing and must not push out", st.PushedOutPackets)
+	}
+	if l, _ := e.Len(dst); l != 16 {
+		t.Fatalf("destination holds %d segments, want 16", l)
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLQDEvictsAcrossShards(t *testing.T) {
+	// Global LQD: the hog and the arrival live on different shards; the
+	// arrival's shard must evict the globally longest queue on the other
+	// shard — impossible under the old per-shard pool split, where the
+	// arrival's shard could only see (and evict from) its own fragment.
+	e, err := New(Config{
+		Shards: 4, NumFlows: 256, NumSegments: 64, StoreData: true,
+		Admission: policy.Config{Kind: policy.KindLQD},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hog := uint32(0)
+	victim := uint32(0)
+	for f := uint32(1); f < 256; f++ {
+		if e.ShardOf(f) != e.ShardOf(hog) {
+			victim = f
+			break
+		}
+	}
+	// The hog fills the whole shared pool from its shard.
+	for i := 0; i < 16; i++ {
+		if _, err := e.EnqueuePacket(hog, seg(4)); err != nil {
+			t.Fatalf("hog enqueue %d: %v", i, err)
+		}
+	}
+	if free := e.FreeSegments(); free != 0 {
+		t.Fatalf("pool should be full, %d free", free)
+	}
+	// An arrival on another shard pushes the hog out.
+	if _, err := e.EnqueuePacket(victim, seg(2)); err != nil {
+		t.Fatalf("LQD should have admitted via cross-shard push-out, got %v", err)
 	}
 	st := e.Stats()
 	if st.PushedOutPackets == 0 {
-		t.Fatal("no push-out recorded for the cross-shard move")
+		t.Fatal("no push-out recorded")
+	}
+	if n, _ := e.Len(hog); n != 60 {
+		t.Fatalf("hog holds %d segments, want 60 (one 4-segment packet evicted)", n)
+	}
+	if n, _ := e.Len(victim); n != 2 {
+		t.Fatalf("arrival holds %d segments, want 2", n)
 	}
 	if err := e.CheckInvariants(); err != nil {
 		t.Fatal(err)

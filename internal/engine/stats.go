@@ -28,13 +28,15 @@ type Stats struct {
 	PushedOutSegments uint64
 
 	// Occupancy.
-	FreeSegments   int   // aggregate free-list population
+	FreeSegments   int   // shared-pool free population (depot + caches)
 	QueuedSegments int   // segments currently linked into flow queues
 	BufferedBytes  int64 // payload bytes across all queued segments
 	ActiveFlows    int   // flows with at least one queued segment
 }
 
 // ShardStat is the per-shard slice of Stats, for load-balance inspection.
+// Segment memory is shared (there is no per-shard pool), so the occupancy
+// columns report what this shard's queues hold of the common pool.
 type ShardStat struct {
 	Shard            int
 	EnqueuedPackets  uint64
@@ -42,11 +44,9 @@ type ShardStat struct {
 	Rejected         uint64
 	DroppedPackets   uint64
 	PushedOutPackets uint64
-	FreeSegments     int
-	QueuedSegments   int
+	QueuedSegments   int // segments this shard's queues hold
 	BufferedBytes    int64
 	ActiveFlows      int
-	PoolSegments     int // this shard's share of the segment pool
 }
 
 // Stats aggregates counters and occupancy across shards. Each shard is
@@ -66,13 +66,12 @@ func (e *Engine) Stats() Stats {
 		st.DroppedSegments += s.dropSegments
 		st.PushedOutPackets += s.poPackets
 		st.PushedOutSegments += s.poSegments
-		free := s.m.FreeSegments()
-		st.FreeSegments += free
-		st.QueuedSegments += s.m.NumSegments() - free
+		st.QueuedSegments += s.m.QueuedSegments()
 		st.BufferedBytes += int64(s.m.TotalBuffered())
 		st.ActiveFlows += s.activeFlows
 		s.mu.Unlock()
 	}
+	st.FreeSegments = e.store.Free()
 	return st
 }
 
@@ -81,7 +80,6 @@ func (e *Engine) ShardStats() []ShardStat {
 	out := make([]ShardStat, len(e.shards))
 	for i, s := range e.shards {
 		s.mu.Lock()
-		free := s.m.FreeSegments()
 		out[i] = ShardStat{
 			Shard:            i,
 			EnqueuedPackets:  s.enqPackets,
@@ -89,50 +87,51 @@ func (e *Engine) ShardStats() []ShardStat {
 			Rejected:         s.rejected,
 			DroppedPackets:   s.dropPackets,
 			PushedOutPackets: s.poPackets,
-			FreeSegments:     free,
-			QueuedSegments:   s.m.NumSegments() - free,
+			QueuedSegments:   s.m.QueuedSegments(),
 			BufferedBytes:    int64(s.m.TotalBuffered()),
 			ActiveFlows:      s.activeFlows,
-			PoolSegments:     s.m.NumSegments(),
 		}
 		s.mu.Unlock()
 	}
 	return out
 }
 
-// CheckInvariants validates every shard's pointer discipline, the active
-// bitmap, and the engine-wide conservation laws: free + queued across
-// shards equals the configured pool, and every enqueued segment was either
-// dequeued, pushed out by the admission policy, or is still resident
-// (enqueued = dequeued + pushed-out + resident). It takes all shard locks
-// one at a time, so it is only a consistent global check when the engine
-// is quiescent.
+// CheckInvariants validates every shard's queue discipline, the active
+// bitmaps, the shared store's free structures, and the engine-wide
+// conservation laws: free + queued + floating equals the configured pool,
+// and every enqueued segment was either dequeued, pushed out by the
+// admission policy, or is still resident (enqueued = dequeued + pushed-out
+// + resident). It takes shard locks one at a time, so it is only a
+// consistent global check when the engine is quiescent.
 func (e *Engine) CheckInvariants() error {
-	totalSegs := 0
 	var enq, deq, pushed uint64
-	resident := 0
+	queued, floating := 0, 0
 	for i, s := range e.shards {
 		s.mu.Lock()
 		err := s.m.CheckInvariants()
 		if err == nil {
 			err = s.checkActiveLocked(i)
 		}
-		totalSegs += s.m.NumSegments()
 		enq += s.enqSegments
 		deq += s.deqSegments
 		pushed += s.poSegments
-		resident += s.m.NumSegments() - s.m.FreeSegments()
+		queued += s.m.QueuedSegments()
+		floating += s.m.Floating()
 		s.mu.Unlock()
 		if err != nil {
 			return err
 		}
 	}
-	if totalSegs != e.cfg.NumSegments {
-		return fmt.Errorf("engine: shard pools hold %d segments, config says %d", totalSegs, e.cfg.NumSegments)
+	if err := e.store.CheckInvariants(); err != nil {
+		return err
 	}
-	if enq != deq+pushed+uint64(resident) {
+	if free := e.store.Free(); free+queued+floating != e.cfg.NumSegments {
+		return fmt.Errorf("engine: conservation violated: %d free + %d queued + %d floating != %d",
+			free, queued, floating, e.cfg.NumSegments)
+	}
+	if enq != deq+pushed+uint64(queued) {
 		return fmt.Errorf("engine: segment conservation violated: enqueued %d != dequeued %d + pushed-out %d + resident %d",
-			enq, deq, pushed, resident)
+			enq, deq, pushed, queued)
 	}
 	return nil
 }

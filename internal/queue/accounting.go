@@ -82,6 +82,7 @@ func (m *Manager) TotalBuffered() int { return int(m.totalBytes) }
 func (m *Manager) noteLink(q QueueID, s Seg) {
 	m.qbytes[q] += int32(m.segLen[s])
 	m.totalBytes += int64(m.segLen[s])
+	m.queuedSegs++
 	if m.eop[s] {
 		m.qpkts[q]++
 	}
@@ -92,6 +93,7 @@ func (m *Manager) noteLink(q QueueID, s Seg) {
 func (m *Manager) noteUnlink(q QueueID, s Seg) {
 	m.qbytes[q] -= int32(m.segLen[s])
 	m.totalBytes -= int64(m.segLen[s])
+	m.queuedSegs--
 	if m.eop[s] {
 		m.qpkts[q]--
 	}

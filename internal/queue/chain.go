@@ -1,0 +1,103 @@
+package queue
+
+// Cross-manager packet transfer. Managers built over one shared
+// segstore.Store alias the same slab, so a packet can move between two
+// managers (the engine's shards) by pure pointer relinking — the MMS "Move
+// a packet to a new queue" command generalized across shards — instead of
+// the reassemble-and-copy the split-pool engine needed. The segments stay
+// in the queued state while in transit: they are owned by the moving caller
+// between the unlink and the link, and are never visible to either manager
+// in a half-moved state.
+
+import "fmt"
+
+// PacketChain is a packet unlinked from a queue and in transit between
+// managers: a chain of segments [Head..Tail] linked through the shared
+// slab, ending in a nil pointer.
+type PacketChain struct {
+	Head, Tail Seg
+	Segs       int // segments in the chain
+	Bytes      int // payload bytes across the chain
+}
+
+// UnlinkHeadPacket removes the packet at the head of q and returns it as a
+// chain for relinking into another manager on the same store. The segments
+// leave this manager's accounting entirely. ErrNoPacket is returned when q
+// holds no complete packet.
+func (m *Manager) UnlinkHeadPacket(q QueueID) (PacketChain, error) {
+	if err := m.checkQueue(q); err != nil {
+		return PacketChain{}, err
+	}
+	end, n, err := m.findPacketEnd(q)
+	if err != nil {
+		return PacketChain{}, err
+	}
+	first := m.qhead[q]
+	var chainBytes int32
+	for s := first; ; s = m.next[s] {
+		chainBytes += int32(m.segLen[s])
+		if s == int32(end) {
+			break
+		}
+	}
+	m.qhead[q] = m.next[end]
+	if m.qhead[q] == nilSeg {
+		m.qtail[q] = nilSeg
+	}
+	m.next[end] = nilSeg
+	m.qsegs[q] -= int32(n)
+	m.qbytes[q] -= chainBytes
+	m.qpkts[q]--
+	m.queuedSegs -= int32(n)
+	m.totalBytes -= int64(chainBytes)
+	m.fixLongest(q)
+	return PacketChain{Head: Seg(first), Tail: end, Segs: n, Bytes: int(chainBytes)}, nil
+}
+
+// LinkPacketTail links a chain (from UnlinkHeadPacket on a manager sharing
+// this store) onto the tail of q. The destination's per-queue segment cap
+// applies; on ErrQueueLimit the chain is untouched and the caller should
+// restore it with LinkPacketHead on the source.
+func (m *Manager) LinkPacketTail(q QueueID, ch PacketChain) error {
+	if err := m.checkQueue(q); err != nil {
+		return err
+	}
+	if !m.admissible(q, ch.Segs) {
+		return fmt.Errorf("%w: queue %d cannot accept %d segments", ErrQueueLimit, q, ch.Segs)
+	}
+	if m.qtail[q] == nilSeg {
+		m.qhead[q] = int32(ch.Head)
+	} else {
+		m.next[m.qtail[q]] = int32(ch.Head)
+	}
+	m.qtail[q] = int32(ch.Tail)
+	m.linkChainAccounting(q, ch)
+	return nil
+}
+
+// LinkPacketHead links a chain back at the head of q — the rollback path
+// when a transfer's destination refuses the packet. It bypasses the
+// per-queue cap (the packet is being restored, not admitted) and cannot
+// fail, so a refused cross-shard move is all-or-nothing.
+func (m *Manager) LinkPacketHead(q QueueID, ch PacketChain) error {
+	if err := m.checkQueue(q); err != nil {
+		return err
+	}
+	m.next[ch.Tail] = m.qhead[q]
+	m.qhead[q] = int32(ch.Head)
+	if m.qtail[q] == nilSeg {
+		m.qtail[q] = int32(ch.Tail)
+	}
+	m.linkChainAccounting(q, ch)
+	return nil
+}
+
+// linkChainAccounting counts a linked chain into q's accounting.
+func (m *Manager) linkChainAccounting(q QueueID, ch PacketChain) {
+	m.qsegs[q] += int32(ch.Segs)
+	m.qbytes[q] += int32(ch.Bytes)
+	m.qpkts[q]++
+	m.queuedSegs += int32(ch.Segs)
+	m.totalBytes += int64(ch.Bytes)
+	m.fixLongest(q)
+}

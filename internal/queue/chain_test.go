@@ -1,0 +1,149 @@
+package queue
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"npqm/internal/segstore"
+)
+
+// sharedPair builds two managers over one shared store, as the engine's
+// shards do.
+func sharedPair(t *testing.T, segments int) (*Manager, *Manager, *segstore.Store) {
+	t.Helper()
+	st, err := segstore.New(segstore.Config{
+		NumSegments:  segments,
+		SegmentBytes: SegmentBytes,
+		StoreData:    true,
+		MagazineSize: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewWithStore(Config{NumQueues: 16}, st.NewCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewWithStore(Config{NumQueues: 16}, st.NewCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b, st
+}
+
+func TestCrossManagerChainMove(t *testing.T) {
+	a, b, st := sharedPair(t, 128)
+	payload := bytes.Repeat([]byte{0xab, 0x12}, 90) // 180 B → 3 segments
+	if _, err := a.EnqueuePacket(3, payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.EnqueuePacket(3, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	ch, err := a.UnlinkHeadPacket(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.Segs != 3 || ch.Bytes != 180 {
+		t.Fatalf("chain = %+v, want 3 segments / 180 bytes", ch)
+	}
+	if n, _ := a.Len(3); n != 1 {
+		t.Fatalf("source holds %d segments after unlink, want 1", n)
+	}
+	if err := b.LinkPacketTail(7, ch); err != nil {
+		t.Fatal(err)
+	}
+	got, n, err := b.DequeuePacket(7)
+	if err != nil || n != 3 || !bytes.Equal(got, payload) {
+		t.Fatalf("relinked packet = (%d segs, %v), payload match %v", n, err, bytes.Equal(got, payload))
+	}
+	// Both managers and the store must still be consistent.
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.DequeuePacket(3); err != nil {
+		t.Fatal(err)
+	}
+	a.FlushFree()
+	b.FlushFree()
+	if err := st.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if free := st.Free(); free != 128 {
+		t.Fatalf("store free = %d, want 128", free)
+	}
+}
+
+func TestChainRollbackRestoresOrder(t *testing.T) {
+	a, b, _ := sharedPair(t, 128)
+	first := bytes.Repeat([]byte{1}, 100)
+	second := bytes.Repeat([]byte{2}, 100)
+	if _, err := a.EnqueuePacket(0, first); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.EnqueuePacket(0, second); err != nil {
+		t.Fatal(err)
+	}
+	// Destination refuses (per-flow cap): caller restores at the head.
+	if err := b.SetSegmentLimit(5, 1); err != nil {
+		t.Fatal(err)
+	}
+	ch, err := a.UnlinkHeadPacket(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.LinkPacketTail(5, ch); !errors.Is(err, ErrQueueLimit) {
+		t.Fatalf("over-cap link err = %v, want ErrQueueLimit", err)
+	}
+	if err := a.LinkPacketHead(0, ch); err != nil {
+		t.Fatal(err)
+	}
+	// FIFO order must be intact: first out is still `first`.
+	got, _, err := a.DequeuePacket(0)
+	if err != nil || !bytes.Equal(got, first) {
+		t.Fatalf("head after rollback = %v (err %v), want the first packet", got[:1], err)
+	}
+	got, _, err = a.DequeuePacket(0)
+	if err != nil || !bytes.Equal(got, second) {
+		t.Fatalf("second packet corrupted by rollback (err %v)", err)
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedManagersSeeGlobalPool(t *testing.T) {
+	a, b, _ := sharedPair(t, 64)
+	// Manager a hoards the whole pool on one queue.
+	for i := 0; i < 64; i++ {
+		if _, err := a.EnqueuePacket(1, []byte{byte(i)}); err != nil {
+			t.Fatalf("enqueue %d: %v", i, err)
+		}
+	}
+	if free := b.FreeSegments(); free != 0 {
+		t.Fatalf("b sees %d free, want 0 (pool-wide view)", free)
+	}
+	if _, err := b.EnqueuePacket(2, []byte{1}); !errors.Is(err, ErrNoFreeSegments) {
+		t.Fatalf("enqueue on exhausted pool: %v", err)
+	}
+	// Draining via a (with a flush) makes room for b again.
+	for i := 0; i < 8; i++ {
+		if _, _, err := a.DequeuePacket(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.FlushFree()
+	if _, err := b.EnqueuePacket(2, []byte{1}); err != nil {
+		t.Fatalf("enqueue after drain+flush: %v", err)
+	}
+	if a.QueuedSegments() != 56 || b.QueuedSegments() != 1 {
+		t.Fatalf("queued split = (%d, %d), want (56, 1)", a.QueuedSegments(), b.QueuedSegments())
+	}
+}

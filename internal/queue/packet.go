@@ -17,13 +17,17 @@ func (m *Manager) EnqueuePacket(q QueueID, data []byte) (int, error) {
 	if !m.admissible(q, needed) {
 		return 0, fmt.Errorf("%w: queue %d cannot accept %d segments", ErrQueueLimit, q, needed)
 	}
-	if needed > m.FreeSegments() {
+	// Check what this manager can actually allocate (its cache plus the
+	// shared depot), not the pool-wide count: segments cached by other
+	// owners are free but unreachable.
+	if avail := m.src.Avail(); needed > avail {
 		return 0, fmt.Errorf("%w: need %d segments, have %d",
-			ErrNoFreeSegments, needed, m.FreeSegments())
+			ErrNoFreeSegments, needed, avail)
 	}
 	if done := m.bulkFix(q); done != nil {
 		defer done()
 	}
+	defer m.src.Publish()
 	n := 0
 	for off := 0; off < len(data); off += SegmentBytes {
 		end := off + SegmentBytes
@@ -31,9 +35,11 @@ func (m *Manager) EnqueuePacket(q QueueID, data []byte) (int, error) {
 			end = len(data)
 		}
 		eop := end == len(data)
-		if _, err := m.Enqueue(q, data[off:end], eop); err != nil {
-			// Roll back: the reservation check above makes this
-			// unreachable, but keep the queue consistent regardless.
+		if _, err := m.enqueueSeg(q, data[off:end], eop); err != nil {
+			// Roll back so the queue never holds a truncated packet. On a
+			// private pool the reservation check above makes this
+			// unreachable; on a shared store another owner can consume the
+			// depot between the check and the allocation.
 			for i := 0; i < n; i++ {
 				_ = m.deleteTailUnchecked(q)
 			}
@@ -66,7 +72,7 @@ func (m *Manager) deleteTailUnchecked(q QueueID) error {
 	m.state[tail] = stateFloating
 	m.floating++
 	m.noteUnlink(q, Seg(tail))
-	return m.Free(Seg(tail))
+	return m.freeSeg(Seg(tail))
 }
 
 // DequeuePacket dequeues and reassembles the packet at the head of q.
@@ -83,9 +89,10 @@ func (m *Manager) DequeuePacket(q QueueID) ([]byte, int, error) {
 	if done := m.bulkFix(q); done != nil {
 		defer done()
 	}
+	defer m.src.Publish()
 	var out []byte
 	for i := 0; i < n; i++ {
-		_, payload, err := m.Dequeue(q)
+		_, payload, err := m.dequeueSeg(q)
 		if err != nil {
 			return out, i, err
 		}
@@ -111,6 +118,7 @@ func (m *Manager) DequeuePacketAppend(q QueueID, buf []byte) ([]byte, int, error
 	if done := m.bulkFix(q); done != nil {
 		defer done()
 	}
+	defer m.src.Publish()
 	for i := 0; i < n; i++ {
 		h := m.qhead[q]
 		if m.data != nil {
@@ -118,7 +126,7 @@ func (m *Manager) DequeuePacketAppend(q QueueID, buf []byte) ([]byte, int, error
 			buf = append(buf, m.data[base:base+int(m.segLen[h])]...)
 		}
 		s := m.unlinkHead(q)
-		if err := m.Free(s); err != nil {
+		if err := m.freeSeg(s); err != nil {
 			return buf, i, err
 		}
 	}
@@ -145,42 +153,24 @@ func (m *Manager) PacketLen(q QueueID) (bytes, segments int, err error) {
 	return 0, 0, fmt.Errorf("%w: queue %d", ErrNoPacket, q)
 }
 
-// CheckInvariants validates the global pointer discipline:
+// CheckInvariants validates the pointer discipline this manager is
+// responsible for:
 //
-//   - segment conservation: free + queued + floating == pool size,
-//   - the free list is acyclic, correctly counted, and every member is in
-//     the free state,
 //   - every queue's list is acyclic, its length matches the queue table,
 //     its tail pointer matches the last element, and every member is in
-//     the queued state.
+//     the queued state;
+//   - the per-queue byte/packet counters and the manager totals match the
+//     walked lists;
+//   - on a private pool it additionally walks the free list (via the
+//     store), scans for floating segments, and checks segment
+//     conservation: free + queued + floating == pool size.
 //
-// It is O(pool size) and intended for tests and debugging.
+// With a shared store the free list and conservation span every manager on
+// the slab, so those checks live on segstore.Store.CheckInvariants and the
+// engine's aggregate CheckInvariants. It is O(pool size) and intended for
+// tests and debugging.
 func (m *Manager) CheckInvariants() error {
-	// Free list walk.
 	seen := make([]bool, m.cfg.NumSegments)
-	count := int32(0)
-	last := nilSeg
-	for s := m.freeHead; s != nilSeg; s = m.next[s] {
-		if seen[s] {
-			return fmt.Errorf("queue: free list cycle at segment %d", s)
-		}
-		seen[s] = true
-		if m.state[s] != stateFree {
-			return fmt.Errorf("queue: free-list segment %d has state %d", s, m.state[s])
-		}
-		count++
-		last = s
-	}
-	if count != m.freeCount {
-		return fmt.Errorf("queue: free list holds %d segments, counter says %d", count, m.freeCount)
-	}
-	if m.freeTail != last {
-		return fmt.Errorf("queue: free tail pointer %d != last free element %d", m.freeTail, last)
-	}
-	if (m.freeHead == nilSeg) != (m.freeTail == nilSeg) {
-		return fmt.Errorf("queue: free head/tail nil mismatch")
-	}
-
 	queued := int32(0)
 	var walkedBytes int64
 	for q := 0; q < m.cfg.NumQueues; q++ {
@@ -225,21 +215,31 @@ func (m *Manager) CheckInvariants() error {
 		queued += n
 	}
 
-	floating := int32(0)
-	for s := range m.state {
-		if m.state[s] == stateFloating {
-			floating++
-		}
-	}
-	if floating != m.floating {
-		return fmt.Errorf("queue: %d floating segments, counter says %d", floating, m.floating)
-	}
 	if walkedBytes != m.totalBytes {
 		return fmt.Errorf("queue: %d bytes queued, counter says %d", walkedBytes, m.totalBytes)
 	}
-	if m.freeCount+queued+floating != int32(m.cfg.NumSegments) {
-		return fmt.Errorf("queue: conservation violated: %d free + %d queued + %d floating != %d",
-			m.freeCount, queued, floating, m.cfg.NumSegments)
+	if queued != m.queuedSegs {
+		return fmt.Errorf("queue: %d segments queued, counter says %d", queued, m.queuedSegs)
+	}
+	if !m.src.Shared() {
+		// Exclusive pool: the whole slab is ours, so scan for floating
+		// segments, validate the free list, and check conservation.
+		if err := m.src.CheckInvariants(); err != nil {
+			return err
+		}
+		floating := int32(0)
+		for s := range m.state {
+			if m.state[s] == stateFloating {
+				floating++
+			}
+		}
+		if floating != m.floating {
+			return fmt.Errorf("queue: %d floating segments, counter says %d", floating, m.floating)
+		}
+		if int32(m.src.FreeSegments())+queued+floating != int32(m.cfg.NumSegments) {
+			return fmt.Errorf("queue: conservation violated: %d free + %d queued + %d floating != %d",
+				m.src.FreeSegments(), queued, floating, m.cfg.NumSegments)
+		}
 	}
 
 	// Longest-queue heap discipline (when tracking is enabled): the heap

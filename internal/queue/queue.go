@@ -25,6 +25,8 @@ package queue
 import (
 	"errors"
 	"fmt"
+
+	"npqm/internal/segstore"
 )
 
 // SegmentBytes is the fixed segment size used throughout the paper.
@@ -58,16 +60,13 @@ var (
 	ErrQueueLimit     = errors.New("queue: per-queue segment limit exceeded")
 )
 
-// segState tracks where a segment currently lives. The hardware does not
-// need this (its pointer discipline is fixed by the RTL); the library keeps
-// it to turn pointer-corruption bugs in callers into errors instead of
-// silent cross-linked queues.
-type segState uint8
-
+// Segment lifecycle states are tracked per segment in the store's State
+// array (see segstore): they turn pointer-corruption bugs in callers into
+// errors instead of silent cross-linked queues.
 const (
-	stateFree segState = iota
-	stateQueued
-	stateFloating // allocated by Alloc, not yet linked into a queue
+	stateFree     = segstore.StateFree
+	stateQueued   = segstore.StateQueued
+	stateFloating = segstore.StateFloating // allocated, not yet linked into a queue
 )
 
 // Config sizes a Manager.
@@ -83,15 +82,24 @@ type Config struct {
 
 // Manager is the queue management engine. It is not safe for concurrent use;
 // the hardware it models is a single pipeline, and the timed wrappers
-// serialize commands exactly as the MMS scheduler does.
+// serialize commands exactly as the MMS scheduler does. Managers built with
+// NewWithStore share one segment slab: each is still single-threaded, but
+// several of them (each under its own lock) draw from the same pool.
 type Manager struct {
 	cfg Config
 
-	// Per-segment pointer memory (the ZBT SRAM contents).
+	// src is the segment store this manager allocates from; the slices
+	// below alias its slab so the hot path never goes through the
+	// interface for pointer-memory access.
+	src segstore.Source
+
+	// Per-segment pointer memory (the ZBT SRAM contents). With a shared
+	// store these arrays are shared with every other manager on the slab;
+	// each manager touches only segments it currently owns.
 	next   []int32
 	segLen []uint16
 	eop    []bool
-	state  []segState
+	state  []uint8
 
 	// Queue table.
 	qhead []int32
@@ -104,16 +112,8 @@ type Manager struct {
 	qlimit     []int32 // per-queue segment cap (nil/0 = uncapped)
 	totalBytes int64
 
-	// Free list: a FIFO linked list threaded through the same next[] array,
-	// exactly as the hardware keeps it (allocate from the head, return at
-	// the tail). FIFO order matters for performance: it cycles segment
-	// reuse through the whole pool, which stripes the data memory across
-	// DDR banks instead of hammering the most recently freed segment.
-	freeHead  int32
-	freeTail  int32
-	freeCount int32
-
-	floating int32 // segments allocated but not yet queued
+	queuedSegs int32 // total segments linked across this manager's queues
+	floating   int32 // segments allocated but not yet queued
 
 	// Longest-queue tracking (see pushout.go): an indexed max-heap over
 	// qsegs, maintained only when heapPos is non-nil. heapSuspended defers
@@ -127,27 +127,50 @@ type Manager struct {
 	droppedPackets  uint64
 	droppedSegments uint64
 
-	// Data memory (optional).
+	// Data memory (aliases the store's payload slab; nil when disabled).
 	data []byte
 }
 
-// New returns a Manager with all segments on the free list.
+// New returns a Manager over a private segment pool with all segments on a
+// FIFO free list — the seed behavior, kept for the timed models whose DDR
+// bank-interleaving measurements depend on FIFO reuse order.
 func New(cfg Config) (*Manager, error) {
+	if cfg.NumSegments <= 0 {
+		return nil, fmt.Errorf("queue: NumSegments must be positive, got %d", cfg.NumSegments)
+	}
+	src, err := segstore.NewPrivate(segstore.Config{
+		NumSegments:  cfg.NumSegments,
+		SegmentBytes: SegmentBytes,
+		StoreData:    cfg.StoreData,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return NewWithStore(cfg, src)
+}
+
+// NewWithStore returns a Manager drawing segments from src — typically one
+// cache of a shared segstore.Store, so several managers (the engine's
+// shards) allocate from a single pool. cfg.NumSegments and cfg.StoreData
+// are taken from the store.
+func NewWithStore(cfg Config, src segstore.Source) (*Manager, error) {
 	if cfg.NumQueues == 0 {
 		cfg.NumQueues = DefaultNumQueues
 	}
 	if cfg.NumQueues < 0 {
 		return nil, fmt.Errorf("queue: negative NumQueues %d", cfg.NumQueues)
 	}
-	if cfg.NumSegments <= 0 {
-		return nil, fmt.Errorf("queue: NumSegments must be positive, got %d", cfg.NumSegments)
-	}
+	cfg.NumSegments = src.NumSegments()
+	view := src.View()
+	cfg.StoreData = view.Data != nil
 	m := &Manager{
 		cfg:    cfg,
-		next:   make([]int32, cfg.NumSegments),
-		segLen: make([]uint16, cfg.NumSegments),
-		eop:    make([]bool, cfg.NumSegments),
-		state:  make([]segState, cfg.NumSegments),
+		src:    src,
+		next:   view.Next,
+		segLen: view.Len,
+		eop:    view.EOP,
+		state:  view.State,
+		data:   view.Data,
 		qhead:  make([]int32, cfg.NumQueues),
 		qtail:  make([]int32, cfg.NumQueues),
 		qsegs:  make([]int32, cfg.NumQueues),
@@ -157,28 +180,40 @@ func New(cfg Config) (*Manager, error) {
 	for q := range m.qhead {
 		m.qhead[q], m.qtail[q] = nilSeg, nilSeg
 	}
-	// Thread the free list through next[].
-	for i := 0; i < cfg.NumSegments-1; i++ {
-		m.next[i] = int32(i + 1)
-	}
-	m.next[cfg.NumSegments-1] = nilSeg
-	m.freeHead = 0
-	m.freeTail = int32(cfg.NumSegments - 1)
-	m.freeCount = int32(cfg.NumSegments)
-	if cfg.StoreData {
-		m.data = make([]byte, cfg.NumSegments*SegmentBytes)
-	}
 	return m, nil
 }
 
 // NumQueues returns the configured queue count.
 func (m *Manager) NumQueues() int { return m.cfg.NumQueues }
 
-// NumSegments returns the segment pool size.
+// NumSegments returns the segment pool size (the whole shared pool for a
+// manager on a shared store).
 func (m *Manager) NumSegments() int { return m.cfg.NumSegments }
 
-// FreeSegments returns the current free-list population.
-func (m *Manager) FreeSegments() int { return int(m.freeCount) }
+// FreeSegments returns the pool-wide free population. On a shared store
+// this spans the depot and every owner's magazine cache — the occupancy
+// signal shared-buffer admission policies consult.
+func (m *Manager) FreeSegments() int { return m.src.FreeSegments() }
+
+// AvailSegments returns the number of segments this manager could allocate
+// right now: unlike FreeSegments it excludes segments cached by other
+// owners of a shared store.
+func (m *Manager) AvailSegments() int { return m.src.Avail() }
+
+// QueuedSegments returns the total segments linked across this manager's
+// queues.
+func (m *Manager) QueuedSegments() int { return int(m.queuedSegs) }
+
+// Floating returns the number of segments allocated but not yet linked.
+func (m *Manager) Floating() int { return int(m.floating) }
+
+// SharedStore reports whether this manager draws from a pool shared with
+// other managers.
+func (m *Manager) SharedStore() bool { return m.src.Shared() }
+
+// FlushFree hands this manager's cached free segments back to the shared
+// pool so other managers can allocate them (no-op for a private pool).
+func (m *Manager) FlushFree() { m.src.Flush() }
 
 // Len returns the number of segments queued on q.
 func (m *Manager) Len(q QueueID) (int, error) {
@@ -208,46 +243,48 @@ func (m *Manager) checkSeg(s Seg) error {
 	return nil
 }
 
-// Alloc pops a segment from the free list ("Dequeue Free List" in the
-// paper's operation breakdown). The segment is in the floating state until
-// linked into a queue or freed.
+// Alloc takes a segment from the store ("Dequeue Free List" in the paper's
+// operation breakdown). The segment is in the floating state until linked
+// into a queue or freed.
 func (m *Manager) Alloc() (Seg, error) {
-	if m.freeHead == nilSeg {
+	s, err := m.allocSeg()
+	m.src.Publish()
+	return s, err
+}
+
+// allocSeg is Alloc without the free-count publish; multi-segment
+// operations use it and publish once at the end.
+func (m *Manager) allocSeg() (Seg, error) {
+	s, ok := m.src.Alloc()
+	if !ok {
 		return Seg(nilSeg), ErrNoFreeSegments
 	}
-	s := m.freeHead
-	m.freeHead = m.next[s]
-	if m.freeHead == nilSeg {
-		m.freeTail = nilSeg
-	}
-	m.freeCount--
 	m.next[s] = nilSeg
 	m.state[s] = stateFloating
 	m.floating++
 	return Seg(s), nil
 }
 
-// Free pushes a floating segment back onto the free list ("Enqueue Free
-// List").
+// Free returns a floating segment to the store ("Enqueue Free List").
 func (m *Manager) Free(s Seg) error {
+	err := m.freeSeg(s)
+	m.src.Publish()
+	return err
+}
+
+// freeSeg is Free without the free-count publish.
+func (m *Manager) freeSeg(s Seg) error {
 	if err := m.checkSeg(s); err != nil {
 		return err
 	}
 	if m.state[s] != stateFloating {
 		return fmt.Errorf("%w: Free of segment %d in state %d", ErrSegmentState, s, m.state[s])
 	}
-	m.next[s] = nilSeg
-	if m.freeTail == nilSeg {
-		m.freeHead = int32(s)
-	} else {
-		m.next[m.freeTail] = int32(s)
-	}
-	m.freeTail = int32(s)
-	m.freeCount++
 	m.state[s] = stateFree
 	m.floating--
 	m.segLen[s] = 0
 	m.eop[s] = false
+	m.src.Free(int32(s))
 	return nil
 }
 
@@ -268,8 +305,8 @@ func (m *Manager) setPayload(s Seg, payload []byte, eop bool) error {
 	m.eop[s] = eop
 	if m.data != nil {
 		base := int(s) * SegmentBytes
-		copy(m.data[base:base+SegmentBytes], make([]byte, SegmentBytes))
-		copy(m.data[base:], payload)
+		copied := copy(m.data[base:base+SegmentBytes], payload)
+		clear(m.data[base+copied : base+SegmentBytes])
 	}
 	return nil
 }
@@ -289,18 +326,25 @@ func (m *Manager) payload(s Seg) []byte {
 // Enqueue allocates a segment, fills it with payload and links it at the
 // tail of queue q. This is the MMS "Enqueue one segment" command.
 func (m *Manager) Enqueue(q QueueID, payload []byte, eop bool) (Seg, error) {
+	s, err := m.enqueueSeg(q, payload, eop)
+	m.src.Publish()
+	return s, err
+}
+
+// enqueueSeg is Enqueue without the free-count publish.
+func (m *Manager) enqueueSeg(q QueueID, payload []byte, eop bool) (Seg, error) {
 	if err := m.checkQueue(q); err != nil {
 		return Seg(nilSeg), err
 	}
 	if !m.admissible(q, 1) {
 		return Seg(nilSeg), fmt.Errorf("%w: queue %d at %d segments", ErrQueueLimit, q, m.qsegs[q])
 	}
-	s, err := m.Alloc()
+	s, err := m.allocSeg()
 	if err != nil {
 		return s, err
 	}
 	if err := m.setPayload(s, payload, eop); err != nil {
-		m.Free(s) // payload invalid; segment returns to the pool
+		m.freeSeg(s) // payload invalid; segment returns to the pool
 		return Seg(nilSeg), err
 	}
 	m.linkTail(q, s)
@@ -317,15 +361,18 @@ func (m *Manager) AppendHead(q QueueID, payload []byte, eop bool) (Seg, error) {
 	if !m.admissible(q, 1) {
 		return Seg(nilSeg), fmt.Errorf("%w: queue %d at %d segments", ErrQueueLimit, q, m.qsegs[q])
 	}
-	s, err := m.Alloc()
+	s, err := m.allocSeg()
 	if err != nil {
+		m.src.Publish()
 		return s, err
 	}
 	if err := m.setPayload(s, payload, eop); err != nil {
-		m.Free(s)
+		m.freeSeg(s)
+		m.src.Publish()
 		return Seg(nilSeg), err
 	}
 	m.linkHead(q, s)
+	m.src.Publish()
 	return s, nil
 }
 
@@ -374,6 +421,13 @@ func (m *Manager) unlinkHead(q QueueID) Seg {
 // Dequeue unlinks the head segment of q, frees it, and returns its
 // description and payload. This is the MMS "Dequeue" command.
 func (m *Manager) Dequeue(q QueueID) (SegInfo, []byte, error) {
+	info, payload, err := m.dequeueSeg(q)
+	m.src.Publish()
+	return info, payload, err
+}
+
+// dequeueSeg is Dequeue without the free-count publish.
+func (m *Manager) dequeueSeg(q QueueID) (SegInfo, []byte, error) {
 	if err := m.checkQueue(q); err != nil {
 		return SegInfo{}, nil, err
 	}
@@ -383,7 +437,7 @@ func (m *Manager) Dequeue(q QueueID) (SegInfo, []byte, error) {
 	info := SegInfo{Seg: Seg(m.qhead[q]), Len: int(m.segLen[m.qhead[q]]), EOP: m.eop[m.qhead[q]]}
 	payload := m.payload(info.Seg)
 	s := m.unlinkHead(q)
-	m.Free(s)
+	m.freeSeg(s)
 	return info, payload, nil
 }
 
@@ -411,7 +465,9 @@ func (m *Manager) DeleteSegment(q QueueID) error {
 		return fmt.Errorf("%w: queue %d", ErrQueueEmpty, q)
 	}
 	s := m.unlinkHead(q)
-	return m.Free(s)
+	err := m.freeSeg(s)
+	m.src.Publish()
+	return err
 }
 
 // DeletePacket unlinks and frees the whole packet at the head of q (all
@@ -430,9 +486,10 @@ func (m *Manager) DeletePacket(q QueueID) (int, error) {
 	if done := m.bulkFix(q); done != nil {
 		defer done()
 	}
+	defer m.src.Publish()
 	for i := 0; i < n; i++ {
 		s := m.unlinkHead(q)
-		if err := m.Free(s); err != nil {
+		if err := m.freeSeg(s); err != nil {
 			return i, err
 		}
 	}

@@ -1,0 +1,155 @@
+package segstore
+
+import "sync/atomic"
+
+// Cache is a per-owner allocation front end over a shared Store: two
+// magazines (an active one and a spare) refilled from and flushed to the
+// depot a whole magazine at a time. A Cache is single-owner — the engine
+// guards each shard's cache with the shard lock — so magazine manipulation
+// is plain field access; only the population mirror is atomic, for
+// Store.Free aggregation by other threads.
+type Cache struct {
+	st  *Store
+	mag [2]magazine // [0] is the active magazine
+
+	// count mirrors mag[0].n + mag[1].n for lock-free readers. The owner
+	// refreshes it with Publish — once per queue operation, not per
+	// segment, keeping the per-segment path free of atomics — and at
+	// magazine transfers to the depot (so a segment is never counted in a
+	// cache and the depot at once). Between publishes the mirror can lag
+	// low, which keeps concurrent policy reads conservative.
+	count atomic.Int32
+}
+
+type magazine struct {
+	head int32 // top segment, chained through View.Next
+	n    int32
+}
+
+// NewCache registers and returns a new cache on the store.
+func (st *Store) NewCache() *Cache {
+	c := &Cache{st: st}
+	c.mag[0].head, c.mag[1].head = nilSeg, nilSeg
+	st.mu.Lock()
+	old := *st.caches.Load()
+	list := make([]*Cache, len(old)+1)
+	copy(list, old)
+	list[len(old)] = c
+	st.caches.Store(&list)
+	st.mu.Unlock()
+	return c
+}
+
+// View returns the shared slab arrays.
+func (c *Cache) View() View { return c.st.view }
+
+// NumSegments returns the shared pool size.
+func (c *Cache) NumSegments() int { return c.st.nseg }
+
+// FreeSegments returns the pool-wide free population (depot plus every
+// cache) — the occupancy signal shared-buffer policies consult.
+func (c *Cache) FreeSegments() int { return c.st.Free() }
+
+// Avail returns the segments this owner can actually allocate right now:
+// its own magazines plus the depot. Segments cached by other owners are
+// free pool-wide but unreachable until those owners flush.
+func (c *Cache) Avail() int {
+	return int(c.mag[0].n+c.mag[1].n) + int(c.st.depotFree.Load())
+}
+
+// Shared reports that other caches draw from the same pool.
+func (c *Cache) Shared() bool { return true }
+
+// Alloc takes one segment from the active magazine, swapping in the spare
+// or pulling a fresh magazine from the depot (one CAS) when it runs dry.
+func (c *Cache) Alloc() (int32, bool) {
+	m := &c.mag[0]
+	if m.n == 0 {
+		if c.mag[1].n > 0 {
+			c.mag[0], c.mag[1] = c.mag[1], c.mag[0]
+		} else {
+			head, n, ok := c.st.popMagazine()
+			if !ok {
+				return 0, false
+			}
+			m.head, m.n = head, n
+		}
+	}
+	s := m.head
+	m.head = c.st.view.Next[s]
+	m.n--
+	return s, true
+}
+
+// Free returns one segment to the active magazine. When both magazines are
+// full the spare is pushed to the depot (one CAS), so a sustained
+// free-heavy phase costs one CAS per magazine of frees.
+func (c *Cache) Free(s int32) {
+	if c.mag[0].n >= c.st.magSize {
+		if c.mag[1].n >= c.st.magSize {
+			spare := c.mag[1]
+			c.mag[1] = magazine{head: nilSeg}
+			c.count.Store(c.mag[0].n)
+			c.st.pushMagazine(spare.head, spare.n)
+		}
+		c.mag[0], c.mag[1] = c.mag[1], c.mag[0]
+	}
+	m := &c.mag[0]
+	c.st.view.Next[s] = m.head
+	m.head = s
+	m.n++
+}
+
+// Publish refreshes the cache's lock-free population mirror. Owners call
+// it once per queue operation (after the operation's allocations and
+// frees), so pool-wide occupancy reads are exact at operation granularity
+// while the per-segment hot path stays free of atomics.
+func (c *Cache) Publish() {
+	c.count.Store(c.mag[0].n + c.mag[1].n)
+}
+
+// Flush pushes both magazines (full or partial) back to the depot so other
+// owners can allocate them — used after push-out eviction frees segments on
+// a different shard than the arrival that needs them.
+func (c *Cache) Flush() {
+	mags := c.mag
+	c.mag[0] = magazine{head: nilSeg}
+	c.mag[1] = magazine{head: nilSeg}
+	c.count.Store(0)
+	for _, m := range mags {
+		if m.n > 0 {
+			c.st.pushMagazine(m.head, m.n)
+		}
+	}
+}
+
+// CheckInvariants validates this cache's magazines (chain lengths, states,
+// counter mirror). The global walk lives on Store.CheckInvariants.
+func (c *Cache) CheckInvariants() error {
+	seen := make(map[int32]bool, c.mag[0].n+c.mag[1].n)
+	total := int32(0)
+	for i := range c.mag {
+		s := c.mag[i].head
+		for k := int32(0); k < c.mag[i].n; k++ {
+			if s < 0 || int(s) >= c.st.nseg {
+				return errChain("cache magazine", i, s)
+			}
+			if seen[s] {
+				return errDup("cache magazine", s)
+			}
+			seen[s] = true
+			if c.st.view.State[s] != StateFree {
+				return errState("cache magazine", s, c.st.view.State[s])
+			}
+			s = c.st.view.Next[s]
+		}
+		if s != nilSeg {
+			return errChain("cache magazine", i, s)
+		}
+		total += c.mag[i].n
+	}
+	if got := c.count.Load(); got != total {
+		return errCount("cache", int(total), int(got))
+	}
+	return nil
+}

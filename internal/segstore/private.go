@@ -1,0 +1,131 @@
+package segstore
+
+import "fmt"
+
+// Private is a single-owner segment pool with a FIFO free list threaded
+// through the slab's Next array — allocate from the head, return at the
+// tail — exactly as the seed queue manager kept it. FIFO order matters to
+// the timed models: it cycles segment reuse through the whole pool, which
+// stripes the data memory across DDR banks instead of hammering the most
+// recently freed segment. Not safe for concurrent use.
+type Private struct {
+	view  View
+	nseg  int
+	head  int32
+	tail  int32
+	count int32
+}
+
+// NewPrivate builds a private pool with every segment on the free list in
+// ascending order.
+func NewPrivate(cfg Config) (*Private, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	p := &Private{view: newView(cfg), nseg: cfg.NumSegments}
+	for i := 0; i < cfg.NumSegments-1; i++ {
+		p.view.Next[i] = int32(i + 1)
+	}
+	p.view.Next[cfg.NumSegments-1] = nilSeg
+	p.head = 0
+	p.tail = int32(cfg.NumSegments - 1)
+	p.count = int32(cfg.NumSegments)
+	return p, nil
+}
+
+// View returns the private slab arrays.
+func (p *Private) View() View { return p.view }
+
+// NumSegments returns the pool size.
+func (p *Private) NumSegments() int { return p.nseg }
+
+// FreeSegments returns the free-list population.
+func (p *Private) FreeSegments() int { return int(p.count) }
+
+// Avail equals FreeSegments: a private pool has no unreachable segments.
+func (p *Private) Avail() int { return int(p.count) }
+
+// Shared reports that this pool has a single owner.
+func (p *Private) Shared() bool { return false }
+
+// Alloc pops the free-list head ("Dequeue Free List" in the paper's
+// operation breakdown).
+func (p *Private) Alloc() (int32, bool) {
+	if p.head == nilSeg {
+		return 0, false
+	}
+	s := p.head
+	p.head = p.view.Next[s]
+	if p.head == nilSeg {
+		p.tail = nilSeg
+	}
+	p.count--
+	return s, true
+}
+
+// Free appends the segment at the free-list tail ("Enqueue Free List").
+func (p *Private) Free(s int32) {
+	p.view.Next[s] = nilSeg
+	if p.tail == nilSeg {
+		p.head = s
+	} else {
+		p.view.Next[p.tail] = s
+	}
+	p.tail = s
+	p.count++
+}
+
+// Flush is a no-op: there is no shared pool to hand segments back to.
+func (p *Private) Flush() {}
+
+// Publish is a no-op: a private pool has no concurrent readers.
+func (p *Private) Publish() {}
+
+// CheckInvariants walks the free list, verifying it is acyclic, correctly
+// counted, every member is in StateFree, and the tail pointer matches the
+// last element.
+func (p *Private) CheckInvariants() error {
+	count := int32(0)
+	last := nilSeg
+	seen := make([]bool, p.nseg)
+	for s := p.head; s != nilSeg; s = p.view.Next[s] {
+		if s < 0 || int(s) >= p.nseg {
+			return errChain("free list", 0, s)
+		}
+		if seen[s] {
+			return fmt.Errorf("segstore: free list cycle at segment %d", s)
+		}
+		seen[s] = true
+		if p.view.State[s] != StateFree {
+			return errState("free list", s, p.view.State[s])
+		}
+		count++
+		last = s
+	}
+	if count != p.count {
+		return errCount("free list", int(count), int(p.count))
+	}
+	if p.tail != last {
+		return fmt.Errorf("segstore: free tail pointer %d != last free element %d", p.tail, last)
+	}
+	if (p.head == nilSeg) != (p.tail == nilSeg) {
+		return fmt.Errorf("segstore: free head/tail nil mismatch")
+	}
+	return nil
+}
+
+func errChain(where string, i int, s int32) error {
+	return fmt.Errorf("segstore: %s %d chain broken at segment %d", where, i, s)
+}
+
+func errDup(where string, s int32) error {
+	return fmt.Errorf("segstore: segment %d appears twice in %s", s, where)
+}
+
+func errState(where string, s int32, state uint8) error {
+	return fmt.Errorf("segstore: %s holds segment %d in state %d", where, s, state)
+}
+
+func errCount(where string, walked, counter int) error {
+	return fmt.Errorf("segstore: %s holds %d segments, counter says %d", where, walked, counter)
+}

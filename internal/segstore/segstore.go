@@ -1,0 +1,331 @@
+// Package segstore is the shared segment-memory layer under the queue
+// engine: one process-wide slab holding every segment's payload and link
+// words, a lock-free global free-list, and per-owner magazine caches.
+//
+// The paper's queue manager is built around a single shared data memory —
+// all per-flow queues allocate 64-byte segments from one pool, and the free
+// list is the central hot structure (Sections 2-3). The shared-memory
+// admission analyses the policy layer implements (LQD's 1.5-competitiveness,
+// shared-buffer RED) are likewise stated for one global buffer. This package
+// gives the sharded software engine that same single buffer without a
+// global lock:
+//
+//   - Store: the slab (next/len/eop/state arrays plus the payload memory)
+//     and the depot, a Treiber stack of segment magazines. The depot head
+//     packs a 32-bit version tag beside the top-magazine index so a
+//     compare-and-swap cannot succeed across an ABA reuse of the same
+//     magazine head.
+//   - Cache: a per-owner (per-shard) pair of magazines refilled and flushed
+//     from the depot MagazineSegments at a time, so the steady-state cost
+//     of the shared pool is one CAS per ~64 allocations instead of one per
+//     segment — the software analogue of the paper's free-list working in
+//     hardware line bursts.
+//   - Private: a single-owner FIFO free list over a private slab, exactly
+//     the allocation discipline the seed Manager used. The timed models
+//     (MMS, DDR) keep it because FIFO reuse cycles segments through the
+//     whole pool, striping the data memory across DDR banks; their measured
+//     tables depend on that order.
+//
+// Magazine chains are threaded through the slab's Next array (a free
+// segment's link word is otherwise unused); depot links between magazine
+// heads live in a dedicated array accessed only with atomics, because a
+// stale popper may read a head's depot link concurrently with its re-push.
+package segstore
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Segment lifecycle states, stored per segment in View.State. The hardware
+// does not need these (its pointer discipline is fixed by the RTL); the
+// library keeps them so pointer-corruption bugs in callers become errors
+// instead of silently cross-linked queues.
+const (
+	StateFree     uint8 = iota // on a free list or in a magazine
+	StateQueued                // linked into a flow queue
+	StateFloating              // allocated, not yet linked (or in transit)
+)
+
+// MagazineSegments is the default magazine size: the number of segments
+// that move between a Cache and the depot per CAS.
+const MagazineSegments = 64
+
+// nilSeg is the null segment link.
+const nilSeg = int32(-1)
+
+// View exposes the slab's per-segment arrays. Every Manager sharing a Store
+// operates on these same slices; owners touch only the segments they hold,
+// so the arrays need no locking of their own.
+type View struct {
+	Next  []int32  // link words (queue chains, free chains)
+	Len   []uint16 // payload length per segment
+	EOP   []bool   // end-of-packet marker per segment
+	State []uint8  // lifecycle state per segment
+	Data  []byte   // payload slab (nil when storage is disabled)
+}
+
+// Source is the allocation facade a queue Manager draws segments from:
+// either a Cache over a shared Store or a Private FIFO pool.
+type Source interface {
+	// View returns the backing slab arrays.
+	View() View
+	// NumSegments is the total pool size behind this source.
+	NumSegments() int
+	// FreeSegments is the pool-wide free population — the number policies
+	// consult. For a shared store it spans the depot and every cache.
+	FreeSegments() int
+	// Avail is the number of segments this owner could allocate right now
+	// (its own cache plus the depot); segments stranded in other owners'
+	// caches are free but not reachable.
+	Avail() int
+	// Alloc takes one segment; ok is false when nothing is reachable.
+	Alloc() (int32, bool)
+	// Free returns one segment.
+	Free(s int32)
+	// Flush hands cached segments back to the shared pool so other owners
+	// can allocate them (no-op for a private source).
+	Flush()
+	// Publish refreshes the lock-free free-count mirror other owners read;
+	// callers invoke it once per queue operation (no-op for a private
+	// source).
+	Publish()
+	// Shared reports whether other sources draw from the same pool.
+	Shared() bool
+	// CheckInvariants validates this source's free-storage structures.
+	// Shared sources validate only their own cache; use
+	// Store.CheckInvariants for the global walk. Quiescent callers only.
+	CheckInvariants() error
+}
+
+// Config sizes a Store or Private pool.
+type Config struct {
+	// NumSegments is the pool size (required, > 0).
+	NumSegments int
+	// SegmentBytes is the payload size per segment (required when
+	// StoreData).
+	SegmentBytes int
+	// StoreData controls whether the payload slab is allocated. The timed
+	// models disable it: they exercise only pointer traffic.
+	StoreData bool
+	// MagazineSize overrides the segments per magazine (0 means
+	// MagazineSegments). Small pools shared by many caches want smaller
+	// magazines, or most of the pool strands in the first caches to touch
+	// the depot.
+	MagazineSize int
+}
+
+func (c Config) validate() error {
+	if c.NumSegments <= 0 {
+		return fmt.Errorf("segstore: NumSegments must be positive, got %d", c.NumSegments)
+	}
+	if c.StoreData && c.SegmentBytes <= 0 {
+		return fmt.Errorf("segstore: SegmentBytes must be positive with StoreData, got %d", c.SegmentBytes)
+	}
+	if c.MagazineSize < 0 {
+		return fmt.Errorf("segstore: negative MagazineSize %d", c.MagazineSize)
+	}
+	return nil
+}
+
+func newView(cfg Config) View {
+	v := View{
+		Next:  make([]int32, cfg.NumSegments),
+		Len:   make([]uint16, cfg.NumSegments),
+		EOP:   make([]bool, cfg.NumSegments),
+		State: make([]uint8, cfg.NumSegments),
+	}
+	if cfg.StoreData {
+		v.Data = make([]byte, cfg.NumSegments*cfg.SegmentBytes)
+	}
+	return v
+}
+
+// Store is the shared slab plus the lock-free depot. All methods are safe
+// for concurrent use; per-owner allocation goes through Cache.
+type Store struct {
+	view    View
+	nseg    int
+	magSize int32
+
+	// depotHead packs (top magazine head + 1) in the high 32 bits and a
+	// version tag in the low 32. Index 0 in the high half means empty, so a
+	// nil head and segment 0 cannot collide; the tag advances on every
+	// successful push or pop, making the CAS ABA-safe.
+	depotHead atomic.Uint64
+	depotFree atomic.Int64 // segments currently in depot magazines
+
+	// dnext[h] links magazine head h to the next magazine head below it.
+	// Accessed only with atomics: a popper that loaded a stale top still
+	// reads dnext[top] before its CAS fails, racing with the owner pushing
+	// that head back.
+	dnext []int32
+	// dcount[h] is the population of the magazine headed by h. Written by
+	// the owner before the publishing CAS and read after a claiming CAS, so
+	// plain access is ordered through depotHead.
+	dcount []int32
+
+	// caches registers every Cache for FreeSegments aggregation;
+	// copy-on-write so readers never lock.
+	caches atomic.Pointer[[]*Cache]
+	mu     sync.Mutex // serializes NewCache registrations
+}
+
+// New builds a Store with every segment in depot magazines.
+func New(cfg Config) (*Store, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	mag := cfg.MagazineSize
+	if mag == 0 {
+		mag = MagazineSegments
+	}
+	st := &Store{
+		view:    newView(cfg),
+		nseg:    cfg.NumSegments,
+		magSize: int32(mag),
+		dnext:   make([]int32, cfg.NumSegments),
+		dcount:  make([]int32, cfg.NumSegments),
+	}
+	empty := make([]*Cache, 0)
+	st.caches.Store(&empty)
+	// Carve the pool into magazines and stack them. Chains run through the
+	// slab's Next array in ascending order so the first allocations sweep
+	// the slab sequentially.
+	for base := cfg.NumSegments; base > 0; base -= mag {
+		lo := base - mag
+		if lo < 0 {
+			lo = 0
+		}
+		for i := lo; i < base-1; i++ {
+			st.view.Next[i] = int32(i + 1)
+		}
+		st.view.Next[base-1] = nilSeg
+		st.pushMagazine(int32(lo), int32(base-lo))
+	}
+	return st, nil
+}
+
+// NumSegments returns the pool size.
+func (st *Store) NumSegments() int { return st.nseg }
+
+// View returns the slab arrays.
+func (st *Store) View() View { return st.view }
+
+// Free returns the pool-wide free population: depot magazines plus every
+// registered cache. Concurrent magazine movement can make the sum lag a
+// transfer by one magazine; the error is transient and conservative (the
+// in-flight magazine is uncounted, never double-counted).
+func (st *Store) Free() int {
+	total := st.depotFree.Load()
+	for _, c := range *st.caches.Load() {
+		total += int64(c.count.Load())
+	}
+	return int(total)
+}
+
+// pushMagazine publishes the chain headed by head (count segments linked
+// through View.Next) onto the depot. One CAS on success.
+func (st *Store) pushMagazine(head, count int32) {
+	st.dcount[head] = count
+	for {
+		old := st.depotHead.Load()
+		atomic.StoreInt32(&st.dnext[head], int32(old>>32)-1)
+		nw := uint64(uint32(head+1))<<32 | uint64(uint32(old)+1)
+		if st.depotHead.CompareAndSwap(old, nw) {
+			st.depotFree.Add(int64(count))
+			return
+		}
+	}
+}
+
+// popMagazine claims the top magazine. One CAS on success; ok is false when
+// the depot is empty.
+func (st *Store) popMagazine() (head, count int32, ok bool) {
+	for {
+		old := st.depotHead.Load()
+		head = int32(old>>32) - 1
+		if head < 0 {
+			return 0, 0, false
+		}
+		next := atomic.LoadInt32(&st.dnext[head])
+		nw := uint64(uint32(next+1))<<32 | uint64(uint32(old)+1)
+		if st.depotHead.CompareAndSwap(old, nw) {
+			count = st.dcount[head]
+			st.depotFree.Add(-int64(count))
+			return head, count, true
+		}
+	}
+}
+
+// CheckInvariants walks the depot and every registered cache, verifying
+// that free storage is acyclic, correctly counted, holds only segments in
+// StateFree, and that no segment appears twice. It also cross-checks the
+// state array: the number of StateFree segments must equal the free
+// population. Only meaningful when no owner is allocating (tests and
+// debugging).
+func (st *Store) CheckInvariants() error {
+	seen := make([]bool, st.nseg)
+	walkChain := func(where string, head, count int32) error {
+		s := head
+		for i := int32(0); i < count; i++ {
+			if s < 0 || int(s) >= st.nseg {
+				return fmt.Errorf("segstore: %s chain leaves the pool at %d", where, s)
+			}
+			if seen[s] {
+				return fmt.Errorf("segstore: segment %d free twice (%s)", s, where)
+			}
+			seen[s] = true
+			if st.view.State[s] != StateFree {
+				return fmt.Errorf("segstore: %s holds segment %d in state %d", where, s, st.view.State[s])
+			}
+			s = st.view.Next[s]
+		}
+		if s != nilSeg {
+			return fmt.Errorf("segstore: %s chain longer than its count %d", where, count)
+		}
+		return nil
+	}
+	var depotTotal int64
+	mags := 0
+	for h := int32(st.depotHead.Load()>>32) - 1; h >= 0; h = atomic.LoadInt32(&st.dnext[h]) {
+		if mags++; mags > st.nseg {
+			return fmt.Errorf("segstore: depot magazine list cycles")
+		}
+		if err := walkChain("depot", h, st.dcount[h]); err != nil {
+			return err
+		}
+		depotTotal += int64(st.dcount[h])
+	}
+	if got := st.depotFree.Load(); got != depotTotal {
+		return fmt.Errorf("segstore: depot holds %d segments, counter says %d", depotTotal, got)
+	}
+	free := depotTotal
+	for i, c := range *st.caches.Load() {
+		cached := int64(0)
+		for m := range c.mag {
+			if c.mag[m].n == 0 {
+				continue
+			}
+			if err := walkChain(fmt.Sprintf("cache %d magazine %d", i, m), c.mag[m].head, c.mag[m].n); err != nil {
+				return err
+			}
+			cached += int64(c.mag[m].n)
+		}
+		if got := int64(c.count.Load()); got != cached {
+			return fmt.Errorf("segstore: cache %d holds %d segments, counter says %d", i, cached, got)
+		}
+		free += cached
+	}
+	stateFree := int64(0)
+	for _, s := range st.view.State {
+		if s == StateFree {
+			stateFree++
+		}
+	}
+	if stateFree != free {
+		return fmt.Errorf("segstore: %d segments in StateFree, free storage holds %d", stateFree, free)
+	}
+	return nil
+}

@@ -1,0 +1,241 @@
+package segstore
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPrivateFIFO(t *testing.T) {
+	p, err := NewPrivate(Config{NumSegments: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh pool allocates in ascending order.
+	for want := int32(0); want < 8; want++ {
+		s, ok := p.Alloc()
+		if !ok || s != want {
+			t.Fatalf("Alloc = (%d, %v), want (%d, true)", s, ok, want)
+		}
+	}
+	if _, ok := p.Alloc(); ok {
+		t.Fatal("alloc succeeded on empty pool")
+	}
+	// FIFO recycling: freeing 3, 1, 4 hands them back in that order.
+	for _, s := range []int32{3, 1, 4} {
+		p.Free(s)
+	}
+	for _, want := range []int32{3, 1, 4} {
+		s, ok := p.Alloc()
+		if !ok || s != want {
+			t.Fatalf("recycled Alloc = (%d, %v), want (%d, true)", s, ok, want)
+		}
+	}
+	for s := int32(0); s < 8; s++ {
+		p.Free(s)
+	}
+	if p.FreeSegments() != 8 {
+		t.Fatalf("FreeSegments = %d, want 8", p.FreeSegments())
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheDrainsWholePool(t *testing.T) {
+	const n = 1000 // not a magazine multiple: exercises the remainder chain
+	st, err := New(Config{NumSegments: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := st.NewCache()
+	if st.Free() != n {
+		t.Fatalf("Free = %d, want %d", st.Free(), n)
+	}
+	seen := make([]bool, n)
+	for i := 0; i < n; i++ {
+		s, ok := c.Alloc()
+		if !ok {
+			t.Fatalf("alloc %d failed with %d free", i, st.Free())
+		}
+		if seen[s] {
+			t.Fatalf("segment %d allocated twice", s)
+		}
+		seen[s] = true
+	}
+	if _, ok := c.Alloc(); ok {
+		t.Fatal("alloc succeeded on exhausted pool")
+	}
+	if st.Free() != 0 || c.Avail() != 0 {
+		t.Fatalf("Free = %d, Avail = %d after draining", st.Free(), c.Avail())
+	}
+	for s := int32(0); s < n; s++ {
+		c.Free(s)
+	}
+	c.Publish()
+	if st.Free() != n {
+		t.Fatalf("Free = %d, want %d after refill", st.Free(), n)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlushMakesSegmentsReachable(t *testing.T) {
+	st, err := New(Config{NumSegments: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := st.NewCache(), st.NewCache()
+	held := make([]int32, 0, 256)
+	for {
+		s, ok := a.Alloc()
+		if !ok {
+			break
+		}
+		held = append(held, s)
+	}
+	if len(held) != 256 {
+		t.Fatalf("cache a drained %d segments, want 256", len(held))
+	}
+	// Frees land in a's magazines: globally free, unreachable from b.
+	for _, s := range held[:10] {
+		a.Free(s)
+	}
+	a.Publish()
+	if st.Free() != 10 {
+		t.Fatalf("Free = %d, want 10", st.Free())
+	}
+	if _, ok := b.Alloc(); ok {
+		t.Fatal("cache b allocated from cache a's magazines without a flush")
+	}
+	a.Flush()
+	if got := a.Avail(); got != 10 {
+		t.Fatalf("a.Avail = %d after flush, want 10 (via depot)", got)
+	}
+	got, ok := b.Alloc()
+	if !ok {
+		t.Fatal("cache b cannot allocate after flush")
+	}
+	b.Free(got)
+	b.Free(held[10])
+	held = held[11:]
+	for _, s := range held {
+		a.Free(s)
+	}
+	a.Flush()
+	b.Flush()
+	if st.Free() != 256 {
+		t.Fatalf("Free = %d, want 256 after full return", st.Free())
+	}
+	if err := st.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreDataSlab(t *testing.T) {
+	st, err := New(Config{NumSegments: 4, SegmentBytes: 64, StoreData: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.View().Data) != 4*64 {
+		t.Fatalf("data slab = %d bytes, want 256", len(st.View().Data))
+	}
+	if _, err := New(Config{NumSegments: 4, StoreData: true}); err == nil {
+		t.Fatal("StoreData without SegmentBytes accepted")
+	}
+	if _, err := New(Config{NumSegments: 0}); err == nil {
+		t.Fatal("zero NumSegments accepted")
+	}
+}
+
+// TestConcurrentMagazineChurn hammers the depot from many caches at once:
+// each worker allocates bursts, stamps ownership with a CAS so any
+// double-allocation is caught immediately, frees, and occasionally flushes.
+// Run under -race: this is the lock-free free-list correctness test.
+func TestConcurrentMagazineChurn(t *testing.T) {
+	const (
+		workers = 8
+		n       = 4096
+		rounds  = 2000
+	)
+	st, err := New(Config{NumSegments: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := make([]atomic.Int32, n)
+	caches := make([]*Cache, workers)
+	for i := range caches {
+		caches[i] = st.NewCache()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			c := caches[w]
+			id := int32(w + 1)
+			held := make([]int32, 0, 128)
+			for r := 0; r < rounds; r++ {
+				burst := 1 + rng.Intn(80)
+				for i := 0; i < burst; i++ {
+					s, ok := c.Alloc()
+					if !ok {
+						break
+					}
+					if !owner[s].CompareAndSwap(0, id) {
+						t.Errorf("segment %d allocated twice (owners %d and %d)", s, owner[s].Load(), id)
+						return
+					}
+					held = append(held, s)
+				}
+				// Free a random prefix.
+				k := rng.Intn(len(held) + 1)
+				for _, s := range held[:k] {
+					if !owner[s].CompareAndSwap(id, 0) {
+						t.Errorf("segment %d freed while not owned", s)
+						return
+					}
+					c.Free(s)
+				}
+				held = append(held[:0], held[k:]...)
+				if r%64 == 0 {
+					c.Flush()
+				}
+			}
+			for _, s := range held {
+				owner[s].Store(0)
+				c.Free(s)
+			}
+			c.Flush()
+		}(w)
+	}
+	wg.Wait()
+	if st.Free() != n {
+		t.Fatalf("Free = %d, want %d after churn", st.Free(), n)
+	}
+	if err := st.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCacheAllocFree(b *testing.B) {
+	st, err := New(Config{NumSegments: 1 << 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := st.NewCache()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, ok := c.Alloc()
+		if !ok {
+			b.Fatal("pool exhausted")
+		}
+		c.Free(s)
+	}
+}

@@ -10,7 +10,8 @@
 //   - QueueManager: the functional linked-list queue engine (32K flows,
 //     64-byte segments, enqueue/dequeue/delete/overwrite/append/move);
 //   - ConcurrentQueueManager: the goroutine-safe sharded engine — the flow
-//     space hash-partitioned over independent shards for multi-core use;
+//     space hash-partitioned over shards for multi-core use, all shards
+//     allocating from one shared segment store as the paper's MMS does;
 //   - MMS: the timed hardware model (Table 4 command latencies, Table 5
 //     delay decomposition, 6.1 Gbps headline throughput);
 //   - Report and the Run* helpers: regenerate every table and figure of

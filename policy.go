@@ -11,7 +11,10 @@ import (
 
 // AdmissionConfig selects and parameterizes an admission policy; build one
 // with TailDrop, LQD, or RED (the zero value admits everything the pool
-// can hold).
+// can hold). Policies consult the occupancy of the single shared segment
+// pool: RED thresholds are fractions of the whole buffer, LQD evicts the
+// globally longest queue wherever it lives, and tail-drop's pool check is
+// pool-wide.
 type AdmissionConfig = policy.Config
 
 // EgressConfig parameterizes the integrated egress scheduler; build one
@@ -41,15 +44,17 @@ func TailDrop(limit int) AdmissionConfig {
 
 // LQD returns the Longest Queue Drop shared-buffer policy: when the pool
 // is exhausted, arrivals are admitted by pushing out the head packet of
-// the longest queue (1.5-competitive for shared-memory switches).
+// the globally longest queue — on whichever shard it lives
+// (1.5-competitive for shared-memory switches; the guarantee is stated
+// for one global buffer, which the shared segment store provides).
 func LQD() AdmissionConfig {
 	return policy.Config{Kind: policy.KindLQD}
 }
 
-// RED returns a Random Early Detection policy over pool occupancy. minTh
-// and maxTh are occupancy fractions in (0, 1]; maxP is the drop
-// probability at maxTh; weight is the EWMA weight. Zero values take the
-// classic defaults (0.25, 0.75, 0.1, 0.002).
+// RED returns a Random Early Detection policy over shared-pool occupancy.
+// minTh and maxTh are occupancy fractions of the whole buffer in (0, 1];
+// maxP is the drop probability at maxTh; weight is the EWMA weight. Zero
+// values take the classic defaults (0.25, 0.75, 0.1, 0.002).
 func RED(minTh, maxTh, maxP, weight float64) AdmissionConfig {
 	return policy.Config{Kind: policy.KindRED, MinTh: minTh, MaxTh: maxTh, MaxP: maxP, Weight: weight}
 }
@@ -83,7 +88,7 @@ func DRREgress(quantumBytes int) EgressConfig {
 type ConcurrentConfig struct {
 	// Flows is the flow-ID space (0 means 32K).
 	Flows int
-	// Segments is the total segment pool, divided across shards (required).
+	// Segments is the shared segment pool all shards draw from (required).
 	Segments int
 	// Shards is the shard count (0 means 8; rounded up to a power of two).
 	Shards int
