@@ -10,17 +10,24 @@
 //	qmsim -model engine -shards 16 -parallel 8 -flows 32768 -ops 2000000
 //	qmsim -model engine -policy lqd -pool 4096 -egress drr -ops 500000
 //	qmsim -model engine -policy lqd -pool 8192 -zipf 1.2 -ops 500000
+//	qmsim -model engine -datapath ring -shards 16 -parallel 8 -residence 64
 //
 // The engine's segment pool is one shared buffer: -limit, -minth/-maxth and
 // LQD eviction are pool-wide, and a skewed workload (-zipf > 1 concentrates
 // traffic on few flows) can push one flow to nearly the whole pool.
+//
+// -datapath selects how producers reach the engine: "sync" locks the
+// owning shard per call; "ring" posts commands into per-shard rings
+// drained by worker goroutines (the paper's command-FIFO structure), with
+// producers firing asynchronously. The CSV reports the command-ring peak
+// occupancy and the blocking-enqueue completion latency either way (both
+// are trivially small on the sync path).
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"runtime"
 	"sync"
@@ -34,6 +41,8 @@ import (
 	"npqm/internal/npu"
 	"npqm/internal/policy"
 	"npqm/internal/queue"
+	"npqm/internal/stats"
+	"npqm/internal/traffic"
 )
 
 func main() {
@@ -68,6 +77,9 @@ func main() {
 		quantum   = flag.Int("quantum", 512, "engine: DRR byte quantum per weight unit")
 		burst     = flag.Int("burst", 1, "engine: packets per flow burst (bursty arrivals)")
 		zipf      = flag.Float64("zipf", 0, "engine: Zipf skew exponent for flow selection (0 = uniform stride, >1 = skewed)")
+		datapath  = flag.String("datapath", "sync", "engine: datapath (sync = lock per call, ring = async command rings)")
+		ringCap   = flag.Int("ringcap", 0, "engine: per-shard command-ring capacity (0 = default 1024)")
+		residence = flag.Int("residence", 0, "engine: sample every Nth packet's enqueue→dequeue residence time (0 = off)")
 	)
 	flag.Parse()
 
@@ -88,7 +100,8 @@ func main() {
 			policy: *polName, limit: *limit,
 			minth: *minth, maxth: *maxth, maxp: *maxp, wq: *wq,
 			egress: *egName, quantum: *quantum, burst: *burst,
-			zipf: *zipf,
+			zipf:     *zipf,
+			datapath: *datapath, ringCap: *ringCap, residence: *residence,
 		})
 	default:
 		err = fmt.Errorf("unknown model %q (want ddr, mms, ixp, npu, engine)", *model)
@@ -164,14 +177,23 @@ type engineArgs struct {
 	quantum                                      int
 	burst                                        int
 	zipf                                         float64
+	datapath                                     string
+	ringCap                                      int
+	residence                                    int
 }
+
+// compLatEvery is how often a producer swaps a fire-and-forget post for a
+// blocking enqueue to sample command completion latency.
+const compLatEvery = 512
 
 // runEngine drives the sharded concurrent engine: parallel producers offer
 // packets across the flow space while matching consumers drain through the
 // integrated egress scheduler, with the selected admission policy deciding
 // drops under pool pressure. The CSV reports goodput plus the policy
-// columns (drops, push-outs, peak occupancy) — shrink -pool to put the
-// admission policy under stress.
+// columns (drops, push-outs, peak occupancy), the ring-datapath telemetry
+// (peak command-ring occupancy, completion latency), and the residence
+// quantiles when -residence is set — shrink -pool to put the admission
+// policy under stress.
 func runEngine(a engineArgs) error {
 	if a.parallel < 1 {
 		return fmt.Errorf("parallel must be >= 1, got %d", a.parallel)
@@ -188,8 +210,13 @@ func runEngine(a engineArgs) error {
 	if a.zipf != 0 && a.zipf <= 1 {
 		return fmt.Errorf("zipf exponent must be > 1 (or 0 for uniform), got %g", a.zipf)
 	}
-	if a.zipf != 0 && a.burst > 1 {
-		return fmt.Errorf("-zipf and -burst are mutually exclusive: zipf draws a fresh flow per packet")
+	var ringMode bool
+	switch a.datapath {
+	case "sync":
+	case "ring":
+		ringMode = true
+	default:
+		return fmt.Errorf("unknown datapath %q (want sync or ring)", a.datapath)
 	}
 	kind, err := policy.ParseKind(a.policy)
 	if err != nil {
@@ -209,10 +236,17 @@ func runEngine(a engineArgs) error {
 			MinTh: a.minth, MaxTh: a.maxth, MaxP: a.maxp, Weight: a.wq,
 			Seed: a.seed,
 		},
-		Egress: policy.EgressConfig{Kind: egKind, QuantumBytes: a.quantum},
+		Egress:          policy.EgressConfig{Kind: egKind, QuantumBytes: a.quantum},
+		RingCapacity:    a.ringCap,
+		ResidenceSample: a.residence,
 	})
 	if err != nil {
 		return err
+	}
+	if ringMode {
+		if err := e.Start(); err != nil {
+			return err
+		}
 	}
 	perProducer := a.ops / a.parallel
 	pkt := make([]byte, a.pktBytes)
@@ -220,36 +254,56 @@ func runEngine(a engineArgs) error {
 	var firstErr error
 	var errOnce sync.Once
 	var peakResident atomic.Int64
+	var peakRing atomic.Int64
+	// Per-producer completion-latency histograms (1µs buckets to 4ms),
+	// merged after the run.
+	compLat := make([]*stats.Histogram, a.parallel)
 	done := make(chan struct{})
 	start := time.Now()
 
 	for p := 0; p < a.parallel; p++ {
+		compLat[p] = stats.NewHistogram(4096, 1000)
 		prodWG.Add(1)
 		go func(p int) {
 			defer prodWG.Done()
-			// Zipf-skewed flow selection concentrates arrivals on few hot
-			// flows — the workload where a shared pool beats a static
-			// split: the hot flows can fill the whole buffer instead of
-			// one shard's fragment.
-			var zrng *rand.Zipf
+			// Flow selection: a seeded uniform stride, or (with -zipf)
+			// Zipf-skewed arrivals concentrating on few hot flows — the
+			// workload where a shared pool beats a static split — with
+			// -burst consecutive packets per flow either way.
+			fdKind := traffic.FlowUniform
 			if a.zipf > 1 {
-				src := rand.New(rand.NewSource(int64(a.seed) + int64(p)))
-				zrng = rand.NewZipf(src, a.zipf, 1, uint64(a.flows-1))
+				fdKind = traffic.FlowZipf
 			}
-			var i uint32
+			fd, err := traffic.NewFlowDist(traffic.FlowDistConfig{
+				Kind: fdKind, Flows: a.flows, Skew: a.zipf,
+				Burst: a.burst, Seed: a.seed + uint64(p),
+			})
+			if err != nil {
+				errOnce.Do(func() { firstErr = err })
+				return
+			}
 			for n := 0; n < perProducer; n++ {
-				// Bursty arrivals: a.burst consecutive packets land on the
-				// same flow before the stride advances, building the long
-				// queues that separate shared-buffer policies.
-				var f uint32
-				if zrng != nil {
-					f = uint32(zrng.Uint64())
-				} else {
-					f = uint32(p)*2654435761 + (i/uint32(a.burst))*40503
-					i++
-					f %= uint32(a.flows)
+				f := fd.Next()
+				var err error
+				// Both datapaths sample the blocking call's latency on the
+				// same 1-in-compLatEvery schedule, so the measurement
+				// overhead (two clock reads and a histogram add) is charged
+				// identically and the mpps columns stay comparable.
+				switch sample := n%compLatEvery == 0; {
+				case ringMode && !sample:
+					// Fire and forget; outcomes land in the counters.
+					err = e.EnqueueAsync(f, pkt)
+				case sample:
+					// Blocking enqueue — on the ring datapath this is the
+					// post-to-completion round trip, sampled as completion
+					// latency; on the sync datapath it times the locked
+					// call, for comparison.
+					t0 := time.Now()
+					_, err = e.EnqueuePacket(f, pkt)
+					compLat[p].Add(float64(time.Since(t0).Nanoseconds()))
+				default:
+					_, err = e.EnqueuePacket(f, pkt)
 				}
-				_, err := e.EnqueuePacket(f, pkt)
 				switch {
 				case err == nil:
 				case errors.Is(err, engine.ErrAdmissionDrop):
@@ -290,7 +344,7 @@ func runEngine(a engineArgs) error {
 		}()
 	}
 
-	// Sample occupancy while the run is hot.
+	// Sample buffer and command-ring occupancy while the run is hot.
 	sampler := make(chan struct{})
 	go func() {
 		tick := time.NewTicker(time.Millisecond)
@@ -304,11 +358,25 @@ func runEngine(a engineArgs) error {
 				if r := int64(st.QueuedSegments); r > peakResident.Load() {
 					peakResident.Store(r)
 				}
+				if r := int64(e.RingOccupancy()); r > peakRing.Load() {
+					peakRing.Store(r)
+				}
 			}
 		}
 	}()
 
 	prodWG.Wait()
+	if ringMode {
+		// Let the workers finish the async backlog before the cutoff
+		// snapshot, so the resident column reflects buffered packets, not
+		// commands still in flight in the rings.
+		if r := int64(e.RingOccupancy()); r > peakRing.Load() {
+			peakRing.Store(r)
+		}
+		if err := e.Drain(); err != nil {
+			return err
+		}
+	}
 	// Sample at end-of-offer: the resident column reports the backlog the
 	// consumers still faced when the offered load stopped (not the
 	// post-drain zero), and short runs never report an idle buffer.
@@ -337,20 +405,30 @@ func runEngine(a engineArgs) error {
 	if err := e.CheckInvariants(); err != nil {
 		return err
 	}
+	if err := e.Close(); err != nil {
+		return err
+	}
+	lat := compLat[0]
+	for _, h := range compLat[1:] {
+		lat.Merge(h)
+	}
 	mpps := float64(st.DequeuedPackets) / elapsed.Seconds() / 1e6
 	gbps := float64(st.DequeuedPackets) * float64(a.pktBytes) * 8 / elapsed.Seconds() / 1e9
 	occPct := 100 * float64(peakResident.Load()) / float64(a.pool)
 	if occPct > 100 {
-		// Stats snapshots shards one lock at a time, not as an atomic cut,
-		// so a sampled sum can transiently exceed the pool.
+		// Stats snapshots shards one critical section at a time, not as an
+		// atomic cut, so a sampled sum can transiently exceed the pool.
 		occPct = 100
 	}
-	fmt.Println("shards,parallel,flows,policy,egress,pkt_bytes,offered,delivered,dropped,pushed_out,rejected,resident,peak_occupancy_pct,elapsed_s,mpps,gbps")
-	fmt.Printf("%d,%d,%d,%s,%s,%d,%d,%d,%d,%d,%d,%d,%.1f,%.3f,%.3f,%.3f\n",
-		e.Shards(), a.parallel, a.flows, kind, egKind, a.pktBytes,
+	fmt.Println("shards,parallel,flows,policy,egress,datapath,pkt_bytes,offered,delivered,dropped,pushed_out,rejected,resident,peak_occupancy_pct,ring_occ_peak,comp_p50_us,comp_p99_us,res_p50_us,res_p99_us,elapsed_s,mpps,gbps")
+	fmt.Printf("%d,%d,%d,%s,%s,%s,%d,%d,%d,%d,%d,%d,%d,%.1f,%d,%.1f,%.1f,%.1f,%.1f,%.3f,%.3f,%.3f\n",
+		e.Shards(), a.parallel, a.flows, kind, egKind, a.datapath, a.pktBytes,
 		uint64(a.parallel)*uint64(perProducer), st.DequeuedPackets,
 		st.DroppedPackets, st.PushedOutPackets, st.Rejected,
-		residentAtCutoff, occPct, elapsed.Seconds(), mpps, gbps)
+		residentAtCutoff, occPct, peakRing.Load(),
+		lat.Quantile(0.50)/1e3, lat.Quantile(0.99)/1e3,
+		st.ResidenceP50Ns/1e3, st.ResidenceP99Ns/1e3,
+		elapsed.Seconds(), mpps, gbps)
 	return nil
 }
 

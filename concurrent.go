@@ -4,22 +4,44 @@ import "npqm/internal/engine"
 
 // ConcurrentQueueManager is the goroutine-safe, sharded variant of
 // QueueManager: the flow space is hash-partitioned across queue-manager
-// shards (one lock each), so enqueues and dequeues on different shards
-// proceed in parallel, while segment memory stays one shared pool — as in
-// the paper, where every per-flow queue allocates 64-byte segments from a
-// single data memory. Shards draw from the pool through per-shard magazine
-// caches (a lock-free depot underneath), so a single hot flow can consume
-// nearly the whole buffer and admission policies see true pool-wide
-// occupancy. Per-flow FIFO order is preserved — a flow always maps to the
-// same shard.
+// shards, so enqueues and dequeues on different shards proceed in
+// parallel, while segment memory stays one shared pool — as in the paper,
+// where every per-flow queue allocates 64-byte segments from a single data
+// memory. Shards draw from the pool through per-shard magazine caches (a
+// lock-free depot underneath), so a single hot flow can consume nearly the
+// whole buffer and admission policies see true pool-wide occupancy.
+// Per-flow FIFO order is preserved — a flow always maps to the same shard.
 //
-// This is the software analogue of how the paper's MMS scales: hardware
-// pipelines commands because per-flow state is independent; the sharded
-// engine turns that same independence into multi-core parallelism without
-// fragmenting the buffer.
+// Two datapaths are available. The default is synchronous: every call
+// locks the owning shard, operates, returns. Start switches to the
+// asynchronous command-ring datapath — the software rendering of the
+// paper's command FIFOs: callers post commands into a bounded ring per
+// shard and a per-shard worker goroutine drains them run-to-completion as
+// the shard's single writer, so producers pipeline instead of serializing
+// on lock handoff. The synchronous API keeps working after Start as a thin
+// blocking wrapper over the rings; EnqueueAsync posts fire-and-forget.
+//
+// # Error contract
+//
+// Datapath methods return these classifiable sentinels (use errors.Is):
+// ErrQueueEmpty / ErrNoPacket (nothing to serve), ErrNoFreeSegments (pool
+// exhausted with no admission policy), ErrQueueLimit (per-flow cap),
+// ErrAdmissionDrop (policy refusal — counted, not a caller error),
+// ErrClosed (after Close). Configuration methods taking a flow ID
+// (SetFlowLimit, SetWeight) return ErrUnknownFlow for flows outside the
+// configured flow space.
 type ConcurrentQueueManager struct {
 	e *engine.Engine
 }
+
+// Sentinel errors of the concurrent engine, re-exported for errors.Is.
+var (
+	// ErrClosed is returned by every datapath call after Close.
+	ErrClosed = engine.ErrClosed
+	// ErrUnknownFlow is returned by SetFlowLimit and SetWeight for flow
+	// IDs outside the configured flow space.
+	ErrUnknownFlow = engine.ErrUnknownFlow
+)
 
 // PacketEnqueue is one packet of an EnqueueBatch call.
 type PacketEnqueue struct {
@@ -49,6 +71,39 @@ func NewConcurrentQueueManager(flows, segments, shards int) (*ConcurrentQueueMan
 
 // Shards returns the shard count.
 func (cm *ConcurrentQueueManager) Shards() int { return cm.e.Shards() }
+
+// Start switches the manager onto the asynchronous command-ring datapath:
+// one bounded MPSC command ring and one worker goroutine per shard, with
+// the worker as the shard's single writer. Safe while traffic flows;
+// idempotent; ErrClosed after Close.
+func (cm *ConcurrentQueueManager) Start() error { return cm.e.Start() }
+
+// Drain blocks until every command posted before the call — including
+// EnqueueAsync backlogs — has been executed. No-op on the synchronous
+// datapath.
+func (cm *ConcurrentQueueManager) Drain() error { return cm.e.Drain() }
+
+// Close shuts the manager down: pending ring commands drain (no packet or
+// counter is lost), workers exit, and later datapath calls return
+// ErrClosed. Idempotent. The observation surface (Stats, Len, ActiveFlows,
+// CheckInvariants, ...) keeps working against the quiescent state.
+func (cm *ConcurrentQueueManager) Close() error { return cm.e.Close() }
+
+// EnqueueAsync posts a fire-and-forget enqueue on the ring datapath: it
+// returns once the command is in the shard's ring (blocking only for ring
+// backpressure) and the outcome — linked, dropped, or refused — is
+// reported through Stats counters. The engine reads data when the command
+// executes: do not mutate the buffer until the command has been processed
+// (reusing one read-only payload across posts is fine). The only error is
+// ErrClosed.
+func (cm *ConcurrentQueueManager) EnqueueAsync(q uint32, data []byte) error {
+	return cm.e.EnqueueAsync(q, data)
+}
+
+// RingOccupancy returns the total number of commands waiting in the shard
+// rings (0 on the synchronous datapath) — the backlog the workers have yet
+// to execute.
+func (cm *ConcurrentQueueManager) RingOccupancy() int { return cm.e.RingOccupancy() }
 
 // EnqueuePacket segments data onto flow q; it returns the segment count.
 // Safe for concurrent use.
@@ -97,7 +152,8 @@ func (cm *ConcurrentQueueManager) DeletePacket(q uint32) (int, error) {
 // Len returns the number of queued segments on flow q.
 func (cm *ConcurrentQueueManager) Len(q uint32) (int, error) { return cm.e.Len(q) }
 
-// SetFlowLimit caps flow q at limit segments (0 removes the cap).
+// SetFlowLimit caps flow q at limit segments (0 removes the cap). Flows
+// outside the configured flow space report ErrUnknownFlow.
 func (cm *ConcurrentQueueManager) SetFlowLimit(q uint32, limit int) error {
 	return cm.e.SetFlowLimit(q, limit)
 }
@@ -132,7 +188,8 @@ func (cm *ConcurrentQueueManager) SetEgress(cfg EgressConfig) error {
 }
 
 // SetWeight sets flow q's egress weight for WRR (packets per visit) and
-// DRR (quantum multiplier). Weights must be positive.
+// DRR (quantum multiplier). Weights must be positive; flows outside the
+// configured flow space report ErrUnknownFlow.
 func (cm *ConcurrentQueueManager) SetWeight(q uint32, weight int) error {
 	return cm.e.SetWeight(q, weight)
 }

@@ -10,9 +10,11 @@ import (
 // handles one packet at a time: the dispatch loop pulls a burst from the
 // receive ring and issues the whole burst at once. Batching matters to the
 // sharded engine for the same reason hardware pipelining matters to the
-// MMS — the fixed per-command overhead (here, a mutex acquisition; there,
-// command-FIFO handshakes) is paid once per shard per burst instead of once
-// per packet.
+// MMS — the fixed per-command overhead is paid once per shard per burst
+// instead of once per packet. On the synchronous datapath that overhead is
+// a mutex acquisition; on the ring datapath it is one posted command and
+// one shared completion countdown per shard touched, so a 64-packet burst
+// costs the producer a handful of ring slots and a single wakeup.
 
 // EnqueueReq is one packet of an EnqueueBatch.
 type EnqueueReq struct {
@@ -20,8 +22,14 @@ type EnqueueReq struct {
 	Data []byte
 }
 
-// buckets groups batch indices by owning shard so each shard is locked once.
-// The bucket slices are recycled between calls through a pool.
+// errRingRetry marks a batch slot the worker deliberately left unprocessed
+// (a stop-the-bucket condition was hit earlier in the same bucket); the
+// poster replays those slots in order through the per-packet path. Never
+// escapes to callers.
+var errRingRetry = errors.New("engine: batch slot deferred to per-packet path")
+
+// buckets groups batch indices by owning shard so each shard is entered
+// once. The bucket slices are recycled between calls through a pool.
 type buckets struct {
 	byShard [][]int32
 }
@@ -44,18 +52,26 @@ func (e *Engine) putBuckets(b *buckets) {
 }
 
 // EnqueueBatch enqueues every request in batch, bucketing by shard and
-// taking each shard lock once. Results are aligned with the batch: errs[i]
+// entering each shard once. Results are aligned with the batch: errs[i]
 // is nil when batch[i] was accepted. Relative order of packets on the same
 // flow is preserved, so per-flow FIFO holds across batches too. It returns
 // the total number of segments linked.
 //
 // When an LQD arrival needs push-out eviction the batch degrades to the
 // per-packet path for the rest of that shard's bucket: eviction must run
-// with no shard lock held (the victim may live on another shard), and
-// processing later same-flow packets inline would break per-flow FIFO.
+// outside the shard's critical section (the victim may live on another
+// shard), and processing later same-flow packets inline would break
+// per-flow FIFO.
 func (e *Engine) EnqueueBatch(batch []EnqueueReq) (segments int, errs []error) {
 	if len(batch) == 0 {
 		return 0, nil
+	}
+	if e.mode.Load() == modeClosed {
+		errs = make([]error, len(batch))
+		for i := range errs {
+			errs[i] = ErrClosed
+		}
+		return 0, errs
 	}
 	errs = make([]error, len(batch))
 	b := e.getBuckets()
@@ -63,43 +79,118 @@ func (e *Engine) EnqueueBatch(batch []EnqueueReq) (segments int, errs []error) {
 		si := e.ShardOf(req.Flow)
 		b.byShard[si] = append(b.byShard[si], int32(i))
 	}
+	if e.mode.Load() == modeRing {
+		segments = e.enqueueBatchRing(batch, errs, b)
+	} else {
+		segments = e.enqueueBatchSync(batch, errs, b)
+	}
+	e.putBuckets(b)
+	return segments, errs
+}
+
+// enqueueBatchSync is the mutex-datapath bucket walk.
+func (e *Engine) enqueueBatchSync(batch []EnqueueReq, errs []error, b *buckets) (segments int) {
 	for si, idxs := range b.byShard {
 		if len(idxs) == 0 {
 			continue
 		}
 		s := e.shards[si]
-		slow := -1 // first index needing lock-free slow-path handling
-		s.mu.Lock()
-		for k, i := range idxs {
-			n, err := s.enqueueLocked(batch[i].Flow, batch[i].Data)
-			if err == errWantPushOut || //nolint:errorlint // internal sentinel, never wrapped
-				(err != nil && errors.Is(err, queue.ErrNoFreeSegments) && e.store.Free() > 0) {
-				// Push-out eviction or a stranded-cache flush must run with
-				// no shard lock held; hand the rest of the bucket to the
-				// per-packet path.
-				slow = k
-				break
-			}
-			if err != nil {
-				errs[i] = err
-				continue
-			}
-			segments += n
-		}
-		s.mu.Unlock()
-		if slow >= 0 {
-			for _, i := range idxs[slow:] {
-				n, err := e.EnqueuePacket(batch[i].Flow, batch[i].Data)
+		slow := 0 // count of leading indices handled inside the bucket
+		if e.lockSync(s) {
+			for _, i := range idxs {
+				n, err := s.enqueueLocked(batch[i].Flow, batch[i].Data)
+				if err == errWantPushOut || //nolint:errorlint // internal sentinel, never wrapped
+					(err != nil && errors.Is(err, queue.ErrNoFreeSegments) && e.store.Free() > 0) {
+					// Push-out eviction or a stranded-cache flush must run
+					// outside the critical section; hand the rest of the
+					// bucket to the per-packet path.
+					break
+				}
+				slow++
 				if err != nil {
 					errs[i] = err
 					continue
 				}
 				segments += n
 			}
+			s.mu.Unlock()
+		}
+		// Everything the bucket walk did not finish — including the whole
+		// bucket when the datapath switched under us — replays in order
+		// through the per-packet path, which resolves the current mode.
+		for _, i := range idxs[slow:] {
+			n, err := e.EnqueuePacket(batch[i].Flow, batch[i].Data)
+			if err != nil {
+				errs[i] = err
+				continue
+			}
+			segments += n
 		}
 	}
-	e.putBuckets(b)
-	return segments, errs
+	return segments
+}
+
+// enqueueBatchRing posts one command per touched shard, all sharing one
+// completion: the worker walks its bucket run-to-completion and the caller
+// wakes once. Slots a worker could not finish inline (push-out eviction or
+// a stranded pool) come back marked errRingRetry and replay in order
+// through the per-packet path.
+func (e *Engine) enqueueBatchRing(batch []EnqueueReq, errs []error, b *buckets) (segments int) {
+	c := e.getCall()
+	var want int32
+	for _, idxs := range b.byShard {
+		if len(idxs) > 0 {
+			want++
+		}
+	}
+	c.pending.Store(want + 1)
+	posted := int32(0)
+	for si, idxs := range b.byShard {
+		if len(idxs) == 0 {
+			continue
+		}
+		s := e.shards[si]
+		idxs := idxs
+		cmd := command{kind: opCall, co: c, fn: func() {
+			for k, i := range idxs {
+				n, err := s.enqueueLocked(batch[i].Flow, batch[i].Data)
+				if err == errWantPushOut || //nolint:errorlint // internal sentinel, never wrapped
+					(err != nil && errors.Is(err, queue.ErrNoFreeSegments) && e.store.Free() > 0) {
+					for _, j := range idxs[k:] {
+						errs[j] = errRingRetry
+					}
+					return
+				}
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				c.segs.Add(int64(n))
+			}
+		}}
+		if e.post(s, cmd) != nil {
+			for _, i := range idxs {
+				errs[i] = ErrClosed
+			}
+			continue
+		}
+		posted++
+	}
+	c.release(want - posted + 1)
+	segments = int(c.segs.Load())
+	e.putCall(c)
+	// Replay the deferred slots in order; EnqueuePacket runs the eviction
+	// or flush orchestration and re-resolves the datapath mode.
+	for i := range errs {
+		if errs[i] == errRingRetry { //nolint:errorlint // internal sentinel, never wrapped
+			n, err := e.EnqueuePacket(batch[i].Flow, batch[i].Data)
+			errs[i] = err
+			if err == nil {
+				segments += n
+			}
+		}
+	}
+	return segments
 }
 
 // DequeueBatch dequeues the head packet of every listed flow, bucketing by
@@ -112,17 +203,41 @@ func (e *Engine) DequeueBatch(flows []uint32) (pkts [][]byte, errs []error) {
 	}
 	pkts = make([][]byte, len(flows))
 	errs = make([]error, len(flows))
+	if e.mode.Load() == modeClosed {
+		for i := range errs {
+			errs[i] = ErrClosed
+		}
+		return pkts, errs
+	}
 	b := e.getBuckets()
 	for i, flow := range flows {
 		si := e.ShardOf(flow)
 		b.byShard[si] = append(b.byShard[si], int32(i))
 	}
+	if e.mode.Load() == modeRing {
+		e.dequeueBatchRing(flows, pkts, errs, b)
+	} else {
+		e.dequeueBatchSync(flows, pkts, errs, b)
+	}
+	e.putBuckets(b)
+	return pkts, errs
+}
+
+// dequeueBatchSync is the mutex-datapath bucket walk.
+func (e *Engine) dequeueBatchSync(flows []uint32, pkts [][]byte, errs []error, b *buckets) {
 	for si, idxs := range b.byShard {
 		if len(idxs) == 0 {
 			continue
 		}
 		s := e.shards[si]
-		s.mu.Lock()
+		if !e.lockSync(s) {
+			// Datapath switched under us: replay this bucket per-packet.
+			for _, i := range idxs {
+				data, err := e.DequeuePacket(flows[i])
+				pkts[i], errs[i] = data, err
+			}
+			continue
+		}
 		for _, i := range idxs {
 			buf := e.getBuf()
 			out, n, err := s.m.DequeuePacketAppend(queue.QueueID(flows[i]), buf)
@@ -133,10 +248,54 @@ func (e *Engine) DequeueBatch(flows []uint32) (pkts [][]byte, errs []error) {
 				continue
 			}
 			s.syncActive(flows[i])
+			s.noteRemoveRes(flows[i], true)
 			pkts[i] = out
 		}
 		s.mu.Unlock()
 	}
-	e.putBuckets(b)
-	return pkts, errs
+}
+
+// dequeueBatchRing posts one command per touched shard under a shared
+// completion; each worker fills its bucket's result slots directly.
+func (e *Engine) dequeueBatchRing(flows []uint32, pkts [][]byte, errs []error, b *buckets) {
+	c := e.getCall()
+	var want int32
+	for _, idxs := range b.byShard {
+		if len(idxs) > 0 {
+			want++
+		}
+	}
+	c.pending.Store(want + 1)
+	posted := int32(0)
+	for si, idxs := range b.byShard {
+		if len(idxs) == 0 {
+			continue
+		}
+		s := e.shards[si]
+		idxs := idxs
+		cmd := command{kind: opCall, co: c, fn: func() {
+			for _, i := range idxs {
+				buf := e.getBuf()
+				out, n, err := s.m.DequeuePacketAppend(queue.QueueID(flows[i]), buf)
+				s.noteDequeue(n, err)
+				if err != nil {
+					e.putBuf(buf)
+					errs[i] = err
+					continue
+				}
+				s.syncActive(flows[i])
+				s.noteRemoveRes(flows[i], true)
+				pkts[i] = out
+			}
+		}}
+		if e.post(s, cmd) != nil {
+			for _, i := range idxs {
+				errs[i] = ErrClosed
+			}
+			continue
+		}
+		posted++
+	}
+	c.release(want - posted + 1)
+	e.putCall(c)
 }

@@ -21,6 +21,11 @@ import (
 	"npqm/internal/queue"
 )
 
+// On the ring datapath the egress pick itself runs inside the shard's
+// worker: DequeueNext and DequeueNextBatch post a pick-and-dequeue command
+// per shard (see ring.go), so the discipline state is only ever touched by
+// the single writer.
+
 // Dequeued is one packet returned by DequeueNextBatch: the flow it was
 // queued on and its reassembled payload (from the engine's buffer pool —
 // Release it when done; empty when data storage is off).
@@ -51,53 +56,69 @@ func (e *Engine) SetEgress(cfg policy.EgressConfig) error {
 	}
 	cfg = cfg.WithDefaults()
 	for _, s := range e.shards {
-		s.mu.Lock()
-		s.eg.kind = cfg.Kind
-		s.eg.defaultWeight = cfg.DefaultWeight
-		s.eg.quantum = cfg.QuantumBytes
-		s.eg.cursor = 0
-		s.eg.visiting = false
-		s.eg.credit = 0
-		s.eg.deficit = nil
-		s.mu.Unlock()
+		s := s
+		e.run(s, func() {
+			s.eg.kind = cfg.Kind
+			s.eg.defaultWeight = cfg.DefaultWeight
+			s.eg.quantum = cfg.QuantumBytes
+			s.eg.cursor = 0
+			s.eg.visiting = false
+			s.eg.credit = 0
+			s.eg.deficit = nil
+		})
 	}
 	return nil
 }
 
 // SetWeight sets flow's egress weight for WRR (packets per visit) and DRR
 // (quantum multiplier). Weights must be positive; flows default to the
-// configured DefaultWeight. Safe while traffic flows.
+// configured DefaultWeight. Unknown flows (outside the configured flow
+// space) report ErrUnknownFlow. Safe while traffic flows.
 func (e *Engine) SetWeight(flow uint32, weight int) error {
 	if weight <= 0 {
 		return fmt.Errorf("engine: non-positive weight %d for flow %d", weight, flow)
 	}
-	if int(flow) >= e.cfg.NumFlows {
-		return fmt.Errorf("%w: flow %d (have %d)", queue.ErrBadQueue, flow, e.cfg.NumFlows)
+	if int64(flow) >= int64(e.cfg.NumFlows) {
+		return ErrUnknownFlow
 	}
 	s := e.shardOf(flow)
-	s.mu.Lock()
-	if s.eg.weights == nil {
-		s.eg.weights = make([]int32, e.cfg.NumFlows)
-	}
-	s.eg.weights[flow] = int32(weight)
-	s.mu.Unlock()
+	e.run(s, func() {
+		if s.eg.weights == nil {
+			s.eg.weights = make([]int32, e.cfg.NumFlows)
+		}
+		s.eg.weights[flow] = int32(weight)
+	})
 	return nil
 }
 
 // DequeueNext serves one packet chosen by the egress discipline. ok is
-// false when the engine holds no packets. Release the data when done.
-// Unlike DequeueNextBatch it allocates nothing beyond the pooled payload
+// false when the engine holds no packets. Release the data when done. On
+// the synchronous datapath it allocates nothing beyond the pooled payload
 // buffer, so per-packet drain loops stay allocation-free.
 func (e *Engine) DequeueNext() (Dequeued, bool) {
 	n := len(e.shards)
 	start := int((e.egCursor.Add(1) - 1) & uint32(n-1))
 	for i := 0; i < n; i++ {
 		s := e.shards[(start+i)%n]
-		s.mu.Lock()
-		d, ok := e.dequeuePickedLocked(s)
-		s.mu.Unlock()
-		if ok {
-			return d, true
+		for {
+			switch e.mode.Load() {
+			case modeClosed:
+				return Dequeued{}, false
+			case modeRing:
+				if out := e.dequeueNextRing(s, nil, 1); len(out) == 1 {
+					return out[0], true
+				}
+			default:
+				if !e.lockSync(s) {
+					continue
+				}
+				d, ok := e.dequeuePicked(s)
+				s.mu.Unlock()
+				if ok {
+					return d, true
+				}
+			}
+			break
 		}
 	}
 	return Dequeued{}, false
@@ -116,26 +137,43 @@ func (e *Engine) DequeueNextBatch(max int) []Dequeued {
 	// n is a power of two; mask before the int conversion so the uint32
 	// cursor wrapping past 2^31 cannot go negative on 32-bit platforms.
 	start := int((e.egCursor.Add(1) - 1) & uint32(n-1))
+	if e.mode.Load() == modeRing {
+		// One fan-out command per shard under a single completion; see
+		// dequeueNextRingAll.
+		return e.dequeueNextRingAll(start, max)
+	}
 	var out []Dequeued
 	for i := 0; i < n && len(out) < max; i++ {
 		s := e.shards[(start+i)%n]
-		s.mu.Lock()
-		for len(out) < max {
-			d, ok := e.dequeuePickedLocked(s)
-			if !ok {
-				break
+		for {
+			switch e.mode.Load() {
+			case modeClosed:
+				return out
+			case modeRing:
+				out = e.dequeueNextRing(s, out, max-len(out))
+			default:
+				if !e.lockSync(s) {
+					continue
+				}
+				for len(out) < max {
+					d, ok := e.dequeuePicked(s)
+					if !ok {
+						break
+					}
+					out = append(out, d)
+				}
+				s.mu.Unlock()
 			}
-			out = append(out, d)
+			break
 		}
-		s.mu.Unlock()
 	}
 	return out
 }
 
-// dequeuePickedLocked serves one packet picked by the discipline from
-// shard s; caller holds s.mu. ok is false when the shard has nothing
-// servable.
-func (e *Engine) dequeuePickedLocked(s *shard) (Dequeued, bool) {
+// dequeuePicked serves one packet picked by the discipline from shard s,
+// inside s's critical section (mutex or worker). ok is false when the
+// shard has nothing servable.
+func (e *Engine) dequeuePicked(s *shard) (Dequeued, bool) {
 	for {
 		flow, ok := s.pickLocked()
 		if !ok {
@@ -153,6 +191,7 @@ func (e *Engine) dequeuePickedLocked(s *shard) (Dequeued, bool) {
 			continue
 		}
 		s.syncActive(flow)
+		s.noteRemoveRes(flow, true)
 		return Dequeued{Flow: flow, Data: data}, true
 	}
 }
@@ -161,9 +200,8 @@ func (e *Engine) dequeuePickedLocked(s *shard) (Dequeued, bool) {
 func (e *Engine) ActiveFlows() int {
 	total := 0
 	for _, s := range e.shards {
-		s.mu.Lock()
-		total += s.activeFlows
-		s.mu.Unlock()
+		s := s
+		e.run(s, func() { total += s.activeFlows })
 	}
 	return total
 }

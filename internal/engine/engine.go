@@ -1,39 +1,47 @@
 // Package engine is the concurrent, sharded queue-manager subsystem: N
-// queue.Manager shards (one mutex each) drawing from one shared segment
-// store, behind a goroutine-safe API.
+// queue.Manager shards drawing from one shared segment store, behind a
+// goroutine-safe API with two interchangeable datapaths.
 //
 // The paper's MMS reaches its 6.1 Gbps by exploiting the independence of
 // per-flow state: every command touches one queue's pointers and the shared
 // free list, and the hardware pipelines commands because flows do not
 // interfere. Software gets the same parallelism by partitioning the flow
-// space: flows are hashed onto shards, each shard owns a private Manager
-// (its own queue table and lock), and commands for different shards proceed
-// on different cores. Per-flow FIFO order is preserved because a flow
-// always maps to the same shard and each shard is internally sequential.
+// space: flows are hashed onto shards, each shard owns a private Manager,
+// and commands for different shards proceed on different cores. Per-flow
+// FIFO order is preserved because a flow always maps to the same shard and
+// each shard is internally sequential.
 //
-// Segment memory, by contrast, is not partitioned — exactly as in the
+// Two datapaths realize that sequencing:
+//
+//   - Synchronous (the default): every call locks the owning shard's mutex,
+//     operates, and unlocks. Simple, lowest latency when producers are few.
+//   - Ring (after Start): the paper's own structure. Producers never touch
+//     shard state — they post commands into a bounded MPSC ring per shard,
+//     exactly as the paper's processing elements post into the MMS command
+//     FIFOs, and a per-shard worker goroutine drains its ring in batches,
+//     run to completion. The worker is the single writer, so the hot path
+//     takes no mutex at all; calls that need results block on per-producer
+//     completion batches, while EnqueueAsync is fire-and-forget with
+//     outcomes reported through Stats counters. See ring.go.
+//
+// Segment memory, in both datapaths, is not partitioned — exactly as in the
 // paper, where all per-flow queues allocate 64-byte segments from one data
 // memory. Every shard allocates from a single segstore.Store through a
-// per-shard magazine cache, so the steady-state cost of sharing is one CAS
-// per ~64 segments while a single hot flow can still consume (nearly) the
-// whole pool. That makes the shared-buffer admission policies honest:
+// per-shard magazine cache, so shared-buffer admission policies are honest:
 // tail-drop, LQD and RED all consult pool-wide occupancy, LQD evicts the
 // globally longest queue, and the competitive guarantees stated for one
 // global buffer apply. Cross-shard MovePacket is pure pointer relinking on
 // the shared slab — no copy, no allocation.
-//
-// Batched operations (EnqueueBatch / DequeueBatch) amortize the per-shard
-// lock: a batch is bucketed by shard and each shard is locked once per
-// batch rather than once per packet. Payload buffers for reassembly are
-// recycled through a bounded sync.Pool; callers return them with Release.
 package engine
 
 import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"npqm/internal/policy"
 	"npqm/internal/queue"
@@ -43,17 +51,29 @@ import (
 // DefaultShards is the shard count used when Config.Shards is zero.
 const DefaultShards = 8
 
+// DefaultRingCapacity is the per-shard command-ring capacity used when
+// Config.RingCapacity is zero and the ring datapath is started.
+const DefaultRingCapacity = 1024
+
 // ErrAdmissionDrop is returned by the enqueue paths when the configured
 // admission policy refuses the arrival. The drop is counted in
 // Stats.DroppedPackets/DroppedSegments; it is the policy working as
 // intended, not a caller error.
 var ErrAdmissionDrop = errors.New("engine: packet dropped by admission policy")
 
+// ErrClosed is returned by every datapath call after Close.
+var ErrClosed = errors.New("engine: closed")
+
+// ErrUnknownFlow is returned by SetFlowLimit and SetWeight when the flow ID
+// lies outside the configured flow space. Like ErrAdmissionDrop it is a
+// bare sentinel — classify with errors.Is; it never allocates.
+var ErrUnknownFlow = errors.New("engine: unknown flow")
+
 // errWantPushOut is an internal sentinel: the admission policy admitted the
-// arrival contingent on push-out eviction, which must run without the
-// arrival shard's lock held (the globally longest queue may live on another
-// shard, and shard locks never nest). The enqueue entry points catch it,
-// evict, and retry.
+// arrival contingent on push-out eviction, which must run outside the
+// arrival shard's critical section (the globally longest queue may live on
+// another shard, and shards are never entered nested). The enqueue entry
+// points catch it, evict, and retry.
 var errWantPushOut = errors.New("engine: admission wants push-out eviction")
 
 // maxEvictAttempts bounds the evict-and-retry loop of an LQD arrival: under
@@ -65,6 +85,14 @@ const maxEvictAttempts = 8
 // engine's pool. A buffer that grew past this (one giant reassembled
 // packet) is dropped on Release instead of pinning its memory forever.
 const maxPooledBufBytes = 64 * queue.SegmentBytes
+
+// Datapath modes. The engine starts synchronous, may switch to the ring
+// datapath once (Start), and ends closed (Close). Transitions are one-way.
+const (
+	modeSync int32 = iota
+	modeRing
+	modeClosed
+)
 
 // Config sizes an Engine.
 type Config struct {
@@ -85,51 +113,69 @@ type Config struct {
 	PerFlowLimit int
 	// Admission selects the shared-buffer admission policy. The zero value
 	// (policy.KindNone) admits everything the pool can hold. Each shard
-	// gets a private policy instance consulted under the shard lock; all
-	// instances see pool-wide occupancy, so thresholds are fractions of
-	// the whole buffer and LQD evicts the globally longest queue.
+	// gets a private policy instance consulted inside the shard's critical
+	// section; all instances see pool-wide occupancy, so thresholds are
+	// fractions of the whole buffer and LQD evicts the globally longest
+	// queue.
 	Admission policy.Config
 	// Egress parameterizes the integrated egress scheduler used by
 	// DequeueNextBatch. The zero value is round-robin over active flows.
 	Egress policy.EgressConfig
+	// RingCapacity is the per-shard command-ring depth for the ring
+	// datapath (0 means DefaultRingCapacity; rounded up to a power of
+	// two). A full ring applies backpressure to producers.
+	RingCapacity int
+	// ResidenceSample enables residence-time sampling: every Nth packet
+	// enqueued on a shard is stamped, and its enqueue→dequeue time lands
+	// in the Stats residence histogram. 0 disables sampling (no memory or
+	// hot-path cost).
+	ResidenceSample int
 }
 
-// shard pairs one single-threaded Manager with its lock and local counters.
-// Shards are allocated individually (the Engine holds pointers), so their
-// hot mutexes live on distinct cache lines.
+// shard pairs one single-threaded Manager with its synchronization and
+// local counters. On the sync datapath mu guards everything below it; on
+// the ring datapath the shard's worker goroutine is the single writer and
+// mu is untouched on the hot path. Shards are allocated individually (the
+// Engine holds pointers), so their hot state lives on distinct cache lines.
 type shard struct {
 	mu sync.Mutex
 	m  *queue.Manager
 
-	// Cumulative traffic counters, guarded by mu.
+	// ring is the shard's command ring, created by Start (nil before).
+	ring *cmdRing
+
+	// Cumulative traffic counters.
 	enqPackets  uint64
 	enqSegments uint64
 	deqPackets  uint64
 	deqSegments uint64
 	rejected    uint64 // enqueues refused (pool exhausted or flow capped)
 
-	// Policy counters, guarded by mu. Dropped arrivals never entered the
-	// buffer; pushed-out packets were resident and were evicted, so the
+	// Policy counters. Dropped arrivals never entered the buffer;
+	// pushed-out packets were resident and were evicted, so the
 	// conservation law reads enqueued = dequeued + pushed-out + resident.
 	dropPackets  uint64 // arrivals refused by the admission policy
 	dropSegments uint64
 	poPackets    uint64 // resident packets evicted by push-out
 	poSegments   uint64
 
-	// Admission policy instance (nil = accept all), guarded by mu.
-	// admKind/admLimit mirror the config so the tail-drop decision — two
-	// integer compares — runs inline without the interface dispatch, which
-	// keeps the hot enqueue path within the no-policy budget.
+	// Admission policy instance (nil = accept all). admKind/admLimit
+	// mirror the config so the tail-drop decision — two integer compares —
+	// runs inline without the interface dispatch, which keeps the hot
+	// enqueue path within the no-policy budget.
 	adm      policy.Admission
 	admKind  policy.Kind
 	admLimit int
 
 	// Egress state: the active-flow bitmap plus the discipline's cursor
-	// and credit state (see egress.go), guarded by mu.
+	// and credit state (see egress.go).
 	active      []uint64
 	activeFlows int
 	lowWord     int // no active bits live in words below this index
 	eg          egressState
+
+	// res samples packet residence times (nil when disabled).
+	res *residence
 }
 
 // Engine is the concurrent sharded queue manager. All methods are safe for
@@ -139,15 +185,25 @@ type Engine struct {
 	shift  uint // 32 - log2(shards): top hash bits select the shard
 	store  *segstore.Store
 	shards []*shard
+	epoch  time.Time
+
+	// mode is the current datapath (modeSync → modeRing → modeClosed);
+	// lifeMu serializes the transitions, workers tracks ring workers.
+	mode    atomic.Int32
+	lifeMu  sync.Mutex
+	workers sync.WaitGroup
 
 	egCursor atomic.Uint32 // rotating start shard for DequeueNextBatch
 
 	bufs       sync.Pool // reassembly scratch buffers, see Release
 	bucketPool sync.Pool // per-shard index buckets for the batch paths
+	callPool   sync.Pool // pooled completions for the ring datapath
+	histPool   sync.Pool // residence merge targets for Stats snapshots
 }
 
 // New builds an Engine: one shared segment store, one queue manager per
-// shard drawing from it through a magazine cache.
+// shard drawing from it through a magazine cache. The engine starts on the
+// synchronous datapath; call Start to switch to the ring datapath.
 func New(cfg Config) (*Engine, error) {
 	if cfg.Shards == 0 {
 		cfg.Shards = DefaultShards
@@ -166,6 +222,15 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.PerFlowLimit < 0 {
 		return nil, fmt.Errorf("engine: negative PerFlowLimit %d", cfg.PerFlowLimit)
+	}
+	if cfg.RingCapacity < 0 {
+		return nil, fmt.Errorf("engine: negative RingCapacity %d", cfg.RingCapacity)
+	}
+	if cfg.RingCapacity == 0 {
+		cfg.RingCapacity = DefaultRingCapacity
+	}
+	if cfg.ResidenceSample < 0 {
+		return nil, fmt.Errorf("engine: negative ResidenceSample %d", cfg.ResidenceSample)
 	}
 	// cfg.Admission and cfg.Egress are validated by the SetAdmission and
 	// SetEgress calls below.
@@ -193,6 +258,7 @@ func New(cfg Config) (*Engine, error) {
 		shift:  uint(32 - bits.TrailingZeros(uint(cfg.Shards))),
 		store:  store,
 		shards: make([]*shard, cfg.Shards),
+		epoch:  time.Now(),
 	}
 	e.bufs.New = func() any { return make([]byte, 0, 4*queue.SegmentBytes) }
 	for i := range e.shards {
@@ -211,6 +277,9 @@ func New(cfg Config) (*Engine, error) {
 			m:      m,
 			active: make([]uint64, (cfg.NumFlows+63)/64),
 		}
+		if cfg.ResidenceSample > 0 {
+			e.shards[i].res = newResidence(cfg.ResidenceSample, cfg.NumFlows, e.epoch)
+		}
 	}
 	if err := e.SetAdmission(cfg.Admission); err != nil {
 		return nil, err
@@ -221,11 +290,55 @@ func New(cfg Config) (*Engine, error) {
 	return e, nil
 }
 
+// lockSync acquires s.mu for a synchronous-datapath critical section. It
+// returns false — with the mutex released — when the engine is no longer on
+// the synchronous datapath: after Start's barrier the ring workers own the
+// shards, so the caller must retry its operation through the current mode.
+func (e *Engine) lockSync(s *shard) bool {
+	s.mu.Lock()
+	if e.mode.Load() != modeSync {
+		s.mu.Unlock()
+		return false
+	}
+	return true
+}
+
+// run executes fn inside shard s's critical section, in whatever way the
+// current datapath makes safe: under the shard mutex on the synchronous
+// datapath, as a command executed by the shard's worker on the ring
+// datapath, and under the (now uncontended) mutex after Close. It is the
+// single implementation used by every control-plane and slow-path
+// operation; fn captures its own results. fn always runs exactly once.
+func (e *Engine) run(s *shard, fn func()) {
+	for {
+		m := e.mode.Load()
+		if m == modeRing {
+			if e.postFnWait(s, fn) {
+				return
+			}
+			// The ring closed under us. The mode flips to modeClosed only
+			// after every worker has exited (see Close), so yield until the
+			// flip and then take the now-safe mutex path.
+			runtime.Gosched()
+			continue
+		}
+		s.mu.Lock()
+		if e.mode.Load() != m {
+			s.mu.Unlock()
+			continue
+		}
+		fn()
+		s.mu.Unlock()
+		return
+	}
+}
+
 // SetAdmission replaces the admission policy on every shard. Each shard
 // gets a private instance (RED seeds are derived per shard) swapped in
-// under the shard lock, so reconfiguration is safe while traffic flows.
-// Counters are not reset. Longest-queue tracking is enabled exactly when
-// the policy can return a push-out verdict.
+// inside the shard's critical section, so reconfiguration is safe while
+// traffic flows. Counters are not reset. Longest-queue tracking is enabled
+// exactly when the policy can return a push-out verdict; the single-writer
+// publish deferral is enabled exactly when no policy reads pool occupancy.
 func (e *Engine) SetAdmission(cfg policy.Config) error {
 	if err := cfg.Validate(); err != nil {
 		return err
@@ -241,12 +354,16 @@ func (e *Engine) SetAdmission(cfg policy.Config) error {
 		if err != nil {
 			return err
 		}
-		s.mu.Lock()
-		s.adm = adm
-		s.admKind = cfg.Kind
-		s.admLimit = cfg.Limit
-		s.m.SetLongestTracking(track)
-		s.mu.Unlock()
+		s := s
+		e.run(s, func() {
+			s.adm = adm
+			s.admKind = cfg.Kind
+			s.admLimit = cfg.Limit
+			s.m.SetLongestTracking(track)
+			// Only a ring worker is a single writer, and only a policy-free
+			// shard has nobody reading pool occupancy between operations.
+			s.m.SetDeferPublish(e.mode.Load() == modeRing && cfg.Kind == policy.KindNone)
+		})
 	}
 	return nil
 }
@@ -275,22 +392,35 @@ func (e *Engine) shardOf(flow uint32) *shard {
 // an admission policy is configured it is consulted first; a refusal
 // returns ErrAdmissionDrop, and under LQD the arrival may instead evict
 // packets from the globally longest queue — on any shard — to make room.
+// On the ring datapath the call blocks until the shard's worker has
+// executed the command (use EnqueueAsync to fire and forget).
 func (e *Engine) EnqueuePacket(flow uint32, data []byte) (int, error) {
 	s := e.shardOf(flow)
 	need := (len(data) + queue.SegmentBytes - 1) / queue.SegmentBytes
 	for attempt := 0; ; attempt++ {
-		s.mu.Lock()
-		n, err := s.enqueueLocked(flow, data)
-		s.mu.Unlock()
+		var n int
+		var err error
+		switch e.mode.Load() {
+		case modeClosed:
+			return 0, ErrClosed
+		case modeRing:
+			n, err = e.enqueueRingWait(s, flow, data)
+		default:
+			if !e.lockSync(s) {
+				continue
+			}
+			n, err = s.enqueueLocked(flow, data)
+			s.mu.Unlock()
+		}
 		switch {
 		case err == errWantPushOut: //nolint:errorlint // internal sentinel, never wrapped
 			if attempt >= maxEvictAttempts || !e.evictForSpace(need) {
 				// Nothing left to evict (or the freed space kept being
 				// stolen): the arrival is dropped after all.
-				s.mu.Lock()
-				s.dropPackets++
-				s.dropSegments += uint64(need)
-				s.mu.Unlock()
+				e.run(s, func() {
+					s.dropPackets++
+					s.dropSegments += uint64(need)
+				})
 				return 0, ErrAdmissionDrop
 			}
 		case attempt < maxEvictAttempts && errors.Is(err, queue.ErrNoFreeSegments) && e.store.Free() >= need:
@@ -307,20 +437,21 @@ func (e *Engine) EnqueuePacket(flow uint32, data []byte) (int, error) {
 }
 
 // flushCaches returns every shard's cached free segments to the depot so
-// any shard can allocate them. Slow path only: it takes each shard lock in
-// turn (never nested).
+// any shard can allocate them. Slow path only: shards are entered one at a
+// time, never nested.
 func (e *Engine) flushCaches() {
 	for _, s := range e.shards {
-		s.mu.Lock()
-		s.m.FlushFree()
-		s.mu.Unlock()
+		s := s
+		e.run(s, func() { s.m.FlushFree() })
 	}
 }
 
-// enqueueLocked runs admission then the manager enqueue; caller holds s.mu.
-// Drops return the bare ErrAdmissionDrop sentinel: overloaded callers see
-// millions of drops, so the error must not allocate. errWantPushOut asks
-// the caller to release the lock, evict globally, and retry.
+// enqueueLocked runs admission then the manager enqueue, inside s's
+// critical section (the mutex on the sync datapath, the worker on the ring
+// datapath). Drops return the bare ErrAdmissionDrop sentinel: overloaded
+// callers see millions of drops, so the error must not allocate.
+// errWantPushOut asks the caller to leave the critical section, evict
+// globally, and retry.
 func (s *shard) enqueueLocked(flow uint32, data []byte) (int, error) {
 	if s.adm != nil && len(data) > 0 {
 		need := (len(data) + queue.SegmentBytes - 1) / queue.SegmentBytes
@@ -350,6 +481,7 @@ func (s *shard) enqueueLocked(flow uint32, data []byte) (int, error) {
 	s.noteEnqueue(n, err)
 	if err == nil {
 		s.setActive(flow)
+		s.noteEnqueueRes(flow)
 	}
 	return n, err
 }
@@ -364,10 +496,11 @@ const (
 )
 
 // admitLocked consults the admission policy for a packet of need segments
-// arriving on this shard; caller holds s.mu and has checked s.adm != nil.
-// The policy sees pool-wide occupancy. A PushOut verdict is not executed
-// here: the globally longest queue may live on another shard, and shard
-// locks never nest, so the caller evicts after releasing this lock.
+// arriving on this shard, inside s's critical section (s.adm != nil). The
+// policy sees pool-wide occupancy. A PushOut verdict is not executed here:
+// the globally longest queue may live on another shard, and shards are
+// never entered nested, so the caller evicts after leaving this critical
+// section.
 func (s *shard) admitLocked(flow uint32, need int) admitResult {
 	occ, err := s.m.Occupancy(queue.QueueID(flow))
 	if err != nil {
@@ -399,7 +532,7 @@ func (s *shard) admitLocked(flow uint32, need int) admitResult {
 
 // evictForSpace implements the global half of LQD: push out head packets of
 // the globally longest queue — wherever it lives — until the shared pool
-// holds need free segments. Shard locks are taken one at a time (peek, then
+// holds need free segments. Shards are entered one at a time (peek, then
 // evict), never nested, so concurrent evictions from different shards
 // cannot deadlock. The victim's magazine cache is flushed so the freed
 // segments are reachable from the arrival's shard. Returns false when no
@@ -413,15 +546,19 @@ func (e *Engine) evictForSpace(need int) bool {
 		if victim == nil {
 			return false
 		}
-		victim.mu.Lock()
-		q, segs, err := victim.m.PushOutLongest()
-		if err == nil {
-			victim.poPackets++
-			victim.poSegments += uint64(segs)
-			victim.syncActive(uint32(q))
-			victim.m.FlushFree()
-		}
-		victim.mu.Unlock()
+		var err error
+		e.run(victim, func() {
+			var q queue.QueueID
+			var segs int
+			q, segs, err = victim.m.PushOutLongest()
+			if err == nil {
+				victim.poPackets++
+				victim.poSegments += uint64(segs)
+				victim.syncActive(uint32(q))
+				victim.noteRemoveRes(uint32(q), false)
+				victim.m.FlushFree()
+			}
+		})
 		if err != nil {
 			return false
 		}
@@ -430,18 +567,19 @@ func (e *Engine) evictForSpace(need int) bool {
 }
 
 // longestShard returns the shard holding the longest queue right now, or
-// nil when every queue is empty. Each shard is peeked under its own lock;
-// with LQD configured the per-shard lookup is O(1) via the longest-queue
-// heap.
+// nil when every queue is empty. Each shard is peeked inside its own
+// critical section; with LQD configured the per-shard lookup is O(1) via
+// the longest-queue heap.
 func (e *Engine) longestShard() *shard {
 	var victim *shard
 	best := 0
 	for _, s := range e.shards {
-		s.mu.Lock()
-		if _, l, ok := s.m.LongestQueue(); ok && l > best {
-			best, victim = l, s
-		}
-		s.mu.Unlock()
+		s := s
+		e.run(s, func() {
+			if _, l, ok := s.m.LongestQueue(); ok && l > best {
+				best, victim = l, s
+			}
+		})
 	}
 	return victim
 }
@@ -450,20 +588,31 @@ func (e *Engine) longestShard() *shard {
 // returned buffer comes from an internal pool; pass it to Release when done
 // to recycle it (keeping it, or not releasing, is safe but allocates more).
 func (e *Engine) DequeuePacket(flow uint32) ([]byte, error) {
-	buf := e.getBuf()
 	s := e.shardOf(flow)
-	s.mu.Lock()
-	out, n, err := s.m.DequeuePacketAppend(queue.QueueID(flow), buf)
-	s.noteDequeue(n, err)
-	if err == nil {
-		s.syncActive(flow)
+	for {
+		switch e.mode.Load() {
+		case modeClosed:
+			return nil, ErrClosed
+		case modeRing:
+			return e.dequeueRingWait(s, flow)
+		}
+		if !e.lockSync(s) {
+			continue
+		}
+		buf := e.getBuf()
+		out, n, err := s.m.DequeuePacketAppend(queue.QueueID(flow), buf)
+		s.noteDequeue(n, err)
+		if err == nil {
+			s.syncActive(flow)
+			s.noteRemoveRes(flow, true)
+		}
+		s.mu.Unlock()
+		if err != nil {
+			e.putBuf(buf)
+			return nil, err
+		}
+		return out, nil
 	}
-	s.mu.Unlock()
-	if err != nil {
-		e.putBuf(buf)
-		return nil, err
-	}
-	return out, nil
 }
 
 // Release returns a buffer obtained from DequeuePacket or DequeueBatch to
@@ -492,110 +641,146 @@ func (e *Engine) putBuf(buf []byte) {
 // (ErrAdmissionDrop) and the per-flow segment cap (ErrQueueLimit); a
 // refused move leaves the packet on its source queue.
 func (e *Engine) MovePacket(from, to uint32) (int, error) {
+	if e.mode.Load() == modeClosed {
+		return 0, ErrClosed
+	}
 	si, di := e.ShardOf(from), e.ShardOf(to)
 	if si == di {
 		s := e.shards[si]
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		if from != to && s.adm != nil && s.admKind == policy.KindTailDrop && s.admLimit > 0 {
-			if _, need, err := s.m.PacketLen(queue.QueueID(from)); err == nil {
-				if dstSegs, derr := s.m.Len(queue.QueueID(to)); derr == nil && dstSegs+need > s.admLimit {
-					return 0, ErrAdmissionDrop
-				}
-			}
-		}
-		n, err := s.m.MovePacket(queue.QueueID(from), queue.QueueID(to))
-		if err == nil {
-			s.syncActive(from)
-			s.syncActive(to)
-		}
+		var n int
+		var err error
+		e.run(s, func() { n, err = s.moveLocal(from, to) })
 		return n, err
 	}
 	src, dst := e.shards[si], e.shards[di]
-	src.mu.Lock()
-	ch, err := src.m.UnlinkHeadPacket(queue.QueueID(from))
-	if err == nil {
-		src.syncActive(from)
-	}
-	src.mu.Unlock()
+	var ch queue.PacketChain
+	var err error
+	e.run(src, func() {
+		ch, err = src.m.UnlinkHeadPacket(queue.QueueID(from))
+		if err == nil {
+			src.syncActive(from)
+			src.noteRemoveRes(from, false)
+		}
+	})
 	if err != nil {
 		return 0, err
 	}
 	// The chain is in transit, owned by this goroutine; neither shard can
-	// see a half-moved packet.
-	dst.mu.Lock()
-	if dst.adm != nil && dst.admKind == policy.KindTailDrop && dst.admLimit > 0 {
-		if dstSegs, derr := dst.m.Len(queue.QueueID(to)); derr == nil && dstSegs+ch.Segs > dst.admLimit {
-			err = ErrAdmissionDrop
+	// see a half-moved packet. From here the move must complete — even if
+	// the engine closes underneath us, run falls back to the quiescent
+	// mutex path, so the chain is always relinked somewhere.
+	e.run(dst, func() {
+		if dst.adm != nil && dst.admKind == policy.KindTailDrop && dst.admLimit > 0 {
+			if dstSegs, derr := dst.m.Len(queue.QueueID(to)); derr == nil && dstSegs+ch.Segs > dst.admLimit {
+				err = ErrAdmissionDrop
+			}
 		}
-	}
-	if err == nil {
-		err = dst.m.LinkPacketTail(queue.QueueID(to), ch)
 		if err == nil {
-			dst.setActive(to)
+			err = dst.m.LinkPacketTail(queue.QueueID(to), ch)
+			if err == nil {
+				dst.setActive(to)
+				dst.noteTransferRes(to)
+			}
 		}
-	}
-	dst.mu.Unlock()
+	})
 	if err != nil {
 		// Restore the packet at the head of its source queue. This is
 		// pointer relinking that cannot fail, so a refused move is
 		// all-or-nothing — the pre-segstore copy path could lose the
 		// packet when the rollback enqueue found the source pool refilled,
 		// and miscounted the loss as a push-out.
-		src.mu.Lock()
-		_ = src.m.LinkPacketHead(queue.QueueID(from), ch)
-		src.setActive(from)
-		src.mu.Unlock()
+		e.run(src, func() {
+			_ = src.m.LinkPacketHead(queue.QueueID(from), ch)
+			src.setActive(from)
+			src.noteTransferRes(from)
+		})
 		return 0, err
 	}
 	return ch.Segs, nil
 }
 
+// moveLocal is the same-shard MovePacket body, inside s's critical section.
+func (s *shard) moveLocal(from, to uint32) (int, error) {
+	if from != to && s.adm != nil && s.admKind == policy.KindTailDrop && s.admLimit > 0 {
+		if _, need, err := s.m.PacketLen(queue.QueueID(from)); err == nil {
+			if dstSegs, derr := s.m.Len(queue.QueueID(to)); derr == nil && dstSegs+need > s.admLimit {
+				return 0, ErrAdmissionDrop
+			}
+		}
+	}
+	n, err := s.m.MovePacket(queue.QueueID(from), queue.QueueID(to))
+	if err == nil {
+		s.syncActive(from)
+		s.syncActive(to)
+		if from != to {
+			s.noteRemoveRes(from, false)
+			s.noteTransferRes(to)
+		} else if occ, oerr := s.m.Occupancy(queue.QueueID(from)); oerr == nil && occ.Packets > 1 {
+			// Same-queue rotation: the head packet went to the tail.
+			s.noteRemoveRes(from, false)
+			s.noteTransferRes(from)
+		}
+	}
+	return n, err
+}
+
 // DeletePacket drops the head packet of flow, returning its segment count.
 func (e *Engine) DeletePacket(flow uint32) (int, error) {
-	s := e.shardOf(flow)
-	s.mu.Lock()
-	n, err := s.m.DeletePacket(queue.QueueID(flow))
-	s.noteDequeue(n, err)
-	if err == nil {
-		s.syncActive(flow)
+	if e.mode.Load() == modeClosed {
+		return 0, ErrClosed
 	}
-	s.mu.Unlock()
+	s := e.shardOf(flow)
+	var n int
+	var err error
+	e.run(s, func() {
+		n, err = s.m.DeletePacket(queue.QueueID(flow))
+		s.noteDequeue(n, err)
+		if err == nil {
+			s.syncActive(flow)
+			s.noteRemoveRes(flow, false)
+		}
+	})
 	return n, err
 }
 
 // Len returns the queued segment count of flow.
 func (e *Engine) Len(flow uint32) (int, error) {
 	s := e.shardOf(flow)
-	s.mu.Lock()
-	n, err := s.m.Len(queue.QueueID(flow))
-	s.mu.Unlock()
+	var n int
+	var err error
+	e.run(s, func() { n, err = s.m.Len(queue.QueueID(flow)) })
 	return n, err
 }
 
 // Occupancy returns the live buffer usage of flow.
 func (e *Engine) Occupancy(flow uint32) (queue.Occupancy, error) {
 	s := e.shardOf(flow)
-	s.mu.Lock()
-	occ, err := s.m.Occupancy(queue.QueueID(flow))
-	s.mu.Unlock()
+	var occ queue.Occupancy
+	var err error
+	e.run(s, func() { occ, err = s.m.Occupancy(queue.QueueID(flow)) })
 	return occ, err
 }
 
-// SetFlowLimit caps flow at limit segments (0 removes the cap).
+// SetFlowLimit caps flow at limit segments (0 removes the cap). Unknown
+// flows (outside the configured flow space) report ErrUnknownFlow.
 func (e *Engine) SetFlowLimit(flow uint32, limit int) error {
+	if int64(flow) >= int64(e.cfg.NumFlows) {
+		return ErrUnknownFlow
+	}
 	s := e.shardOf(flow)
-	s.mu.Lock()
-	err := s.m.SetSegmentLimit(queue.QueueID(flow), limit)
-	s.mu.Unlock()
+	var err error
+	e.run(s, func() { err = s.m.SetSegmentLimit(queue.QueueID(flow), limit) })
 	return err
 }
 
 // FreeSegments returns the shared pool's free population (depot plus every
-// shard's magazine cache). Lock-free.
+// shard's magazine cache). Lock-free; on the ring datapath with no
+// admission policy the per-shard mirrors refresh at batch rather than
+// per-operation granularity, so the value may lag by a few operations.
 func (e *Engine) FreeSegments() int { return e.store.Free() }
 
-// noteEnqueue records an enqueue outcome; caller holds s.mu.
+// noteEnqueue records an enqueue outcome inside the shard's critical
+// section.
 func (s *shard) noteEnqueue(segments int, err error) {
 	if err != nil {
 		s.rejected++
@@ -605,7 +790,8 @@ func (s *shard) noteEnqueue(segments int, err error) {
 	s.enqSegments += uint64(segments)
 }
 
-// noteDequeue records a dequeue/delete outcome; caller holds s.mu.
+// noteDequeue records a dequeue/delete outcome inside the shard's critical
+// section.
 func (s *shard) noteDequeue(segments int, err error) {
 	if err != nil {
 		return

@@ -1,0 +1,562 @@
+package engine
+
+// The asynchronous command-ring datapath. After Start, every shard owns a
+// bounded MPSC command ring (internal/ring) and a worker goroutine that
+// drains it in batches, run to completion — the software rendering of the
+// paper's DMC/command-FIFO structure: producers post commands, the queue
+// manager pipelines them, and nobody but the manager touches queue state.
+// The worker is the shard's single writer, so command execution takes no
+// mutex; producers pay one CAS per post, and a full ring applies
+// backpressure instead of growing without bound.
+//
+// Calls that need results (EnqueuePacket, DequeuePacket, the batch APIs,
+// DequeueNextBatch, all control-plane operations) block on completions: the
+// poster allocates a pooled completion, posts one or more commands carrying
+// it, and parks until the last worker decrements the countdown — one wakeup
+// per producer batch, not per command. EnqueueAsync posts with no
+// completion at all; its outcomes (admission drops, pool rejections) are
+// visible in Stats counters.
+//
+// Cross-shard operations never run inside a worker, so workers cannot
+// deadlock on each other: the calling goroutine orchestrates them as a
+// sequence of single-shard commands (the LQD evict-and-retry loop, the
+// cross-shard MovePacket unlink/link/rollback) — exactly the discipline the
+// synchronous datapath already followed with its "shard locks never nest"
+// rule. The one concession is a fire-and-forget LQD enqueue: its worker
+// cannot block on other shards, so it evicts from its own shard's longest
+// queue when the pool is full, and drops (counted) when that cannot make
+// room.
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+
+	"npqm/internal/policy"
+	"npqm/internal/queue"
+	"npqm/internal/ring"
+)
+
+// workerBatch is how many commands a worker drains per ring pop.
+const workerBatch = 256
+
+// cmdRing is the per-shard command ring instantiation.
+type cmdRing = ring.Ring[command]
+
+// opKind discriminates ring commands. The hot datapath kinds are
+// dedicated (no closure allocation); everything slow or control-plane
+// travels as an opCall closure.
+type opKind uint8
+
+const (
+	opEnqueue     opKind = iota // fire-and-forget enqueue
+	opEnqueueWait               // enqueue with completion + result
+	opDequeueWait               // dequeue with completion + result
+	opDequeueNext               // egress-picked dequeue of up to arg packets
+	opCall                      // run fn inside the shard's critical section
+	opBarrier                   // completion only: drain marker
+)
+
+// command is one ring entry.
+type command struct {
+	kind opKind
+	flow uint32
+	arg  int
+	slot int32 // result slot in the completion's per-shard slices
+	data []byte
+	fn   func()
+	co   *call
+}
+
+// call is a pooled completion: a countdown decremented by workers as they
+// finish the commands carrying it, plus result slots for the dedicated
+// kinds. The poster initializes pending to the command count plus one (its
+// own hold), posts, releases the hold along with any commands it failed to
+// post, and parks on done unless its own release reached zero. Whoever
+// brings pending to zero sends the single wakeup, so one producer batch
+// costs one channel operation no matter how many commands or shards it
+// spanned.
+type call struct {
+	pending atomic.Int32
+	done    chan struct{}
+
+	// Result slots for dedicated command kinds (single-writer per slot).
+	n    int
+	err  error
+	data []byte
+	deq  []Dequeued   // single-shard opDequeueNext results
+	deqs [][]Dequeued // fan-out opDequeueNext results, one slice per shard
+	segs atomic.Int64 // batch enqueue: total segments linked
+}
+
+// finish is called by a worker after executing a command carrying c.
+func (c *call) finish() {
+	if c.pending.Add(-1) == 0 {
+		c.done <- struct{}{}
+	}
+}
+
+// waitSpins is how many scheduler yields a completion waiter makes before
+// parking on the channel. Yield-polling lets the workers run and finish
+// short commands without paying a full park/unpark round trip — on a
+// loaded box the completion usually lands within a few yields.
+const waitSpins = 64
+
+// wait parks until the countdown's single wakeup arrives.
+func (c *call) wait() {
+	for i := 0; i < waitSpins; i++ {
+		select {
+		case <-c.done:
+			return
+		default:
+			runtime.Gosched()
+		}
+	}
+	<-c.done
+}
+
+// release drops n holds from the poster side and parks until the workers
+// are done (skipping the park when the poster's own release reached zero —
+// then every worker had already finished and nobody will signal).
+func (c *call) release(n int32) {
+	if c.pending.Add(-n) != 0 {
+		c.wait()
+	}
+}
+
+func (e *Engine) getCall() *call {
+	if v := e.callPool.Get(); v != nil {
+		c := v.(*call)
+		c.n, c.err, c.data = 0, nil, nil
+		c.segs.Store(0)
+		return c
+	}
+	return &call{done: make(chan struct{}, 1)}
+}
+
+func (e *Engine) putCall(c *call) {
+	for i := range c.deq {
+		c.deq[i] = Dequeued{}
+	}
+	c.deq = c.deq[:0]
+	for i := range c.deqs {
+		for j := range c.deqs[i] {
+			c.deqs[i][j] = Dequeued{}
+		}
+		c.deqs[i] = c.deqs[i][:0]
+	}
+	c.deqs = c.deqs[:0]
+	c.data = nil
+	e.callPool.Put(c)
+}
+
+// Start switches the engine from the synchronous to the ring datapath:
+// it creates one command ring per shard, waits out every synchronous
+// operation still holding a shard mutex, and launches the per-shard
+// workers, which own their shards from then on. Idempotent; returns
+// ErrClosed after Close. Safe to call while traffic flows — calls that
+// began on the synchronous datapath finish there before the workers take
+// over.
+func (e *Engine) Start() error {
+	e.lifeMu.Lock()
+	defer e.lifeMu.Unlock()
+	switch e.mode.Load() {
+	case modeClosed:
+		return ErrClosed
+	case modeRing:
+		return nil
+	}
+	for _, s := range e.shards {
+		r, err := ring.New[command](e.cfg.RingCapacity)
+		if err != nil {
+			return err
+		}
+		s.ring = r
+	}
+	e.mode.Store(modeRing)
+	// Barrier: every synchronous-path critical section entered before the
+	// flip still holds its shard mutex; acquiring and releasing all of them
+	// guarantees those sections have finished. Sections entered after the
+	// flip re-check the mode under the lock (lockSync) and bail out, so
+	// once this loop completes the workers are the sole shard writers.
+	for _, s := range e.shards {
+		s.mu.Lock()
+	}
+	for _, s := range e.shards {
+		s.mu.Unlock()
+	}
+	e.workers.Add(len(e.shards))
+	for i := range e.shards {
+		go e.worker(i)
+	}
+	return nil
+}
+
+// Drain blocks until every command posted before the call has been
+// executed: it posts a barrier command to every shard ring and waits for
+// the full countdown. On the synchronous datapath it is a no-op (nil);
+// after Close it reports ErrClosed (Close itself drains).
+func (e *Engine) Drain() error {
+	for {
+		switch e.mode.Load() {
+		case modeSync:
+			return nil
+		case modeClosed:
+			return ErrClosed
+		}
+		c := e.getCall()
+		want := int32(len(e.shards))
+		c.pending.Store(want + 1)
+		posted := int32(0)
+		for _, s := range e.shards {
+			if s.ring.Push(command{kind: opBarrier, co: c}) == nil {
+				posted++
+			}
+		}
+		c.release(want - posted + 1)
+		e.putCall(c)
+		if posted == want {
+			return nil
+		}
+		// Some rings refused: the engine is closing. Yield until Close
+		// finishes flipping the mode, then report ErrClosed above.
+		runtime.Gosched()
+	}
+}
+
+// Close shuts the engine down. On the ring datapath it stops accepting new
+// commands, lets the workers drain everything already posted (no packet or
+// counter is lost), and waits for them to exit; blocked callers whose
+// commands were accepted complete normally, later calls return ErrClosed.
+// Close is idempotent and safe to call concurrently. After Close the
+// observation surface (Stats, ShardStats, CheckInvariants, Len, Occupancy,
+// ActiveFlows, FreeSegments) keeps working against the quiescent state.
+func (e *Engine) Close() error {
+	e.lifeMu.Lock()
+	defer e.lifeMu.Unlock()
+	switch e.mode.Load() {
+	case modeClosed:
+		return nil
+	case modeSync:
+		e.mode.Store(modeClosed)
+		return nil
+	}
+	// Order matters: the mode must not read modeClosed while any worker is
+	// still draining, because the closed mode is what licenses run() and
+	// the observation surface to fall back to the (otherwise unused) shard
+	// mutexes. Sealing the rings first makes every new post fail with
+	// ErrClosed — so the datapath refuses work throughout the drain window
+	// — and only after the last worker has exited does the mode flip, at
+	// which point the mutex fallback cannot race a worker.
+	for _, s := range e.shards {
+		s.ring.Close()
+	}
+	e.workers.Wait()
+	e.mode.Store(modeClosed)
+	return nil
+}
+
+// worker is shard si's single writer: it drains the shard's command ring
+// in batches, run to completion, until the ring is closed and empty.
+func (e *Engine) worker(si int) {
+	defer e.workers.Done()
+	s := e.shards[si]
+	// Single-writer fast path: with no admission policy, nothing reads
+	// pool-wide occupancy between operations, so the per-op publish of the
+	// free-count mirror is deferred while this worker owns the shard.
+	s.m.SetDeferPublish(s.admKind == policy.KindNone)
+	buf := make([]command, workerBatch)
+	for {
+		n, closed := s.ring.PopWait(buf)
+		for i := range buf[:n] {
+			e.exec(s, &buf[i])
+			buf[i] = command{} // drop payload/closure references promptly
+		}
+		if n > 0 {
+			// Republish the free-count mirror once per drained batch: the
+			// per-operation publish is deferred on this single-writer path,
+			// but pool-wide Free() must stay fresh at batch granularity —
+			// the stranded-cache flush valve and occupancy telemetry read
+			// it between batches.
+			s.m.PublishFree()
+		}
+		if closed {
+			// Republish so the closed-mode observation surface sees exact
+			// pool occupancy.
+			s.m.SetDeferPublish(false)
+			return
+		}
+	}
+}
+
+// exec runs one command inside shard s's critical section (the worker).
+func (e *Engine) exec(s *shard, c *command) {
+	switch c.kind {
+	case opEnqueue:
+		n, err := s.enqueueLocked(c.flow, c.data)
+		switch {
+		case err == errWantPushOut: //nolint:errorlint // internal sentinel, never wrapped
+			n, err = e.enqueueEvictLocal(s, c.flow, c.data)
+		case err != nil && s.admKind == policy.KindLQD && errors.Is(err, queue.ErrNoFreeSegments):
+			// Pool exhausted (or its free segments stranded in other
+			// shards' caches, which this worker must not touch): under
+			// LQD the arrival is still entitled to eviction. Un-count the
+			// rejection — the eviction path settles the packet's fate
+			// exactly once.
+			s.rejected--
+			n, err = e.enqueueEvictLocal(s, c.flow, c.data)
+		}
+		_, _ = n, err // fire-and-forget: outcomes live in the shard counters
+	case opEnqueueWait:
+		c.co.n, c.co.err = s.enqueueLocked(c.flow, c.data)
+	case opDequeueWait:
+		buf := e.getBuf()
+		out, n, err := s.m.DequeuePacketAppend(queue.QueueID(c.flow), buf)
+		s.noteDequeue(n, err)
+		if err != nil {
+			e.putBuf(buf)
+			c.co.err = err
+		} else {
+			s.syncActive(c.flow)
+			s.noteRemoveRes(c.flow, true)
+			c.co.data = out
+			c.co.n = n
+		}
+	case opDequeueNext:
+		dst := &c.co.deq
+		if len(c.co.deqs) > 0 {
+			dst = &c.co.deqs[c.slot]
+		}
+		for len(*dst) < c.arg {
+			d, ok := e.dequeuePicked(s)
+			if !ok {
+				break
+			}
+			*dst = append(*dst, d)
+		}
+	case opCall:
+		c.fn()
+	case opBarrier:
+		// Completion only.
+	}
+	if c.co != nil {
+		c.co.finish()
+	}
+}
+
+// enqueueEvictLocal handles an LQD push-out verdict for a fire-and-forget
+// enqueue. The worker cannot leave its shard to evict the globally longest
+// queue (workers never enter other shards — that is what makes them
+// deadlock-free), so it approximates LQD locally: push out its own shard's
+// longest queue until the arrival fits, else drop. Blocking enqueues get
+// the exact global eviction, orchestrated by the calling goroutine.
+func (e *Engine) enqueueEvictLocal(s *shard, flow uint32, data []byte) (int, error) {
+	need := (len(data) + queue.SegmentBytes - 1) / queue.SegmentBytes
+	for round := 0; round < maxEvictAttempts; round++ {
+		q, segs, err := s.m.PushOutLongest()
+		if err != nil {
+			break
+		}
+		s.poPackets++
+		s.poSegments += uint64(segs)
+		s.syncActive(uint32(q))
+		s.noteRemoveRes(uint32(q), false)
+		n, err := s.enqueueLocked(flow, data)
+		switch {
+		case err == errWantPushOut: //nolint:errorlint // internal sentinel, never wrapped
+			continue
+		case err != nil && errors.Is(err, queue.ErrNoFreeSegments):
+			// Still short (the evicted packet was smaller than the
+			// arrival): un-count the retry's rejection and evict again.
+			s.rejected--
+			continue
+		default:
+			return n, err
+		}
+	}
+	s.dropPackets++
+	s.dropSegments += uint64(need)
+	return 0, ErrAdmissionDrop
+}
+
+// post pushes cmd onto s's ring, blocking for backpressure; a closed ring
+// maps to ErrClosed.
+func (e *Engine) post(s *shard, cmd command) error {
+	if s.ring.Push(cmd) != nil {
+		return ErrClosed
+	}
+	return nil
+}
+
+// postFnWait runs fn on s's worker and waits. ok is false when the ring
+// refused the command (engine closing) — the caller re-resolves the mode.
+func (e *Engine) postFnWait(s *shard, fn func()) bool {
+	c := e.getCall()
+	c.pending.Store(1)
+	if e.post(s, command{kind: opCall, fn: fn, co: c}) != nil {
+		e.putCall(c)
+		return false
+	}
+	c.wait()
+	e.putCall(c)
+	return true
+}
+
+// EnqueueAsync posts a fire-and-forget enqueue of data onto flow: the call
+// returns as soon as the command is in the shard's ring (blocking only for
+// ring backpressure), and the outcome — linked, dropped by admission, or
+// refused by the pool — is visible in Stats counters rather than returned.
+// The engine reads data when the command executes, not when it is posted:
+// the caller must not mutate the buffer until the command has been
+// processed (after Drain or Close, or once observable via counters).
+// Reusing one read-only payload buffer across posts is fine. The only
+// error is ErrClosed. On the synchronous datapath it degrades to an
+// immediate enqueue whose outcome is likewise only counted.
+func (e *Engine) EnqueueAsync(flow uint32, data []byte) error {
+	for {
+		switch e.mode.Load() {
+		case modeClosed:
+			return ErrClosed
+		case modeRing:
+			s := e.shardOf(flow)
+			if e.post(s, command{kind: opEnqueue, flow: flow, data: data}) != nil {
+				return ErrClosed
+			}
+			return nil
+		default:
+			s := e.shardOf(flow)
+			if !e.lockSync(s) {
+				continue
+			}
+			n, err := s.enqueueLocked(flow, data)
+			s.mu.Unlock()
+			if err == errWantPushOut { //nolint:errorlint // internal sentinel, never wrapped
+				// Fall back to the blocking path for the eviction dance.
+				// Every outcome it can produce is counted — except a Close
+				// landing mid-eviction, which must surface here or the
+				// packet would vanish with no trace in the counters.
+				if _, err := e.EnqueuePacket(flow, data); errors.Is(err, ErrClosed) {
+					return ErrClosed
+				}
+			}
+			_ = n
+			return nil
+		}
+	}
+}
+
+// enqueueRingWait posts a blocking enqueue and returns the worker's
+// verdict. errWantPushOut surfaces to EnqueuePacket, which orchestrates
+// the global eviction from the calling goroutine.
+func (e *Engine) enqueueRingWait(s *shard, flow uint32, data []byte) (int, error) {
+	c := e.getCall()
+	c.pending.Store(1)
+	if e.post(s, command{kind: opEnqueueWait, flow: flow, data: data, co: c}) != nil {
+		e.putCall(c)
+		return 0, ErrClosed
+	}
+	c.wait()
+	n, err := c.n, c.err
+	e.putCall(c)
+	return n, err
+}
+
+// dequeueRingWait posts a blocking dequeue and returns the reassembled
+// packet.
+func (e *Engine) dequeueRingWait(s *shard, flow uint32) ([]byte, error) {
+	c := e.getCall()
+	c.pending.Store(1)
+	if e.post(s, command{kind: opDequeueWait, flow: flow, co: c}) != nil {
+		e.putCall(c)
+		return nil, ErrClosed
+	}
+	c.wait()
+	data, err := c.data, c.err
+	e.putCall(c)
+	return data, err
+}
+
+// dequeueNextRing asks s's worker for up to max egress-picked packets and
+// appends them to out.
+func (e *Engine) dequeueNextRing(s *shard, out []Dequeued, max int) []Dequeued {
+	c := e.getCall()
+	c.pending.Store(1)
+	if e.post(s, command{kind: opDequeueNext, arg: max, co: c}) != nil {
+		e.putCall(c)
+		return out
+	}
+	c.wait()
+	out = append(out, c.deq...)
+	e.putCall(c)
+	return out
+}
+
+// dequeueNextRingAll is the ring datapath of DequeueNextBatch: one
+// pick-and-dequeue command per shard under a single completion — one
+// producer wakeup per call instead of one per shard. The budget is split
+// across shards (rotated so shards share egress bandwidth); a second,
+// serial pass hands leftover budget to shards that filled their split —
+// they may hold more — so a backlog concentrated on one shard still drains
+// at full batch size.
+func (e *Engine) dequeueNextRingAll(start, max int) []Dequeued {
+	n := len(e.shards)
+	c := e.getCall()
+	if cap(c.deqs) < n {
+		c.deqs = make([][]Dequeued, n)
+	} else {
+		c.deqs = c.deqs[:n]
+	}
+	base, extra := max/n, max%n
+	budget := func(i int) int {
+		if i < extra {
+			return base + 1
+		}
+		return base
+	}
+	c.pending.Store(int32(n) + 1)
+	posted := int32(0)
+	for i := 0; i < n; i++ {
+		if budget(i) == 0 {
+			continue
+		}
+		s := e.shards[(start+i)%n]
+		if e.post(s, command{kind: opDequeueNext, arg: budget(i), slot: int32(i), co: c}) == nil {
+			posted++
+		}
+	}
+	c.release(int32(n) - posted + 1)
+	var out []Dequeued
+	var more []int
+	for i := 0; i < n; i++ {
+		out = append(out, c.deqs[i]...)
+		// Candidates for the serial top-up pass: shards that filled their
+		// split (they may hold more) and shards the split gave nothing to
+		// (with max < shards, the whole backlog may live on one of them —
+		// skipping them could report an idle engine that isn't).
+		if b := budget(i); b == 0 || len(c.deqs[i]) == b {
+			more = append(more, i)
+		}
+	}
+	e.putCall(c)
+	for _, i := range more {
+		if len(out) >= max {
+			break
+		}
+		out = e.dequeueNextRing(e.shards[(start+i)%n], out, max-len(out))
+	}
+	return out
+}
+
+// RingOccupancy returns the summed occupancy of all shard command rings —
+// the backlog the workers have yet to execute. Zero on the synchronous
+// datapath.
+func (e *Engine) RingOccupancy() int {
+	if e.mode.Load() != modeRing {
+		return 0
+	}
+	total := 0
+	for _, s := range e.shards {
+		total += s.ring.Len()
+	}
+	return total
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"npqm/internal/queue"
+	"npqm/internal/stats"
 )
 
 // Stats is an aggregate snapshot of engine activity and occupancy across
@@ -32,6 +33,16 @@ type Stats struct {
 	QueuedSegments int   // segments currently linked into flow queues
 	BufferedBytes  int64 // payload bytes across all queued segments
 	ActiveFlows    int   // flows with at least one queued segment
+
+	// Residence-time sampling (zero unless Config.ResidenceSample > 0):
+	// enqueue→dequeue times of sampled packets, in nanoseconds, merged
+	// across shards. Quantiles are bucket upper bounds (25µs buckets
+	// spanning ~205ms — see residence.go); samples beyond the span report
+	// the exact observed maximum.
+	ResidenceSamples uint64
+	ResidenceP50Ns   float64
+	ResidenceP99Ns   float64
+	ResidenceMaxNs   float64
 }
 
 // ShardStat is the per-shard slice of Stats, for load-balance inspection.
@@ -50,26 +61,55 @@ type ShardStat struct {
 }
 
 // Stats aggregates counters and occupancy across shards. Each shard is
-// snapshotted under its own lock; the result is consistent per shard but
-// not a global atomic cut (concurrent traffic may move between shards'
-// snapshots), which is the standard trade for not stopping the world.
+// snapshotted inside its own critical section (the mutex on the sync
+// datapath, the worker on the ring datapath); the result is consistent per
+// shard but not a global atomic cut (concurrent traffic may move between
+// shards' snapshots), which is the standard trade for not stopping the
+// world.
 func (e *Engine) Stats() Stats {
 	st := Stats{Shards: len(e.shards)}
+	// One pooled merge target per snapshot: Histogram.Merge reads its
+	// argument without mutating it, so each shard's histogram is folded in
+	// directly inside that shard's critical section — no per-shard clone,
+	// and no 64KB allocation per Stats call for high-frequency samplers.
+	var merged *stats.Histogram
+	if e.cfg.ResidenceSample > 0 {
+		if v := e.histPool.Get(); v != nil {
+			merged = v.(*stats.Histogram)
+			merged.Reset()
+		} else {
+			merged = stats.NewHistogram(resHistBuckets, resHistWidthNs)
+		}
+		defer e.histPool.Put(merged)
+	}
 	for _, s := range e.shards {
-		s.mu.Lock()
-		st.EnqueuedPackets += s.enqPackets
-		st.EnqueuedSegments += s.enqSegments
-		st.DequeuedPackets += s.deqPackets
-		st.DequeuedSegments += s.deqSegments
-		st.Rejected += s.rejected
-		st.DroppedPackets += s.dropPackets
-		st.DroppedSegments += s.dropSegments
-		st.PushedOutPackets += s.poPackets
-		st.PushedOutSegments += s.poSegments
-		st.QueuedSegments += s.m.QueuedSegments()
-		st.BufferedBytes += int64(s.m.TotalBuffered())
-		st.ActiveFlows += s.activeFlows
-		s.mu.Unlock()
+		s := s
+		e.run(s, func() {
+			s.m.PublishFree() // exact pool occupancy even under deferral
+			st.EnqueuedPackets += s.enqPackets
+			st.EnqueuedSegments += s.enqSegments
+			st.DequeuedPackets += s.deqPackets
+			st.DequeuedSegments += s.deqSegments
+			st.Rejected += s.rejected
+			st.DroppedPackets += s.dropPackets
+			st.DroppedSegments += s.dropSegments
+			st.PushedOutPackets += s.poPackets
+			st.PushedOutSegments += s.poSegments
+			st.QueuedSegments += s.m.QueuedSegments()
+			st.BufferedBytes += int64(s.m.TotalBuffered())
+			st.ActiveFlows += s.activeFlows
+			if s.res != nil {
+				merged.Merge(s.res.hist)
+			}
+		})
+	}
+	if merged != nil {
+		st.ResidenceSamples = merged.N()
+		if st.ResidenceSamples > 0 {
+			st.ResidenceP50Ns = merged.Quantile(0.50)
+			st.ResidenceP99Ns = merged.Quantile(0.99)
+			st.ResidenceMaxNs = merged.Max()
+		}
 	}
 	st.FreeSegments = e.store.Free()
 	return st
@@ -79,19 +119,20 @@ func (e *Engine) Stats() Stats {
 func (e *Engine) ShardStats() []ShardStat {
 	out := make([]ShardStat, len(e.shards))
 	for i, s := range e.shards {
-		s.mu.Lock()
-		out[i] = ShardStat{
-			Shard:            i,
-			EnqueuedPackets:  s.enqPackets,
-			DequeuedPackets:  s.deqPackets,
-			Rejected:         s.rejected,
-			DroppedPackets:   s.dropPackets,
-			PushedOutPackets: s.poPackets,
-			QueuedSegments:   s.m.QueuedSegments(),
-			BufferedBytes:    int64(s.m.TotalBuffered()),
-			ActiveFlows:      s.activeFlows,
-		}
-		s.mu.Unlock()
+		i, s := i, s
+		e.run(s, func() {
+			out[i] = ShardStat{
+				Shard:            i,
+				EnqueuedPackets:  s.enqPackets,
+				DequeuedPackets:  s.deqPackets,
+				Rejected:         s.rejected,
+				DroppedPackets:   s.dropPackets,
+				PushedOutPackets: s.poPackets,
+				QueuedSegments:   s.m.QueuedSegments(),
+				BufferedBytes:    int64(s.m.TotalBuffered()),
+				ActiveFlows:      s.activeFlows,
+			}
+		})
 	}
 	return out
 }
@@ -101,23 +142,27 @@ func (e *Engine) ShardStats() []ShardStat {
 // conservation laws: free + queued + floating equals the configured pool,
 // and every enqueued segment was either dequeued, pushed out by the
 // admission policy, or is still resident (enqueued = dequeued + pushed-out
-// + resident). It takes shard locks one at a time, so it is only a
-// consistent global check when the engine is quiescent.
+// + resident). Shards are checked one critical section at a time, so it is
+// only a consistent global check when the engine is quiescent (drained
+// rings included — call Drain first on the ring datapath).
 func (e *Engine) CheckInvariants() error {
 	var enq, deq, pushed uint64
 	queued, floating := 0, 0
 	for i, s := range e.shards {
-		s.mu.Lock()
-		err := s.m.CheckInvariants()
-		if err == nil {
-			err = s.checkActiveLocked(i)
-		}
-		enq += s.enqSegments
-		deq += s.deqSegments
-		pushed += s.poSegments
-		queued += s.m.QueuedSegments()
-		floating += s.m.Floating()
-		s.mu.Unlock()
+		i, s := i, s
+		var err error
+		e.run(s, func() {
+			s.m.PublishFree()
+			err = s.m.CheckInvariants()
+			if err == nil {
+				err = s.checkActiveLocked(i)
+			}
+			enq += s.enqSegments
+			deq += s.deqSegments
+			pushed += s.poSegments
+			queued += s.m.QueuedSegments()
+			floating += s.m.Floating()
+		})
 		if err != nil {
 			return err
 		}
@@ -137,7 +182,7 @@ func (e *Engine) CheckInvariants() error {
 }
 
 // checkActiveLocked validates the shard's active bitmap against the queue
-// table; caller holds s.mu.
+// table, inside the shard's critical section.
 func (s *shard) checkActiveLocked(shardIdx int) error {
 	count := 0
 	for q := 0; q < s.m.NumQueues(); q++ {

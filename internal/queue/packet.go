@@ -27,7 +27,7 @@ func (m *Manager) EnqueuePacket(q QueueID, data []byte) (int, error) {
 	if done := m.bulkFix(q); done != nil {
 		defer done()
 	}
-	defer m.src.Publish()
+	defer m.publish()
 	n := 0
 	for off := 0; off < len(data); off += SegmentBytes {
 		end := off + SegmentBytes
@@ -89,7 +89,7 @@ func (m *Manager) DequeuePacket(q QueueID) ([]byte, int, error) {
 	if done := m.bulkFix(q); done != nil {
 		defer done()
 	}
-	defer m.src.Publish()
+	defer m.publish()
 	var out []byte
 	for i := 0; i < n; i++ {
 		_, payload, err := m.dequeueSeg(q)
@@ -118,7 +118,7 @@ func (m *Manager) DequeuePacketAppend(q QueueID, buf []byte) ([]byte, int, error
 	if done := m.bulkFix(q); done != nil {
 		defer done()
 	}
-	defer m.src.Publish()
+	defer m.publish()
 	for i := 0; i < n; i++ {
 		h := m.qhead[q]
 		if m.data != nil {

@@ -127,6 +127,11 @@ type Manager struct {
 	droppedPackets  uint64
 	droppedSegments uint64
 
+	// deferPub suppresses the per-operation free-count publish (see
+	// SetDeferPublish): the single-writer fast path for owners whose
+	// pool-wide occupancy nobody reads between operations.
+	deferPub bool
+
 	// Data memory (aliases the store's payload slab; nil when disabled).
 	data []byte
 }
@@ -215,6 +220,41 @@ func (m *Manager) SharedStore() bool { return m.src.Shared() }
 // pool so other managers can allocate them (no-op for a private pool).
 func (m *Manager) FlushFree() { m.src.Flush() }
 
+// SetDeferPublish switches off (or back on) the per-operation publish of
+// the shared store's free-count mirror. Only a single-writer owner may
+// defer, and only while nothing consults pool-wide occupancy between its
+// operations — the engine's ring-datapath workers do so when no admission
+// policy is configured, removing the one atomic store per queue op from the
+// hot path. Turning deferral off republishes immediately. No-op semantics
+// on a private pool (whose Publish is already a no-op).
+func (m *Manager) SetDeferPublish(on bool) {
+	m.deferPub = on
+	if !on {
+		m.src.Publish()
+	}
+	if c, ok := m.src.(*segstore.Cache); ok {
+		c.SetDeferred(on)
+	}
+}
+
+// PublishFree force-publishes the free-count mirror regardless of deferral,
+// for observation paths (stats, invariant checks) that need an exact
+// pool-wide count from a deferring owner.
+func (m *Manager) PublishFree() {
+	if c, ok := m.src.(*segstore.Cache); ok {
+		c.ForcePublish()
+		return
+	}
+	m.src.Publish()
+}
+
+// publish is the per-operation mirror refresh, skipped while deferred.
+func (m *Manager) publish() {
+	if !m.deferPub {
+		m.src.Publish()
+	}
+}
+
 // Len returns the number of segments queued on q.
 func (m *Manager) Len(q QueueID) (int, error) {
 	if err := m.checkQueue(q); err != nil {
@@ -248,7 +288,7 @@ func (m *Manager) checkSeg(s Seg) error {
 // into a queue or freed.
 func (m *Manager) Alloc() (Seg, error) {
 	s, err := m.allocSeg()
-	m.src.Publish()
+	m.publish()
 	return s, err
 }
 
@@ -268,7 +308,7 @@ func (m *Manager) allocSeg() (Seg, error) {
 // Free returns a floating segment to the store ("Enqueue Free List").
 func (m *Manager) Free(s Seg) error {
 	err := m.freeSeg(s)
-	m.src.Publish()
+	m.publish()
 	return err
 }
 
@@ -327,7 +367,7 @@ func (m *Manager) payload(s Seg) []byte {
 // tail of queue q. This is the MMS "Enqueue one segment" command.
 func (m *Manager) Enqueue(q QueueID, payload []byte, eop bool) (Seg, error) {
 	s, err := m.enqueueSeg(q, payload, eop)
-	m.src.Publish()
+	m.publish()
 	return s, err
 }
 
@@ -363,16 +403,16 @@ func (m *Manager) AppendHead(q QueueID, payload []byte, eop bool) (Seg, error) {
 	}
 	s, err := m.allocSeg()
 	if err != nil {
-		m.src.Publish()
+		m.publish()
 		return s, err
 	}
 	if err := m.setPayload(s, payload, eop); err != nil {
 		m.freeSeg(s)
-		m.src.Publish()
+		m.publish()
 		return Seg(nilSeg), err
 	}
 	m.linkHead(q, s)
-	m.src.Publish()
+	m.publish()
 	return s, nil
 }
 
@@ -422,7 +462,7 @@ func (m *Manager) unlinkHead(q QueueID) Seg {
 // description and payload. This is the MMS "Dequeue" command.
 func (m *Manager) Dequeue(q QueueID) (SegInfo, []byte, error) {
 	info, payload, err := m.dequeueSeg(q)
-	m.src.Publish()
+	m.publish()
 	return info, payload, err
 }
 
@@ -466,7 +506,7 @@ func (m *Manager) DeleteSegment(q QueueID) error {
 	}
 	s := m.unlinkHead(q)
 	err := m.freeSeg(s)
-	m.src.Publish()
+	m.publish()
 	return err
 }
 
@@ -486,7 +526,7 @@ func (m *Manager) DeletePacket(q QueueID) (int, error) {
 	if done := m.bulkFix(q); done != nil {
 		defer done()
 	}
-	defer m.src.Publish()
+	defer m.publish()
 	for i := 0; i < n; i++ {
 		s := m.unlinkHead(q)
 		if err := m.freeSeg(s); err != nil {

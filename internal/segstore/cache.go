@@ -19,6 +19,14 @@ type Cache struct {
 	// cache and the depot at once). Between publishes the mirror can lag
 	// low, which keeps concurrent policy reads conservative.
 	count atomic.Int32
+
+	// deferred suppresses the per-operation Publish entirely — the
+	// single-writer fast path. An owner that is the only goroutine touching
+	// its shard (the engine's ring-datapath worker) and whose pool-wide
+	// occupancy nobody reads per-operation (no admission policy configured)
+	// sets it, dropping the one atomic store per queue op; observation paths
+	// call ForcePublish before reading. Owner-only plain field.
+	deferred bool
 }
 
 type magazine struct {
@@ -103,8 +111,31 @@ func (c *Cache) Free(s int32) {
 // Publish refreshes the cache's lock-free population mirror. Owners call
 // it once per queue operation (after the operation's allocations and
 // frees), so pool-wide occupancy reads are exact at operation granularity
-// while the per-segment hot path stays free of atomics.
+// while the per-segment hot path stays free of atomics. A no-op while the
+// owner has deferred publication (SetDeferred).
 func (c *Cache) Publish() {
+	if c.deferred {
+		return
+	}
+	c.count.Store(c.mag[0].n + c.mag[1].n)
+}
+
+// SetDeferred switches the per-operation mirror publish off (or back on).
+// Only a single-writer owner may defer, and only when nothing reads
+// pool-wide occupancy between its operations — the mirror goes stale in
+// either direction while deferred. Turning deferral off republishes
+// immediately.
+func (c *Cache) SetDeferred(on bool) {
+	c.deferred = on
+	if !on {
+		c.count.Store(c.mag[0].n + c.mag[1].n)
+	}
+}
+
+// ForcePublish refreshes the mirror regardless of deferral, for observation
+// paths (stats snapshots, invariant checks) that need an exact pool-wide
+// count from a deferring owner. Owner-context only, like Publish.
+func (c *Cache) ForcePublish() {
 	c.count.Store(c.mag[0].n + c.mag[1].n)
 }
 

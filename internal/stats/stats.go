@@ -38,6 +38,29 @@ func (w *Welford) Add(x float64) {
 	w.m2 += d * (x - w.mean)
 }
 
+// Merge folds the samples of o into w (Chan et al.'s parallel update), as
+// if every sample of o had been Added to w. o is unchanged.
+func (w *Welford) Merge(o *Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = *o
+		return
+	}
+	n := w.n + o.n
+	d := o.mean - w.mean
+	w.m2 += o.m2 + d*d*float64(w.n)*float64(o.n)/float64(n)
+	w.mean += d * float64(o.n) / float64(n)
+	w.n = n
+	if o.min < w.min {
+		w.min = o.min
+	}
+	if o.max > w.max {
+		w.max = o.max
+	}
+}
+
 // N returns the number of samples.
 func (w *Welford) N() uint64 { return w.n }
 
@@ -96,6 +119,37 @@ func (h *Histogram) Add(x float64) {
 		return
 	}
 	h.counts[i]++
+}
+
+// Merge folds the buckets and moments of o into h. Both histograms must
+// share the same bucket count and width (it panics otherwise): merging is
+// meant for combining per-shard histograms built from one configuration,
+// e.g. the engine's per-shard residence-time samples.
+func (h *Histogram) Merge(o *Histogram) {
+	if len(h.counts) != len(o.counts) || h.Width != o.Width {
+		panic("stats: Merge of histograms with different geometry")
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.overflow += o.overflow
+	h.w.Merge(&o.w)
+}
+
+// Clone returns an independent copy of h.
+func (h *Histogram) Clone() *Histogram {
+	c := *h
+	c.counts = append([]uint64(nil), h.counts...)
+	return &c
+}
+
+// Reset empties the histogram (buckets, overflow, and moments), keeping
+// its geometry — for callers that pool merge targets instead of
+// allocating one per snapshot.
+func (h *Histogram) Reset() {
+	clear(h.counts)
+	h.overflow = 0
+	h.w = Welford{}
 }
 
 // N returns the total number of samples.

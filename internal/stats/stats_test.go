@@ -195,3 +195,72 @@ func BenchmarkWelfordAdd(b *testing.B) {
 		w.Add(float64(i & 1023))
 	}
 }
+
+func TestWelfordMerge(t *testing.T) {
+	var all, a, b Welford
+	for i := 0; i < 500; i++ {
+		x := float64(i%37) * 1.5
+		all.Add(x)
+		if i%3 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(&b)
+	if a.N() != all.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), all.N())
+	}
+	if d := a.Mean() - all.Mean(); d > 1e-9 || d < -1e-9 {
+		t.Fatalf("merged mean %v, want %v", a.Mean(), all.Mean())
+	}
+	if d := a.Var() - all.Var(); d > 1e-6 || d < -1e-6 {
+		t.Fatalf("merged variance %v, want %v", a.Var(), all.Var())
+	}
+	if a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Fatalf("merged min/max (%v, %v), want (%v, %v)", a.Min(), a.Max(), all.Min(), all.Max())
+	}
+	// Merging into an empty accumulator copies.
+	var c Welford
+	c.Merge(&a)
+	if c.N() != a.N() || c.Mean() != a.Mean() {
+		t.Fatal("merge into empty accumulator lost samples")
+	}
+}
+
+func TestHistogramMergeAndClone(t *testing.T) {
+	all := NewHistogram(16, 1)
+	a, b := NewHistogram(16, 1), NewHistogram(16, 1)
+	for i := 0; i < 400; i++ {
+		x := float64(i % 20) // some land in overflow (>= 16)
+		all.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	clone := a.Clone()
+	a.Merge(b)
+	if a.N() != all.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), all.N())
+	}
+	for _, q := range []float64{0.25, 0.5, 0.9, 0.99} {
+		if got, want := a.Quantile(q), all.Quantile(q); got != want {
+			t.Fatalf("merged q%.2f = %v, want %v", q, got, want)
+		}
+	}
+	if a.Max() != all.Max() {
+		t.Fatalf("merged max %v, want %v", a.Max(), all.Max())
+	}
+	// The clone must be unaffected by the merge into its source.
+	if clone.N() != 200 {
+		t.Fatalf("clone N = %d, want 200", clone.N())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging mismatched geometries did not panic")
+		}
+	}()
+	a.Merge(NewHistogram(8, 1))
+}

@@ -1,0 +1,120 @@
+package traffic
+
+// FlowDist is the shared flow-selection primitive the load generators use
+// to decide which queue each packet lands on. qmsim's engine driver and
+// the repository benchmarks used to hand-roll the same two patterns — a
+// multiplicative uniform stride and a Zipf-skewed draw — in two places;
+// this consolidates them behind one deterministic, per-worker picker.
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// FlowDistKind selects the flow-selection pattern.
+type FlowDistKind int
+
+const (
+	// FlowUniform scrambles a per-picker counter with a multiplicative
+	// hash, spreading packets near-uniformly over the flow space with no
+	// random-number state — the pattern the benchmarks use so that
+	// concurrent workers land on different shards.
+	FlowUniform FlowDistKind = iota
+	// FlowZipf draws flows from a Zipf distribution with exponent Skew:
+	// flow 0 is the hottest, concentrating traffic on few flows — the
+	// workload where a shared segment pool beats a static split.
+	FlowZipf
+)
+
+// String implements fmt.Stringer.
+func (k FlowDistKind) String() string {
+	switch k {
+	case FlowUniform:
+		return "uniform"
+	case FlowZipf:
+		return "zipf"
+	default:
+		return fmt.Sprintf("flow-dist(%d)", int(k))
+	}
+}
+
+// FlowDistConfig parameterizes a FlowDist.
+type FlowDistConfig struct {
+	// Kind selects the pattern (default FlowUniform).
+	Kind FlowDistKind
+	// Flows is the flow-ID space (required, > 0); picks lie in [0, Flows).
+	Flows int
+	// Skew is the Zipf exponent for FlowZipf (must be > 1).
+	Skew float64
+	// Burst makes Burst consecutive picks return the same flow before
+	// advancing (0 means 1): bursty arrivals build the long queues that
+	// separate shared-buffer policies.
+	Burst int
+	// Seed decorrelates pickers: concurrent workers should use distinct
+	// seeds so they walk different flow sequences (and, under FlowUniform,
+	// mostly land on different shards).
+	Seed uint64
+}
+
+// FlowDist is a deterministic single-goroutine flow picker. Concurrent
+// workers each build their own (cheap) instance with distinct seeds.
+type FlowDist struct {
+	kind  FlowDistKind
+	flows uint32
+	burst uint32
+	n     uint32 // picks made
+	base  uint32 // seed-derived offset for the uniform stride
+	last  uint32 // current burst's flow
+	zipf  *rand.Zipf
+}
+
+// NewFlowDist validates cfg and returns a picker.
+func NewFlowDist(cfg FlowDistConfig) (*FlowDist, error) {
+	if cfg.Flows <= 0 {
+		return nil, fmt.Errorf("traffic: FlowDist needs a positive flow count, got %d", cfg.Flows)
+	}
+	if cfg.Burst < 0 {
+		return nil, fmt.Errorf("traffic: negative Burst %d", cfg.Burst)
+	}
+	if cfg.Burst == 0 {
+		cfg.Burst = 1
+	}
+	d := &FlowDist{
+		kind:  cfg.Kind,
+		flows: uint32(cfg.Flows),
+		burst: uint32(cfg.Burst),
+		base:  uint32(cfg.Seed) * 100_003,
+	}
+	switch cfg.Kind {
+	case FlowUniform:
+		if cfg.Skew != 0 {
+			return nil, fmt.Errorf("traffic: Skew %g set on a uniform FlowDist", cfg.Skew)
+		}
+	case FlowZipf:
+		if cfg.Skew <= 1 {
+			return nil, fmt.Errorf("traffic: Zipf exponent must be > 1, got %g", cfg.Skew)
+		}
+		src := rand.New(rand.NewSource(int64(cfg.Seed))) //nolint:gosec // simulation, not crypto
+		d.zipf = rand.NewZipf(src, cfg.Skew, 1, uint64(cfg.Flows-1))
+	default:
+		return nil, fmt.Errorf("traffic: unknown FlowDistKind %d", int(cfg.Kind))
+	}
+	return d, nil
+}
+
+// Next returns the next flow ID in [0, Flows).
+func (d *FlowDist) Next() uint32 {
+	if d.n%d.burst == 0 {
+		switch d.kind {
+		case FlowZipf:
+			d.last = uint32(d.zipf.Uint64())
+		default:
+			// Multiplicative scramble of the burst counter: consecutive
+			// bursts land far apart in the flow space, and distinct seeds
+			// walk distinct sequences.
+			d.last = ((d.base + d.n/d.burst) * 2654435761) % d.flows
+		}
+	}
+	d.n++
+	return d.last
+}

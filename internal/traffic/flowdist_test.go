@@ -1,0 +1,125 @@
+package traffic
+
+import "testing"
+
+func TestFlowDistValidation(t *testing.T) {
+	cases := []FlowDistConfig{
+		{Flows: 0},                                // no flows
+		{Flows: -4},                               // negative flows
+		{Flows: 16, Burst: -1},                    // negative burst
+		{Flows: 16, Kind: FlowZipf},               // zipf without skew
+		{Flows: 16, Kind: FlowZipf, Skew: 1.0},    // skew must exceed 1
+		{Flows: 16, Kind: FlowUniform, Skew: 1.2}, // skew on uniform
+		{Flows: 16, Kind: FlowDistKind(99)},       // unknown kind
+	}
+	for _, cfg := range cases {
+		if _, err := NewFlowDist(cfg); err == nil {
+			t.Errorf("NewFlowDist(%+v) succeeded, want error", cfg)
+		}
+	}
+}
+
+func TestFlowDistUniformRangeAndSpread(t *testing.T) {
+	const flows = 64
+	d, err := NewFlowDist(FlowDistConfig{Flows: flows, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint32]int)
+	const picks = 4096
+	for i := 0; i < picks; i++ {
+		f := d.Next()
+		if f >= flows {
+			t.Fatalf("pick %d out of range: %d", i, f)
+		}
+		seen[f]++
+	}
+	// Near-uniform: every flow should appear, none should dominate.
+	if len(seen) < flows*9/10 {
+		t.Fatalf("uniform picker touched only %d of %d flows", len(seen), flows)
+	}
+	for f, n := range seen {
+		if n > picks/flows*4 {
+			t.Fatalf("flow %d got %d of %d picks — not uniform", f, n, picks)
+		}
+	}
+}
+
+func TestFlowDistDeterminismAndSeeds(t *testing.T) {
+	mk := func(seed uint64, kind FlowDistKind, skew float64) []uint32 {
+		d, err := NewFlowDist(FlowDistConfig{Kind: kind, Flows: 1024, Skew: skew, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]uint32, 256)
+		for i := range out {
+			out[i] = d.Next()
+		}
+		return out
+	}
+	for _, tc := range []struct {
+		kind FlowDistKind
+		skew float64
+	}{{FlowUniform, 0}, {FlowZipf, 1.3}} {
+		a, b := mk(7, tc.kind, tc.skew), mk(7, tc.kind, tc.skew)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: same seed diverged at pick %d", tc.kind, i)
+			}
+		}
+		c := mk(8, tc.kind, tc.skew)
+		same := 0
+		for i := range a {
+			if a[i] == c[i] {
+				same++
+			}
+		}
+		if same == len(a) {
+			t.Fatalf("%v: different seeds produced identical sequences", tc.kind)
+		}
+	}
+}
+
+func TestFlowDistZipfSkew(t *testing.T) {
+	d, err := NewFlowDist(FlowDistConfig{Kind: FlowZipf, Flows: 1 << 14, Skew: 1.2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const picks = 20_000
+	hot := 0
+	for i := 0; i < picks; i++ {
+		f := d.Next()
+		if f >= 1<<14 {
+			t.Fatalf("pick out of range: %d", f)
+		}
+		if f < 16 {
+			hot++
+		}
+	}
+	// With skew 1.2 the 16 hottest of 16K flows must carry far more than
+	// their uniform share (16/16384 ≈ 0.1%).
+	if hot < picks/4 {
+		t.Fatalf("hottest 16 flows got only %d of %d picks — not skewed", hot, picks)
+	}
+}
+
+func TestFlowDistBurst(t *testing.T) {
+	for _, kind := range []FlowDistKind{FlowUniform, FlowZipf} {
+		skew := 0.0
+		if kind == FlowZipf {
+			skew = 1.4
+		}
+		d, err := NewFlowDist(FlowDistConfig{Kind: kind, Flows: 4096, Skew: skew, Burst: 5, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for b := 0; b < 50; b++ {
+			first := d.Next()
+			for i := 1; i < 5; i++ {
+				if f := d.Next(); f != first {
+					t.Fatalf("%v: burst %d pick %d = %d, want %d", kind, b, i, f, first)
+				}
+			}
+		}
+	}
+}

@@ -96,6 +96,14 @@ type ConcurrentConfig struct {
 	Admission AdmissionConfig
 	// Egress is the integrated scheduler discipline (zero value: RR).
 	Egress EgressConfig
+	// RingCapacity is the per-shard command-ring depth for the
+	// asynchronous datapath entered with Start (0 means 1024; rounded up
+	// to a power of two). A full ring applies backpressure to producers.
+	RingCapacity int
+	// ResidenceSample enables residence-time sampling: every Nth packet
+	// enqueued on a shard is stamped and its enqueue→dequeue time feeds
+	// the EngineStats residence histogram (p50/p99/max). 0 disables.
+	ResidenceSample int
 }
 
 // NewConcurrentEngine allocates a sharded queue manager with admission and
@@ -103,12 +111,14 @@ type ConcurrentConfig struct {
 // NewConcurrentQueueManager, which remains the policy-free shorthand.
 func NewConcurrentEngine(cfg ConcurrentConfig) (*ConcurrentQueueManager, error) {
 	e, err := engine.New(engine.Config{
-		Shards:      cfg.Shards,
-		NumFlows:    cfg.Flows,
-		NumSegments: cfg.Segments,
-		StoreData:   true,
-		Admission:   cfg.Admission,
-		Egress:      cfg.Egress,
+		Shards:          cfg.Shards,
+		NumFlows:        cfg.Flows,
+		NumSegments:     cfg.Segments,
+		StoreData:       true,
+		Admission:       cfg.Admission,
+		Egress:          cfg.Egress,
+		RingCapacity:    cfg.RingCapacity,
+		ResidenceSample: cfg.ResidenceSample,
 	})
 	if err != nil {
 		return nil, err
