@@ -493,6 +493,137 @@ func BenchmarkEngineShardedPipeline(b *testing.B) {
 	}
 }
 
+// BenchmarkEnginePorts measures the port-level transmit subsystem against
+// the pull loop it replaces, at 1/4/16 output ports. Producers offer
+// packets with pool-watermark pacing while the egress side drains one of
+// three ways: "pull" is the pre-port baseline — one goroutine per port
+// calling DequeueNextBatch; "push" registers a per-port Sink and lets the
+// engine's port workers deliver (the acceptance bar is push within 10% of
+// pull); "shaped" adds a 1 GiB/s-per-port token bucket, measuring the
+// shaper's bookkeeping overhead rather than actual throttling. The
+// headline metric is Mdeliv/s — packets delivered inside the timed
+// window.
+func BenchmarkEnginePorts(b *testing.B) {
+	const drainBatch = 64
+	for _, mode := range []string{"pull", "push", "shaped"} {
+		for _, ports := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("mode=%s/ports=%d", mode, ports), func(b *testing.B) {
+				cfg := ConcurrentConfig{
+					Flows:    DefaultFlows,
+					Segments: 1 << 17,
+					Shards:   8,
+					Ports:    ports,
+				}
+				if mode == "shaped" {
+					cfg.PortRate = PortShaper(1<<30, 1<<20)
+				}
+				cm, err := NewConcurrentEngine(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for f := 0; f < DefaultFlows; f++ {
+					if err := cm.SetFlowPort(uint32(f), f%ports); err != nil {
+						b.Fatal(err)
+					}
+				}
+				stop := make(chan struct{})
+				var consWG sync.WaitGroup
+				if mode == "pull" {
+					for c := 0; c < ports; c++ {
+						consWG.Add(1)
+						go func() {
+							defer consWG.Done()
+							for {
+								out := cm.DequeueNextBatch(drainBatch)
+								for _, d := range out {
+									cm.Release(d.Data)
+								}
+								if len(out) == 0 {
+									select {
+									case <-stop:
+										return
+									default:
+										runtime.Gosched()
+									}
+								}
+							}
+						}()
+					}
+				} else {
+					for p := 0; p < ports; p++ {
+						if err := cm.Serve(p, SinkFunc(func(d DequeuedPacket) error {
+							cm.Release(d.Data)
+							return nil
+						})); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				pkt := make([]byte, 320)
+				// Watermark flow control as in the pipeline benchmark: pace
+				// producers against pool occupancy so no mode can look fast
+				// by shedding load at the physical limit.
+				lowWater := (1 << 17) / 8
+				var gid atomic.Uint32
+				b.SetParallelism(2)
+				b.ResetTimer()
+				start := time.Now()
+				b.RunParallel(func(pb *testing.PB) {
+					fd := benchFlowDist(b, uint64(gid.Add(1)))
+					for pb.Next() {
+						f := fd.Next()
+						for {
+							_, err := cm.EnqueuePacket(f, pkt)
+							if err == nil {
+								break
+							}
+							if !errors.Is(err, ErrNoFreeSegments) {
+								b.Error(err)
+								return
+							}
+							if cm.FreeSegments() < lowWater {
+								runtime.Gosched() // pool full: wait for egress
+								continue
+							}
+							runtime.Gosched()
+						}
+					}
+				})
+				elapsed := time.Since(start)
+				b.StopTimer()
+				// Deliveries inside the timed window only — snapshot before
+				// any consumer is told to stop, so pull-mode's exit-path
+				// backlog drain cannot count where push-mode's would not and
+				// skew the pull-vs-push comparison.
+				window := cm.Stats().DequeuedPackets
+				close(stop)
+				consWG.Wait()
+				deadline := time.Now().Add(30 * time.Second)
+				for cm.Stats().QueuedSegments > 0 && time.Now().Before(deadline) {
+					if mode == "pull" {
+						out := cm.DequeueNextBatch(256)
+						for _, d := range out {
+							cm.Release(d.Data)
+						}
+					} else {
+						time.Sleep(time.Millisecond)
+					}
+				}
+				if err := cm.Close(); err != nil {
+					b.Fatal(err)
+				}
+				st := cm.Stats()
+				if mode != "pull" && st.TransmittedPackets != st.DequeuedPackets {
+					b.Fatalf("port workers transmitted %d of %d dequeued packets",
+						st.TransmittedPackets, st.DequeuedPackets)
+				}
+				b.ReportMetric(float64(window)/elapsed.Seconds()/1e6, "Mdeliv/s")
+				b.ReportMetric(float64(st.Throttled)/float64(b.N), "throttle/op")
+			})
+		}
+	}
+}
+
 // BenchmarkEngineShardedBatch is the batched variant: bursts of 64 packets
 // per EnqueueBatch/DequeueBatch call, locking each shard once per burst.
 func BenchmarkEngineShardedBatch(b *testing.B) {

@@ -11,6 +11,16 @@
 //	qmsim -model engine -policy lqd -pool 4096 -egress drr -ops 500000
 //	qmsim -model engine -policy lqd -pool 8192 -zipf 1.2 -ops 500000
 //	qmsim -model engine -datapath ring -shards 16 -parallel 8 -residence 64
+//	qmsim -ports 4 -rate 125000000 -egress drr
+//
+// -ports and -rate select the push-mode transmit path: flows are spread
+// across N output ports (flow % N), each port gets a dedicated egress
+// worker (engine.Serve) and — with -rate — a token-bucket shaper of that
+// many bytes per second (-burst overrides the bucket depth), modeling
+// shaped uplinks instead of an unbounded consumer loop. The CSV then
+// grows a per-port block: transmissions, throttle waits, shaper credit,
+// and achieved Gbps per port. Setting -ports or -rate implies
+// -model engine.
 //
 // The engine's segment pool is one shared buffer: -limit, -minth/-maxth and
 // LQD eviction are pool-wide, and a skewed workload (-zipf > 1 concentrates
@@ -80,8 +90,18 @@ func main() {
 		datapath  = flag.String("datapath", "sync", "engine: datapath (sync = lock per call, ring = async command rings)")
 		ringCap   = flag.Int("ringcap", 0, "engine: per-shard command-ring capacity (0 = default 1024)")
 		residence = flag.Int("residence", 0, "engine: sample every Nth packet's enqueue→dequeue residence time (0 = off)")
+		ports     = flag.Int("ports", 1, "engine: output ports (flows spread flow %% N; >1 or -rate switches egress to push-mode port workers)")
+		rate      = flag.Int64("rate", 0, "engine: per-port shaper rate in bytes/sec (0 = unshaped)")
+		burstB    = flag.Int64("burst-bytes", 0, "engine: per-port shaper bucket depth in bytes (0 = 10ms of rate)")
 	)
 	flag.Parse()
+	// -ports / -rate only make sense on the engine model; let the shaped
+	// multi-port invocation stay short (qmsim -ports 4 -rate 125000000).
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if !explicit["model"] && (explicit["ports"] || explicit["rate"]) {
+		*model = "engine"
+	}
 
 	var err error
 	switch *model {
@@ -102,6 +122,7 @@ func main() {
 			egress: *egName, quantum: *quantum, burst: *burst,
 			zipf:     *zipf,
 			datapath: *datapath, ringCap: *ringCap, residence: *residence,
+			ports: *ports, rate: *rate, burstBytes: *burstB,
 		})
 	default:
 		err = fmt.Errorf("unknown model %q (want ddr, mms, ixp, npu, engine)", *model)
@@ -180,6 +201,8 @@ type engineArgs struct {
 	datapath                                     string
 	ringCap                                      int
 	residence                                    int
+	ports                                        int
+	rate, burstBytes                             int64
 }
 
 // compLatEvery is how often a producer swaps a fire-and-forget post for a
@@ -218,6 +241,12 @@ func runEngine(a engineArgs) error {
 	default:
 		return fmt.Errorf("unknown datapath %q (want sync or ring)", a.datapath)
 	}
+	if a.ports < 1 {
+		return fmt.Errorf("ports must be >= 1, got %d", a.ports)
+	}
+	// Push-mode transmit: dedicated port workers instead of pull-loop
+	// consumers, engaged by a multi-port layout or a shaper rate.
+	pushMode := a.ports > 1 || a.rate > 0
 	kind, err := policy.ParseKind(a.policy)
 	if err != nil {
 		return err
@@ -237,11 +266,20 @@ func runEngine(a engineArgs) error {
 			Seed: a.seed,
 		},
 		Egress:          policy.EgressConfig{Kind: egKind, QuantumBytes: a.quantum},
+		NumPorts:        a.ports,
+		PortRate:        policy.ShaperConfig{RateBytesPerSec: a.rate, BurstBytes: a.burstBytes},
 		RingCapacity:    a.ringCap,
 		ResidenceSample: a.residence,
 	})
 	if err != nil {
 		return err
+	}
+	if a.ports > 1 {
+		for f := 0; f < a.flows; f++ {
+			if err := e.SetFlowPort(uint32(f), f%a.ports); err != nil {
+				return err
+			}
+		}
 	}
 	if ringMode {
 		if err := e.Start(); err != nil {
@@ -319,29 +357,42 @@ func runEngine(a engineArgs) error {
 		}(p)
 	}
 
-	for c := 0; c < a.parallel; c++ {
-		consWG.Add(1)
-		go func() {
-			defer consWG.Done()
-			for {
-				batch := e.DequeueNextBatch(64)
-				for _, d := range batch {
-					e.Release(d.Data)
-				}
-				if len(batch) == 0 {
-					select {
-					case <-done:
-						return
-					default:
-						// Yield so producers get CPU on few-core hosts;
-						// without this the consumer burns its timeslice
-						// polling an empty engine and the CSV measures
-						// scheduler timeslices, not policy behavior.
-						runtime.Gosched()
+	if pushMode {
+		// Push-mode egress: one engine-owned worker per port delivers into
+		// a releasing sink, paced by the per-port shaper.
+		for p := 0; p < a.ports; p++ {
+			if err := e.Serve(p, engine.SinkFunc(func(d engine.Dequeued) error {
+				e.Release(d.Data)
+				return nil
+			})); err != nil {
+				return err
+			}
+		}
+	} else {
+		for c := 0; c < a.parallel; c++ {
+			consWG.Add(1)
+			go func() {
+				defer consWG.Done()
+				for {
+					batch := e.DequeueNextBatch(64)
+					for _, d := range batch {
+						e.Release(d.Data)
+					}
+					if len(batch) == 0 {
+						select {
+						case <-done:
+							return
+						default:
+							// Yield so producers get CPU on few-core hosts;
+							// without this the consumer burns its timeslice
+							// polling an empty engine and the CSV measures
+							// scheduler timeslices, not policy behavior.
+							runtime.Gosched()
+						}
 					}
 				}
-			}
-		}()
+			}()
+		}
 	}
 
 	// Sample buffer and command-ring occupancy while the run is hot.
@@ -390,6 +441,15 @@ func runEngine(a engineArgs) error {
 	if firstErr != nil {
 		return firstErr
 	}
+	if pushMode {
+		// Let the port workers transmit the cutoff backlog at their shaped
+		// rate; the deadline only guards against rates so low the drain
+		// would outlive anyone's patience.
+		deadline := time.Now().Add(2 * time.Minute)
+		for e.Stats().QueuedSegments > 0 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+	}
 	// Drain whatever the consumers left at the cutoff.
 	for {
 		batch := e.DequeueNextBatch(256)
@@ -402,6 +462,7 @@ func runEngine(a engineArgs) error {
 	}
 	elapsed := time.Since(start)
 	st := e.Stats()
+	portStats := e.PortStats()
 	if err := e.CheckInvariants(); err != nil {
 		return err
 	}
@@ -429,6 +490,16 @@ func runEngine(a engineArgs) error {
 		lat.Quantile(0.50)/1e3, lat.Quantile(0.99)/1e3,
 		st.ResidenceP50Ns/1e3, st.ResidenceP99Ns/1e3,
 		elapsed.Seconds(), mpps, gbps)
+	if pushMode {
+		// Per-port block: what each shaped output port actually carried.
+		fmt.Println("port,rate_bps,tx_packets,tx_bytes,throttled,shaper_tokens,port_gbps")
+		for _, p := range portStats {
+			fmt.Printf("%d,%d,%d,%d,%d,%d,%.3f\n",
+				p.Port, p.RateBytesPerSec*8, p.TransmittedPackets, p.TransmittedBytes,
+				p.Throttled, p.ShaperTokens,
+				float64(p.TransmittedBytes)*8/elapsed.Seconds()/1e9)
+		}
+	}
 	return nil
 }
 

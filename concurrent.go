@@ -194,6 +194,44 @@ func (cm *ConcurrentQueueManager) SetWeight(q uint32, weight int) error {
 	return cm.e.SetWeight(q, weight)
 }
 
+// NumPorts returns the configured output-port count.
+func (cm *ConcurrentQueueManager) NumPorts() int { return cm.e.NumPorts() }
+
+// Serve registers sink as port's transmitter and spawns the port's
+// egress worker: push-mode delivery — the worker picks packets via the
+// configured egress discipline, paces them against the port's
+// token-bucket shaper, and calls sink.Transmit (which may block for
+// backpressure) until the manager closes or sink returns an error. One
+// worker per port. Close waits for port workers, so a Sink must not
+// block forever.
+func (cm *ConcurrentQueueManager) Serve(port int, sink Sink) error {
+	return cm.e.Serve(port, sink)
+}
+
+// SetFlowPort moves flow q onto port (all flows start on port 0); a
+// backlogged flow moves with its queue. Safe while traffic flows.
+func (cm *ConcurrentQueueManager) SetFlowPort(q uint32, port int) error {
+	return cm.e.SetFlowPort(q, port)
+}
+
+// FlowPort returns the port flow q is currently mapped to.
+func (cm *ConcurrentQueueManager) FlowPort(q uint32) (int, error) { return cm.e.FlowPort(q) }
+
+// SetPortRate reshapes port at runtime (rate 0 removes shaping).
+func (cm *ConcurrentQueueManager) SetPortRate(port int, cfg ShaperConfig) error {
+	return cm.e.SetPortRate(port, cfg)
+}
+
+// Pause stops port's transmission — its worker parks and the backlog
+// holds — modeling link-level flow control. Idempotent.
+func (cm *ConcurrentQueueManager) Pause(port int) error { return cm.e.Pause(port) }
+
+// Resume reverses Pause. Idempotent.
+func (cm *ConcurrentQueueManager) Resume(port int) error { return cm.e.Resume(port) }
+
+// PortStats returns per-port transmit counters and shaper occupancy.
+func (cm *ConcurrentQueueManager) PortStats() []PortStat { return cm.e.PortStats() }
+
 // ActiveFlows returns the number of flows holding queued segments.
 func (cm *ConcurrentQueueManager) ActiveFlows() int { return cm.e.ActiveFlows() }
 

@@ -3,20 +3,25 @@
 // switching (with QoS e.g. 802.1p, 802.1q)").
 //
 // Tagged frames are classified by their priority code point (PCP) onto
-// eight class queues. Where this example used to hand-roll scheduler loops
-// around internal/sched, classification and service now both run through
-// the policy-aware engine: a tail-drop admission policy caps each class's
-// share of the shared buffer, and the egress side drains at a fixed line
-// rate through the engine's integrated scheduler — strict priority and
-// 4:4:2:2:1:1:1:1 weighted round robin — under 2:1 congestion, showing
-// the high-priority class protected by strict priority and bandwidth
-// shared by WRR.
+// eight class queues. Where this example used to hand-roll a virtual-time
+// drain loop, the egress side now runs on the engine's push-mode transmit
+// path: the eight classes feed one output port whose token-bucket shaper
+// enforces the line rate in real time, and a dedicated port worker picks
+// classes by the configured discipline — strict priority, then
+// 4:4:2:2:1:1:1:1 weighted round robin — and pushes frames into a
+// counting sink. Ingress offers 2:1 congestion (paced in real time), a
+// tail-drop admission policy caps each class's share of the shared
+// buffer, and a mid-run Pause/Resume on the port models link-level flow
+// control: transmission stops, the backlog holds, drops spike at the
+// caps, and service resumes where it left off.
 package main
 
 import (
 	"errors"
 	"fmt"
 	"log"
+	"sync/atomic"
+	"time"
 
 	"npqm"
 	"npqm/internal/packet"
@@ -25,10 +30,13 @@ import (
 
 const (
 	classes   = 8
-	lineGbps  = 1.0 // egress line rate
-	offerGbps = 2.0 // offered load: 2:1 congestion
 	frames    = 40000
-	perClass  = 256 // tail-drop cap per class queue (segments)
+	perClass  = 256          // tail-drop cap per class queue (segments)
+	lineRate  = 4 << 20      // egress line rate, bytes/sec (scaled-down link)
+	offerRate = 2 * lineRate // offered load: 2:1 congestion
+	burstSize = 64           // frames offered per pacing tick
+	pauseAt   = frames / 2   // frame index where the link "deasserts"
+	pauseFor  = 60 * time.Millisecond
 )
 
 func main() {
@@ -44,14 +52,17 @@ func run(policy string) error {
 	if policy == "wrr" {
 		egress = npqm.WRREgress(1)
 	}
-	// One shard: eight class queues share one pool and one scheduler, like
-	// a single output port. Class 0 is the highest priority (PCP 7).
+	// One shard: eight class queues share one pool, one scheduler and one
+	// shaped output port, like a single line card. Class 0 is the highest
+	// priority (PCP 7).
 	cm, err := npqm.NewConcurrentEngine(npqm.ConcurrentConfig{
 		Flows:     classes,
 		Segments:  2048,
 		Shards:    1,
 		Admission: npqm.TailDrop(perClass),
 		Egress:    egress,
+		Ports:     1,
+		PortRate:  npqm.PortShaper(lineRate, 2048),
 	})
 	if err != nil {
 		return err
@@ -65,8 +76,19 @@ func run(policy string) error {
 		}
 	}
 
+	// Push-mode egress: the engine's port worker transmits into this sink
+	// at the shaped line rate; no caller drain loop.
+	var delivered [classes]atomic.Uint64
+	if err := cm.Serve(0, npqm.SinkFunc(func(d npqm.DequeuedPacket) error {
+		delivered[d.Flow].Add(1)
+		cm.Release(d.Data)
+		return nil
+	})); err != nil {
+		return err
+	}
+
 	gen, err := traffic.NewGenerator(traffic.Config{
-		RateGbps: offerGbps, Flows: classes, Sizes: traffic.Min64,
+		RateGbps: 2.0, Flows: classes, Sizes: traffic.Min64,
 		Proc: traffic.OnOff, Seed: 99,
 	})
 	if err != nil {
@@ -74,17 +96,39 @@ func run(policy string) error {
 	}
 
 	var (
-		offered   [classes]int
-		delivered [classes]int
-		dropped   [classes]int
+		offered      [classes]int
+		dropped      [classes]int
+		dropsAtPause [2]uint64 // drops before/after the pause window
 	)
-
-	// Egress drains one 64-byte frame per frame-time at lineGbps.
-	frameTimeNs := float64(64*8) / lineGbps
-	nextDrainNs := 0.0
 	src := packet.MAC{0x02, 0, 0, 0, 0, 1}
 
+	// Offer 2:1 congestion in real time: bursts on an absolute schedule.
+	burstEvery := time.Duration(burstSize * 64 * int(time.Second) / offerRate)
+	start := time.Now()
+	paused := false
 	for i := 0; i < frames; i++ {
+		if i%burstSize == 0 {
+			next := start.Add(time.Duration(i/burstSize) * burstEvery)
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		if i == pauseAt {
+			// Link-level flow control deasserts: the port stops
+			// transmitting, the backlog holds, arrivals keep coming.
+			if err := cm.Pause(0); err != nil {
+				return err
+			}
+			dropsAtPause[0] = cm.Stats().DroppedPackets
+			paused = true
+		}
+		if paused && time.Since(start.Add(time.Duration(pauseAt/burstSize)*burstEvery)) >= pauseFor {
+			if err := cm.Resume(0); err != nil {
+				return err
+			}
+			dropsAtPause[1] = cm.Stats().DroppedPackets
+			paused = false
+		}
 		a := gen.Next()
 		// Build and parse a tagged frame: PCP = flow index (class).
 		pcp := uint8(a.Flow % classes)
@@ -99,18 +143,8 @@ func run(policy string) error {
 		class := int(7 - parsed.PCP)
 		offered[class]++
 
-		// Drain the egress port up to this arrival's time: the engine's
-		// integrated scheduler picks the class to serve.
-		for nextDrainNs <= a.TimeNs {
-			if pkt, ok := cm.DequeueNext(); ok {
-				delivered[pkt.Flow]++
-				cm.Release(pkt.Data)
-			}
-			nextDrainNs += frameTimeNs
-		}
-
 		// Enqueue the new frame; the admission policy tail-drops beyond
-		// each class's segment cap.
+		// each class's segment cap while the port lags the offered load.
 		if _, err := cm.EnqueuePacket(uint32(class), frame[:64]); err != nil {
 			if !errors.Is(err, npqm.ErrAdmissionDrop) {
 				return err
@@ -118,21 +152,44 @@ func run(policy string) error {
 			dropped[class]++
 		}
 	}
+	if paused {
+		if err := cm.Resume(0); err != nil {
+			return err
+		}
+		dropsAtPause[1] = cm.Stats().DroppedPackets
+	}
 
-	st := cm.Stats()
-	fmt.Printf("== %s scheduler: %d frames offered at %.1f Gbps into a %.1f Gbps port ==\n",
-		policy, frames, offerGbps, lineGbps)
-	fmt.Printf("%5s %5s %9s %9s %9s %9s\n", "queue", "pcp", "offered", "sent", "dropped", "queued")
+	// End of offer: snapshot the standing backlog, then let the shaped
+	// port drain it.
+	var queued [classes]int
 	for c := 0; c < classes; c++ {
 		n, err := cm.Len(uint32(c))
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%5d %5d %9d %9d %9d %9d\n", c, 7-c, offered[c], delivered[c], dropped[c], n)
+		queued[c] = n
 	}
+	deadline := time.Now().Add(10 * time.Second)
+	for cm.Stats().QueuedSegments > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	st := cm.Stats()
+	pst := cm.PortStats()[0]
 	if err := cm.CheckInvariants(); err != nil {
 		return fmt.Errorf("invariant violation: %w", err)
 	}
+	if err := cm.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("== %s scheduler: %d frames offered at 2:1 over a %d B/s shaped port ==\n",
+		policy, frames, lineRate)
+	fmt.Printf("%5s %5s %9s %9s %9s %12s\n", "queue", "pcp", "offered", "sent", "dropped", "queued@cutoff")
+	for c := 0; c < classes; c++ {
+		fmt.Printf("%5d %5d %9d %9d %9d %12d\n", c, 7-c, offered[c], delivered[c].Load(), dropped[c], queued[c])
+	}
+	fmt.Printf("port: %d frames (%d bytes) transmitted, %d shaper waits; pause window added %d drops\n",
+		pst.TransmittedPackets, pst.TransmittedBytes, pst.Throttled, dropsAtPause[1]-dropsAtPause[0])
 	fmt.Printf("engine: %d admission drops counted, %d flows still active\n\n",
 		st.DroppedPackets, st.ActiveFlows)
 	return nil

@@ -1,17 +1,20 @@
 package engine
 
-// The integrated egress scheduler. Each shard keeps a bitmap of its active
-// flows (one bit per flow ID, set while the flow's queue is non-empty), so
-// picking the next flow to serve is a word-level bit scan — O(1) amortized
-// — instead of the O(flows) Occupancy polling the examples used to
-// hand-roll around internal/sched. Four disciplines are supported (see
-// policy.EgressKind): round-robin, strict priority by flow ID, weighted
-// round-robin, and deficit round-robin for variable-length packets.
+// The integrated egress scheduler. Each shard keeps one scheduling unit
+// per output port: a bitmap of the port's active flows (one bit per flow
+// ID, set while the flow's queue is non-empty), so picking the next flow
+// to serve is a word-level bit scan — O(1) amortized — instead of the
+// O(flows) Occupancy polling the examples used to hand-roll around
+// internal/sched. Four disciplines are supported (see policy.EgressKind):
+// round-robin, strict priority by flow ID, weighted round-robin, and
+// deficit round-robin for variable-length packets.
 //
 // All egress state lives per shard under the shard lock: a flow always
 // hashes to the same shard, so per-flow cursor/credit/deficit state never
-// migrates. Cross-shard fairness comes from rotating the shard a batch
-// starts on.
+// migrates. The discipline arbitrates among the flows of one (shard,
+// port) pair; cross-shard fairness comes from rotating the shard a batch
+// (or a port worker's scan) starts on, and ports are independent transmit
+// resources by construction.
 
 import (
 	"fmt"
@@ -22,33 +25,62 @@ import (
 )
 
 // On the ring datapath the egress pick itself runs inside the shard's
-// worker: DequeueNext and DequeueNextBatch post a pick-and-dequeue command
-// per shard (see ring.go), so the discipline state is only ever touched by
-// the single writer.
+// worker: DequeueNext, DequeueNextBatch and the port workers post a
+// pick-and-dequeue command per shard (see ring.go), so the discipline
+// state is only ever touched by the single writer.
 
-// Dequeued is one packet returned by DequeueNextBatch: the flow it was
-// queued on and its reassembled payload (from the engine's buffer pool —
-// Release it when done; empty when data storage is off).
+// anyPort is the pick-target meaning "serve whichever port has traffic"
+// — the legacy pull API (DequeueNext[Batch]) serves all ports, rotating.
+const anyPort = -1
+
+// Dequeued is one packet returned by the egress paths: the flow it was
+// queued on, its reassembled payload (from the engine's buffer pool —
+// Release it when done; empty when data storage is off), and its payload
+// byte count (derived from the segment count when data storage is off,
+// so shapers can charge transmissions either way).
 type Dequeued struct {
-	Flow uint32
-	Data []byte
+	Flow  uint32
+	Data  []byte
+	Bytes int
+}
+
+// portSched is one (shard, port) scheduling unit: the port's active-flow
+// bitmap plus the discipline's rotation state. Guarded by the shard's
+// critical section. The bitmap is allocated on the port's first active
+// flow (setActive): the port space can be large (MaxPorts) while only a
+// few ports ever own flows, and an unused port must not cost
+// NumFlows/8 bytes per shard. activeFlows > 0 implies active != nil.
+type portSched struct {
+	active      []uint64
+	activeFlows int
+	lowWord     int    // no active bits live in words below this index
+	cursor      uint32 // flow position for RR/WRR/DRR
+	visiting    bool   // WRR/DRR: cursor points at a flow mid-visit
+	credit      int64  // WRR: packets left in the current visit
 }
 
 // egressState is one shard's scheduler state, guarded by the shard mutex.
+// Per-flow state (deficit, weights) is shared across ports — a flow
+// belongs to exactly one port at a time; the rotation state lives in the
+// per-port portSched units.
 type egressState struct {
 	kind          policy.EgressKind
 	defaultWeight int
 	quantum       int // DRR bytes per weight unit per visit
 
-	cursor   uint32  // flow position for RR/WRR/DRR
-	visiting bool    // WRR/DRR: cursor points at a flow mid-visit
-	credit   int64   // WRR: packets left in the current visit
-	deficit  []int64 // DRR: per-flow byte deficit (lazily allocated)
-	weights  []int32 // per-flow weights, 0 = defaultWeight (lazily allocated)
+	deficit []int64 // DRR: per-flow byte deficit (lazily allocated)
+	weights []int32 // per-flow weights, 0 = defaultWeight (lazily allocated)
+
+	// audit, when non-nil (tests only), accumulates the net service
+	// entitlement granted to each flow — quantum bytes for DRR, visit
+	// packets for WRR — with forfeited credit subtracted back out, so a
+	// conservation property can hold the pickers to served == granted −
+	// outstanding, exactly.
+	audit []int64
 }
 
 // SetEgress replaces the egress discipline on every shard, resetting the
-// per-shard cursor and credit state. Per-flow weights set with SetWeight
+// per-port cursor and credit state. Per-flow weights set with SetWeight
 // survive a discipline change. Safe while traffic flows.
 func (e *Engine) SetEgress(cfg policy.EgressConfig) error {
 	if err := cfg.Validate(); err != nil {
@@ -61,10 +93,12 @@ func (e *Engine) SetEgress(cfg policy.EgressConfig) error {
 			s.eg.kind = cfg.Kind
 			s.eg.defaultWeight = cfg.DefaultWeight
 			s.eg.quantum = cfg.QuantumBytes
-			s.eg.cursor = 0
-			s.eg.visiting = false
-			s.eg.credit = 0
 			s.eg.deficit = nil
+			for p := range s.ps {
+				s.ps[p].cursor = 0
+				s.ps[p].visiting = false
+				s.ps[p].credit = 0
+			}
 		})
 	}
 	return nil
@@ -91,10 +125,11 @@ func (e *Engine) SetWeight(flow uint32, weight int) error {
 	return nil
 }
 
-// DequeueNext serves one packet chosen by the egress discipline. ok is
-// false when the engine holds no packets. Release the data when done. On
-// the synchronous datapath it allocates nothing beyond the pooled payload
-// buffer, so per-packet drain loops stay allocation-free.
+// DequeueNext serves one packet chosen by the egress discipline,
+// whichever port it belongs to. ok is false when the engine holds no
+// packets. Release the data when done. On the synchronous datapath it
+// allocates nothing beyond the pooled payload buffer, so per-packet
+// drain loops stay allocation-free.
 func (e *Engine) DequeueNext() (Dequeued, bool) {
 	n := len(e.shards)
 	start := int((e.egCursor.Add(1) - 1) & uint32(n-1))
@@ -105,14 +140,14 @@ func (e *Engine) DequeueNext() (Dequeued, bool) {
 			case modeClosed:
 				return Dequeued{}, false
 			case modeRing:
-				if out := e.dequeueNextRing(s, nil, 1); len(out) == 1 {
+				if out := e.dequeueNextRing(s, anyPort, nil, 1); len(out) == 1 {
 					return out[0], true
 				}
 			default:
 				if !e.lockSync(s) {
 					continue
 				}
-				d, ok := e.dequeuePicked(s)
+				d, ok := e.dequeuePicked(s, anyPort)
 				s.mu.Unlock()
 				if ok {
 					return d, true
@@ -125,10 +160,10 @@ func (e *Engine) DequeueNext() (Dequeued, bool) {
 }
 
 // DequeueNextBatch serves up to max packets, choosing flows by the
-// configured egress discipline. The starting shard rotates per call so
-// shards share the egress bandwidth; within a shard, flows are picked by
-// the discipline against the active bitmap. Buffers come from the engine
-// pool — Release each packet's Data when done.
+// configured egress discipline across all ports. The starting shard
+// rotates per call so shards share the egress bandwidth; within a shard,
+// flows are picked by the discipline against the active bitmaps. Buffers
+// come from the engine pool — Release each packet's Data when done.
 func (e *Engine) DequeueNextBatch(max int) []Dequeued {
 	if max <= 0 {
 		return nil
@@ -144,38 +179,47 @@ func (e *Engine) DequeueNextBatch(max int) []Dequeued {
 	}
 	var out []Dequeued
 	for i := 0; i < n && len(out) < max; i++ {
-		s := e.shards[(start+i)%n]
-		for {
-			switch e.mode.Load() {
-			case modeClosed:
-				return out
-			case modeRing:
-				out = e.dequeueNextRing(s, out, max-len(out))
-			default:
-				if !e.lockSync(s) {
-					continue
-				}
-				for len(out) < max {
-					d, ok := e.dequeuePicked(s)
-					if !ok {
-						break
-					}
-					out = append(out, d)
-				}
-				s.mu.Unlock()
-			}
-			break
-		}
+		out = e.drainShard(e.shards[(start+i)%n], anyPort, out, max)
 	}
 	return out
 }
 
-// dequeuePicked serves one packet picked by the discipline from shard s,
-// inside s's critical section (mutex or worker). ok is false when the
-// shard has nothing servable.
-func (e *Engine) dequeuePicked(s *shard) (Dequeued, bool) {
+// drainShard serves discipline-picked packets from one shard on one port
+// (anyPort = all) until out reaches max or the shard has nothing
+// servable, resolving the current datapath mode per attempt. Shared by
+// the pull API (DequeueNextBatch) and the port workers (dequeuePort) so
+// the mode-switch handling cannot diverge between them.
+func (e *Engine) drainShard(s *shard, port int, out []Dequeued, max int) []Dequeued {
 	for {
-		flow, ok := s.pickLocked()
+		switch e.mode.Load() {
+		case modeClosed:
+			return out
+		case modeRing:
+			return e.dequeueNextRing(s, port, out, max-len(out))
+		default:
+			if !e.lockSync(s) {
+				continue // datapath switched under us: re-resolve the mode
+			}
+			for len(out) < max {
+				d, ok := e.dequeuePicked(s, port)
+				if !ok {
+					break
+				}
+				out = append(out, d)
+			}
+			s.mu.Unlock()
+			return out
+		}
+	}
+}
+
+// dequeuePicked serves one packet picked by the discipline from shard s,
+// inside s's critical section (mutex or worker). port selects the
+// scheduling unit (anyPort rotates over all of them). ok is false when
+// the shard has nothing servable on that port.
+func (e *Engine) dequeuePicked(s *shard, port int) (Dequeued, bool) {
+	for {
+		flow, debit, ok := s.pickLocked(port)
 		if !ok {
 			return Dequeued{}, false
 		}
@@ -185,14 +229,30 @@ func (e *Engine) dequeuePicked(s *shard) (Dequeued, bool) {
 		if err != nil {
 			// The bitmap said active but no complete packet is available
 			// (raw-segment misuse): clear the bit so the pick loop cannot
-			// spin on this flow.
+			// spin on this flow. The DRR debit is not charged — nothing
+			// was served — and any banked deficit is forfeited by
+			// clearActive.
 			e.putBuf(buf)
 			s.clearActive(flow)
 			continue
 		}
+		if debit != 0 {
+			// DRR: charge the served packet against the flow's deficit.
+			// The picker returns the debit rather than pre-deducting so
+			// the charge lands if and only if the packet was actually
+			// served — and so the bound-exhaustion fallback pays for its
+			// packet too, driving the deficit negative instead of
+			// transmitting for free (the debt delays the flow's next
+			// service until its quanta cover it).
+			s.eg.deficit[flow] -= debit
+		}
 		s.syncActive(flow)
 		s.noteRemoveRes(flow, true)
-		return Dequeued{Flow: flow, Data: data}, true
+		bytes := len(data)
+		if !e.cfg.StoreData {
+			bytes = segs * queue.SegmentBytes
+		}
+		return Dequeued{Flow: flow, Data: data, Bytes: bytes}, true
 	}
 }
 
@@ -208,33 +268,73 @@ func (e *Engine) ActiveFlows() int {
 
 // --- bitmap maintenance (caller holds s.mu) ---
 
+// portOf returns the scheduling unit owning flow. The flowPort slice is
+// engine-wide but each entry is only touched inside the owning shard's
+// critical section.
+func (s *shard) portOf(flow uint32) int { return int(s.flowPort[flow]) }
+
 func (s *shard) isActive(flow uint32) bool {
-	return s.active[flow>>6]&(1<<(flow&63)) != 0
+	ps := &s.ps[s.portOf(flow)]
+	if ps.active == nil {
+		return false
+	}
+	return ps.active[flow>>6]&(1<<(flow&63)) != 0
 }
 
 func (s *shard) setActive(flow uint32) {
+	p := s.portOf(flow)
+	ps := &s.ps[p]
+	if ps.active == nil {
+		ps.active = make([]uint64, (len(s.flowPort)+63)/64)
+	}
 	w, bit := int(flow>>6), uint64(1)<<(flow&63)
-	if s.active[w]&bit == 0 {
-		s.active[w] |= bit
+	if ps.active[w]&bit == 0 {
+		ps.active[w] |= bit
+		ps.activeFlows++
 		s.activeFlows++
-		if w < s.lowWord {
-			s.lowWord = w
+		if w < ps.lowWord {
+			ps.lowWord = w
 		}
+		// First traffic for this flow: a parked port worker wants to know.
+		// The flag check is one atomic load; the wake itself only happens
+		// while the worker is actually parked.
+		s.ports[p].notify()
 	}
 }
 
 func (s *shard) clearActive(flow uint32) {
+	p := s.portOf(flow)
+	ps := &s.ps[p]
 	w, bit := int(flow>>6), uint64(1)<<(flow&63)
-	if s.active[w]&bit != 0 {
-		s.active[w] &^= bit
-		s.activeFlows--
-		if s.eg.deficit != nil {
-			// A queue that empties forfeits its banked DRR deficit, no
-			// matter which dequeue path emptied it — otherwise a flow
-			// drained directly (DequeuePacket) returns with stale credit
-			// and bursts ahead of its weight.
-			s.eg.deficit[flow] = 0
+	if ps.active == nil || ps.active[w]&bit == 0 {
+		return
+	}
+	ps.active[w] &^= bit
+	ps.activeFlows--
+	s.activeFlows--
+	if s.eg.deficit != nil && s.eg.deficit[flow] > 0 {
+		// A queue that empties forfeits its banked DRR deficit, no
+		// matter which dequeue path emptied it — otherwise a flow
+		// drained directly (DequeuePacket) returns with stale credit
+		// and bursts ahead of its weight. Debt (a negative deficit from
+		// a fallback overdraw) is NOT forgiven: a flow cannot shed what
+		// it owes by going briefly idle.
+		if s.eg.audit != nil {
+			s.eg.audit[flow] -= s.eg.deficit[flow]
 		}
+		s.eg.deficit[flow] = 0
+	}
+	if ps.visiting && ps.cursor == flow {
+		// The flow emptied mid-visit: end the visit now, exactly as DRR
+		// forfeits its deficit above. Leaving it open let a flow that
+		// drained and refilled before the next pick resume its old WRR
+		// credit and burst past its weight.
+		if s.eg.audit != nil && s.eg.kind == policy.EgressWRR {
+			s.eg.audit[flow] -= ps.credit
+		}
+		ps.visiting = false
+		ps.credit = 0
+		ps.cursor = flow + 1
 	}
 }
 
@@ -248,18 +348,19 @@ func (s *shard) syncActive(flow uint32) {
 	}
 }
 
-// nextActive returns the first active flow at or after from, wrapping at
-// the end of the flow space. ok is false when no flow is active.
-func (s *shard) nextActive(from uint32) (uint32, bool) {
-	if s.activeFlows == 0 {
+// nextActive returns the first active flow at or after from on one port's
+// bitmap, wrapping at the end of the flow space. ok is false when no flow
+// is active.
+func (ps *portSched) nextActive(from uint32) (uint32, bool) {
+	if ps.activeFlows == 0 {
 		return 0, false
 	}
-	nw := len(s.active)
+	nw := len(ps.active)
 	w := int(from >> 6)
 	if w >= nw {
 		w, from = 0, 0
 	}
-	word := s.active[w] &^ ((1 << (from & 63)) - 1) // mask bits below from
+	word := ps.active[w] &^ ((1 << (from & 63)) - 1) // mask bits below from
 	for i := 0; i <= nw; i++ {
 		if word != 0 {
 			return uint32(w<<6 + bits.TrailingZeros64(word)), true
@@ -268,37 +369,64 @@ func (s *shard) nextActive(from uint32) (uint32, bool) {
 		if w == nw {
 			w = 0
 		}
-		word = s.active[w]
+		word = ps.active[w]
 	}
 	return 0, false
 }
 
 // --- pickers (caller holds s.mu) ---
 
-// pickLocked returns the next flow the discipline serves. The scheduler is
-// work-conserving: whenever any flow is active, a flow is returned.
-func (s *shard) pickLocked() (uint32, bool) {
+// pickLocked returns the next flow the discipline serves on port (anyPort
+// rotates across ports), plus the DRR byte debit to charge if the packet
+// is actually served (0 for the packet-granular disciplines). The
+// scheduler is work-conserving: whenever any flow is active on the
+// selected port, a flow is returned.
+func (s *shard) pickLocked(port int) (uint32, int64, bool) {
 	if s.activeFlows == 0 {
-		return 0, false
+		return 0, 0, false
 	}
+	if port == anyPort {
+		n := len(s.ps)
+		for i := 0; i < n; i++ {
+			p := int(s.portCursor) % n
+			s.portCursor++
+			if s.ps[p].activeFlows > 0 {
+				return s.pickPort(p)
+			}
+		}
+		return 0, 0, false
+	}
+	if s.ps[port].activeFlows == 0 {
+		return 0, 0, false
+	}
+	return s.pickPort(port)
+}
+
+// pickPort dispatches to the discipline for one scheduling unit; the
+// port has at least one active flow.
+func (s *shard) pickPort(port int) (uint32, int64, bool) {
+	ps := &s.ps[port]
 	switch s.eg.kind {
 	case policy.EgressPrio:
-		return s.pickPrio()
+		f, ok := s.pickPrio(ps)
+		return f, 0, ok
 	case policy.EgressWRR:
-		return s.pickWRR()
+		f, ok := s.pickWRR(ps)
+		return f, 0, ok
 	case policy.EgressDRR:
-		return s.pickDRR()
+		return s.pickDRR(ps)
 	default:
-		return s.pickRR()
+		f, ok := s.pickRR(ps)
+		return f, 0, ok
 	}
 }
 
-func (s *shard) pickRR() (uint32, bool) {
-	f, ok := s.nextActive(s.eg.cursor)
+func (s *shard) pickRR(ps *portSched) (uint32, bool) {
+	f, ok := ps.nextActive(ps.cursor)
 	if !ok {
 		return 0, false
 	}
-	s.eg.cursor = f + 1
+	ps.cursor = f + 1
 	return f, true
 }
 
@@ -306,13 +434,13 @@ func (s *shard) pickRR() (uint32, bool) {
 // bound under which no bits are set: it only decreases when a lower bit is
 // set and advances here as empty words are skipped, so the scan is O(1)
 // amortized.
-func (s *shard) pickPrio() (uint32, bool) {
-	for w := s.lowWord; w < len(s.active); w++ {
-		if word := s.active[w]; word != 0 {
-			s.lowWord = w
+func (s *shard) pickPrio(ps *portSched) (uint32, bool) {
+	for w := ps.lowWord; w < len(ps.active); w++ {
+		if word := ps.active[w]; word != 0 {
+			ps.lowWord = w
 			return uint32(w<<6 + bits.TrailingZeros64(word)), true
 		}
-		s.lowWord = w + 1
+		ps.lowWord = w + 1
 	}
 	return 0, false
 }
@@ -325,31 +453,40 @@ func (s *shard) weightOf(flow uint32) int64 {
 }
 
 // pickWRR serves the flow under the cursor weight(q) packets per visit.
-func (s *shard) pickWRR() (uint32, bool) {
-	eg := &s.eg
-	if eg.visiting {
-		f := eg.cursor
-		if s.isActive(f) && eg.credit > 0 {
-			eg.credit--
-			if eg.credit == 0 {
-				eg.visiting = false
-				eg.cursor = f + 1
+func (s *shard) pickWRR(ps *portSched) (uint32, bool) {
+	if ps.visiting {
+		f := ps.cursor
+		if s.isActive(f) && ps.credit > 0 {
+			ps.credit--
+			if ps.credit == 0 {
+				ps.visiting = false
+				ps.cursor = f + 1
 			}
 			return f, true
 		}
-		eg.visiting = false
-		eg.cursor = f + 1
+		// Defensive: clearActive ends visits when their flow drains, so
+		// an open visit on an unservable flow should not occur; if it
+		// does, cancel the unused credit and move on.
+		if s.eg.audit != nil {
+			s.eg.audit[f] -= ps.credit
+		}
+		ps.visiting = false
+		ps.credit = 0
+		ps.cursor = f + 1
 	}
-	f, ok := s.nextActive(eg.cursor)
+	f, ok := ps.nextActive(ps.cursor)
 	if !ok {
 		return 0, false
 	}
-	eg.cursor = f
-	eg.visiting = true
-	eg.credit = s.weightOf(f) - 1
-	if eg.credit == 0 {
-		eg.visiting = false
-		eg.cursor = f + 1
+	if s.eg.audit != nil {
+		s.eg.audit[f] += s.weightOf(f)
+	}
+	ps.cursor = f
+	ps.visiting = true
+	ps.credit = s.weightOf(f) - 1
+	if ps.credit == 0 {
+		ps.visiting = false
+		ps.cursor = f + 1
 	}
 	return f, true
 }
@@ -357,54 +494,59 @@ func (s *shard) pickWRR() (uint32, bool) {
 // drrAdvance moves the DRR visit to the next active flow after from,
 // crediting it one quantum's worth of deficit for the new visit; caller
 // holds s.mu. ok is false when no flow is active.
-func (s *shard) drrAdvance(from uint32) (uint32, bool) {
-	eg := &s.eg
-	eg.visiting = false
-	f, ok := s.nextActive(from + 1)
+func (s *shard) drrAdvance(ps *portSched, from uint32) (uint32, bool) {
+	ps.visiting = false
+	f, ok := ps.nextActive(from + 1)
 	if !ok {
 		return 0, false
 	}
-	eg.cursor = f
-	eg.visiting = true
-	eg.deficit[f] += s.weightOf(f) * int64(eg.quantum)
+	ps.cursor = f
+	ps.visiting = true
+	grant := s.weightOf(f) * int64(s.eg.quantum)
+	s.eg.deficit[f] += grant
+	if s.eg.audit != nil {
+		s.eg.audit[f] += grant
+	}
 	return f, true
 }
 
 // pickDRR implements deficit round-robin: each visit a flow earns
-// weight(q)*quantum bytes of deficit and may send head packets its deficit
-// covers. A flow that empties forfeits its deficit (see clearActive). The
-// loop is bounded; if a pathological quantum/packet-size ratio exhausts
-// the bound, the current candidate is served anyway so the scheduler
-// stays work-conserving.
-func (s *shard) pickDRR() (uint32, bool) {
+// weight(q)*quantum bytes of deficit and may send head packets its
+// deficit covers; the served packet's bytes are charged by dequeuePicked
+// through the returned debit. A flow that empties forfeits any banked
+// (positive) deficit but keeps its debt (see clearActive). The loop is
+// bounded; if a pathological quantum/packet-size ratio exhausts the
+// bound, the current candidate is served anyway so the scheduler stays
+// work-conserving — but its packet is still charged, so the flow goes
+// into debt rather than transmitting for free.
+func (s *shard) pickDRR(ps *portSched) (uint32, int64, bool) {
 	eg := &s.eg
 	if eg.deficit == nil {
-		eg.deficit = make([]int64, len(s.active)*64)
+		eg.deficit = make([]int64, len(s.flowPort))
 	}
-	f := eg.cursor
-	if !eg.visiting {
+	f := ps.cursor
+	if !ps.visiting {
 		var ok bool
-		if f, ok = s.drrAdvance(f - 1); !ok {
-			return 0, false
+		if f, ok = s.drrAdvance(ps, f-1); !ok {
+			return 0, 0, false
 		}
 	}
 	// Each full rotation adds at least quantum bytes of deficit to every
 	// active flow, so any head packet is reachable within
 	// maxPacketBytes/quantum rotations; the cap covers jumbo frames at
 	// single-byte quanta.
-	maxIter := s.activeFlows*2048 + 8
+	maxIter := ps.activeFlows*2048 + 8
 	for iter := 0; iter < maxIter; iter++ {
 		if !s.isActive(f) {
 			var ok bool
-			if f, ok = s.drrAdvance(f); !ok {
-				return 0, false
+			if f, ok = s.drrAdvance(ps, f); !ok {
+				return 0, 0, false
 			}
 			continue
 		}
 		bytes, _, err := s.m.PacketLen(queue.QueueID(f))
 		if err == nil && int64(bytes) <= eg.deficit[f] {
-			eg.deficit[f] -= int64(bytes)
-			return f, true
+			return f, int64(bytes), true
 		}
 		if err != nil {
 			// No complete packet (raw-segment misuse): skip the flow.
@@ -412,9 +554,16 @@ func (s *shard) pickDRR() (uint32, bool) {
 		}
 		// Not enough deficit (or unservable): bank it, move on.
 		var ok bool
-		if f, ok = s.drrAdvance(f); !ok {
-			return 0, false
+		if f, ok = s.drrAdvance(ps, f); !ok {
+			return 0, 0, false
 		}
 	}
-	return f, true // bound exhausted: serve anyway (work conservation)
+	// Bound exhausted: serve the candidate anyway (work conservation),
+	// charging its head packet so the overdraft is repaid before the flow
+	// is served again.
+	bytes, _, err := s.m.PacketLen(queue.QueueID(f))
+	if err != nil {
+		return f, 0, true // unservable head; dequeuePicked clears the flow
+	}
+	return f, int64(bytes), true
 }

@@ -121,6 +121,16 @@ type Config struct {
 	// Egress parameterizes the integrated egress scheduler used by
 	// DequeueNextBatch. The zero value is round-robin over active flows.
 	Egress policy.EgressConfig
+	// NumPorts is the output-port count (0 means 1; at most MaxPorts).
+	// Every flow maps to exactly one port — all flows start on port 0,
+	// reassignable at runtime with SetFlowPort — and each port is an
+	// independent transmit resource: its own scheduling unit per shard,
+	// its own shaper, and (via Serve) its own egress worker.
+	NumPorts int
+	// PortRate is the token-bucket shaper installed on every port at
+	// construction (the zero value is unshaped). Individual ports can be
+	// reshaped at runtime with SetPortRate.
+	PortRate policy.ShaperConfig
 	// RingCapacity is the per-shard command-ring depth for the ring
 	// datapath (0 means DefaultRingCapacity; rounded up to a power of
 	// two). A full ring applies backpressure to producers.
@@ -167,11 +177,17 @@ type shard struct {
 	admKind  policy.Kind
 	admLimit int
 
-	// Egress state: the active-flow bitmap plus the discipline's cursor
-	// and credit state (see egress.go).
-	active      []uint64
-	activeFlows int
-	lowWord     int // no active bits live in words below this index
+	// Egress state: one scheduling unit (active-flow bitmap + rotation
+	// cursor/credit) per output port, plus the shard-wide discipline
+	// parameters and per-flow weight/deficit state (see egress.go).
+	// flowPort and ports alias engine-wide slices: flowPort entries are
+	// only touched inside the owning shard's critical section, ports is
+	// immutable after New.
+	ps          []portSched
+	activeFlows int    // total active flows across all ports
+	portCursor  uint32 // rotating port for anyPort picks
+	flowPort    []int32
+	ports       []*port
 	eg          egressState
 
 	// res samples packet residence times (nil when disabled).
@@ -186,6 +202,14 @@ type Engine struct {
 	store  *segstore.Store
 	shards []*shard
 	epoch  time.Time
+
+	// Transmit side: one port object per output port, a stop channel
+	// closed exactly once on Close to unpark port workers, and the
+	// workers' WaitGroup.
+	ports    []*port
+	flowPort []int32
+	portStop chan struct{}
+	portWG   sync.WaitGroup
 
 	// mode is the current datapath (modeSync → modeRing → modeClosed);
 	// lifeMu serializes the transitions, workers tracks ring workers.
@@ -232,6 +256,15 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.ResidenceSample < 0 {
 		return nil, fmt.Errorf("engine: negative ResidenceSample %d", cfg.ResidenceSample)
 	}
+	if cfg.NumPorts == 0 {
+		cfg.NumPorts = 1
+	}
+	if cfg.NumPorts < 0 || cfg.NumPorts > MaxPorts {
+		return nil, fmt.Errorf("engine: NumPorts %d out of range [1, %d]", cfg.NumPorts, MaxPorts)
+	}
+	if err := cfg.PortRate.Validate(); err != nil {
+		return nil, err
+	}
 	// cfg.Admission and cfg.Egress are validated by the SetAdmission and
 	// SetEgress calls below.
 	// Scale the magazine size down for pools small relative to the shard
@@ -254,11 +287,21 @@ func New(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{
-		cfg:    cfg,
-		shift:  uint(32 - bits.TrailingZeros(uint(cfg.Shards))),
-		store:  store,
-		shards: make([]*shard, cfg.Shards),
-		epoch:  time.Now(),
+		cfg:      cfg,
+		shift:    uint(32 - bits.TrailingZeros(uint(cfg.Shards))),
+		store:    store,
+		shards:   make([]*shard, cfg.Shards),
+		epoch:    time.Now(),
+		ports:    make([]*port, cfg.NumPorts),
+		flowPort: make([]int32, cfg.NumFlows),
+		portStop: make(chan struct{}),
+	}
+	for i := range e.ports {
+		e.ports[i] = &port{
+			idx:  i,
+			sh:   newShaper(cfg.PortRate, e.epoch),
+			wake: make(chan struct{}, 1),
+		}
 	}
 	e.bufs.New = func() any { return make([]byte, 0, 4*queue.SegmentBytes) }
 	for i := range e.shards {
@@ -273,12 +316,17 @@ func New(cfg Config) (*Engine, error) {
 				}
 			}
 		}
-		e.shards[i] = &shard{
-			m:      m,
-			active: make([]uint64, (cfg.NumFlows+63)/64),
+		// Per-port bitmaps are allocated lazily on first activity (see
+		// portSched), so a wide port space costs nothing up front.
+		s := &shard{
+			m:        m,
+			ps:       make([]portSched, cfg.NumPorts),
+			flowPort: e.flowPort,
+			ports:    e.ports,
 		}
+		e.shards[i] = s
 		if cfg.ResidenceSample > 0 {
-			e.shards[i].res = newResidence(cfg.ResidenceSample, cfg.NumFlows, e.epoch)
+			s.res = newResidence(cfg.ResidenceSample, cfg.NumFlows, e.epoch)
 		}
 	}
 	if err := e.SetAdmission(cfg.Admission); err != nil {

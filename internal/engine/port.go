@@ -1,0 +1,386 @@
+package engine
+
+// The port-level transmit subsystem. The paper's queue manager feeds
+// output ports: its transmission interface drains per-port FIFOs at line
+// rate, with the scheduler deciding which flow each port serves next.
+// This file is that interface in software. Every flow belongs to exactly
+// one port (Config.NumPorts, SetFlowPort; all flows start on port 0),
+// each (shard, port) pair owns a scheduling unit (see egress.go), and a
+// port served through Serve gets a dedicated egress worker: it picks via
+// the configured discipline, paces against the port's token-bucket shaper
+// (see shaper.go), and pushes reassembled packets into the registered
+// Sink — push-mode delivery with backpressure, where the old
+// DequeueNextBatch pull loop survives as the unported path.
+//
+// Pause/Resume model link-level flow control (a paused port holds its
+// backlog and transmits nothing); SetPortRate reshapes at runtime. Idle
+// and paused workers park on a wake channel: the enqueue path's
+// setActive notifies a parked worker with one atomic flag check, so an
+// idle port costs nothing per packet elsewhere and nothing while idle.
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"npqm/internal/policy"
+)
+
+// MaxPorts bounds Config.NumPorts: per-port scheduling state is allocated
+// per shard, so the port space is a configuration constant, not a dynamic
+// resource.
+const MaxPorts = 4096
+
+// Sink consumes the packets a served port transmits. Transmit may block —
+// that is the backpressure path; the port worker will not pick another
+// packet until it returns. Returning a non-nil error stops the port's
+// worker (the port can be Served again). Transmit always runs on the
+// port's worker goroutine, never concurrently with itself.
+type Sink interface {
+	Transmit(d Dequeued) error
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(d Dequeued) error
+
+// Transmit implements Sink.
+func (f SinkFunc) Transmit(d Dequeued) error { return f(d) }
+
+// port is one output port: shaper, worker parking state, and transmit
+// counters. The scheduling state lives in the shards (one portSched per
+// (shard, port) pair).
+type port struct {
+	idx int
+	sh  *shaper
+
+	paused  atomic.Bool
+	serving atomic.Bool   // a Serve worker is running
+	waiting atomic.Bool   // the worker is parked awaiting traffic
+	wake    chan struct{} // capacity 1; nudges a parked/paused worker
+
+	shardCursor uint32 // rotating start shard; only the worker touches it
+
+	txPackets atomic.Uint64
+	txBytes   atomic.Uint64
+	throttled atomic.Uint64 // times the worker slept on the shaper
+}
+
+// notify wakes the port's worker if (and only if) it is parked waiting
+// for traffic. Called from setActive inside shard critical sections, so
+// the no-worker and worker-busy cases must stay one atomic load.
+func (p *port) notify() {
+	if p.waiting.CompareAndSwap(true, false) {
+		p.kick()
+	}
+}
+
+// kick nudges the worker unconditionally (Pause/Resume/SetPortRate/
+// SetFlowPort): a parked or sleeping worker re-evaluates, a running one
+// sees a buffered token and re-loops once — harmless.
+func (p *port) kick() {
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+}
+
+// portAt validates a port index.
+func (e *Engine) portAt(port int) (*port, error) {
+	if port < 0 || port >= len(e.ports) {
+		return nil, fmt.Errorf("engine: port %d out of range [0, %d)", port, len(e.ports))
+	}
+	return e.ports[port], nil
+}
+
+// NumPorts returns the configured output-port count.
+func (e *Engine) NumPorts() int { return len(e.ports) }
+
+// SetFlowPort moves flow onto port (all flows start on port 0). A
+// backlogged flow moves with its queue: its active bit transfers to the
+// new port's scheduling unit, any open visit on the old port ends, and
+// banked DRR deficit is forfeited exactly as if the flow had drained.
+// Safe while traffic flows; per-flow FIFO is unaffected (the flow's
+// shard does not change).
+func (e *Engine) SetFlowPort(flow uint32, port int) error {
+	p, err := e.portAt(port)
+	if err != nil {
+		return err
+	}
+	if int64(flow) >= int64(e.cfg.NumFlows) {
+		return ErrUnknownFlow
+	}
+	s := e.shardOf(flow)
+	e.run(s, func() {
+		if s.portOf(flow) == port {
+			return
+		}
+		active := s.isActive(flow)
+		if active {
+			s.clearActive(flow)
+		}
+		s.flowPort[flow] = int32(port)
+		if active {
+			s.setActive(flow)
+		}
+	})
+	p.kick()
+	return nil
+}
+
+// FlowPort returns the port flow is currently mapped to.
+func (e *Engine) FlowPort(flow uint32) (int, error) {
+	if int64(flow) >= int64(e.cfg.NumFlows) {
+		return 0, ErrUnknownFlow
+	}
+	s := e.shardOf(flow)
+	var port int
+	e.run(s, func() { port = s.portOf(flow) })
+	return port, nil
+}
+
+// SetPortRate reshapes port at runtime: rate 0 removes shaping, a
+// positive rate installs a freshly filled bucket (burst defaulting per
+// policy.ShaperConfig). Safe while the port transmits.
+func (e *Engine) SetPortRate(port int, cfg policy.ShaperConfig) error {
+	p, err := e.portAt(port)
+	if err != nil {
+		return err
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	p.sh.configure(cfg, time.Now())
+	p.kick()
+	return nil
+}
+
+// Pause stops port's transmission: its worker parks, its backlog holds.
+// Packets keep accumulating on the port's flows (admission still
+// applies). Idempotent.
+func (e *Engine) Pause(port int) error {
+	p, err := e.portAt(port)
+	if err != nil {
+		return err
+	}
+	p.paused.Store(true)
+	p.kick()
+	return nil
+}
+
+// Resume reverses Pause. Idempotent.
+func (e *Engine) Resume(port int) error {
+	p, err := e.portAt(port)
+	if err != nil {
+		return err
+	}
+	p.paused.Store(false)
+	p.kick()
+	return nil
+}
+
+// Paused reports whether port is paused.
+func (e *Engine) Paused(port int) (bool, error) {
+	p, err := e.portAt(port)
+	if err != nil {
+		return false, err
+	}
+	return p.paused.Load(), nil
+}
+
+// Serve registers sink as port's transmitter and spawns the port's
+// egress worker: it picks packets via the configured discipline, paces
+// them against the port's shaper, and pushes them into sink until the
+// engine closes or sink returns an error. On a sink error, packets the
+// worker had already picked for the current burst are released — counted
+// as dequeued but not transmitted, like frames lost on a failing link.
+// One worker per port; a second Serve on a live port fails. Close waits
+// for port workers to exit, so a Sink must not block forever.
+func (e *Engine) Serve(port int, sink Sink) error {
+	p, err := e.portAt(port)
+	if err != nil {
+		return err
+	}
+	if sink == nil {
+		return fmt.Errorf("engine: nil sink for port %d", port)
+	}
+	e.lifeMu.Lock()
+	defer e.lifeMu.Unlock()
+	if e.mode.Load() == modeClosed {
+		return ErrClosed
+	}
+	if !p.serving.CompareAndSwap(false, true) {
+		return fmt.Errorf("engine: port %d is already being served", port)
+	}
+	e.portWG.Add(1)
+	go e.servePort(p, sink)
+	return nil
+}
+
+// unshapedBatch is how many packets an unshaped port worker picks per
+// scan — the same burst the pull loops use, so push-mode delivery pays
+// the same per-shard amortization as DequeueNextBatch.
+const unshapedBatch = 64
+
+// servePort is port p's egress worker.
+func (e *Engine) servePort(p *port, sink Sink) {
+	defer func() {
+		p.serving.Store(false)
+		e.portWG.Done()
+	}()
+	var out []Dequeued
+	for {
+		if e.mode.Load() == modeClosed {
+			return
+		}
+		if p.paused.Load() {
+			if !p.park(e.portStop) {
+				return
+			}
+			continue
+		}
+		shaped := p.sh.enabled()
+		if shaped {
+			// Pace before every pick: the packet is only removed from
+			// its queue once the bucket is non-negative, so a paused or
+			// slow port holds its backlog in the buffer (visible to
+			// admission), not in flight.
+			if d := p.sh.ready(time.Now()); d > 0 {
+				p.throttled.Add(1)
+				if !p.sleep(e.portStop, d) {
+					return
+				}
+				continue
+			}
+		}
+		budget := unshapedBatch
+		if shaped {
+			budget = 1
+		}
+		out = e.dequeuePort(p, out[:0], budget)
+		if len(out) == 0 {
+			// Nothing servable: declare intent to park, then scan once
+			// more. The scan enters every shard's critical section, so a
+			// producer whose setActive preceded our scan is seen by it,
+			// and one whose setActive follows our scan observes
+			// waiting=true (the store below happens-before our lock
+			// acquisitions) and wakes us via notify.
+			p.waiting.Store(true)
+			out = e.dequeuePort(p, out[:0], budget)
+			if len(out) == 0 {
+				if !p.park(e.portStop) {
+					return
+				}
+				continue
+			}
+			p.waiting.Store(false)
+		}
+		for i := range out {
+			d := out[i]
+			out[i] = Dequeued{}
+			if err := sink.Transmit(d); err != nil {
+				// The link died mid-burst: the erroring packet belongs to
+				// the sink (Transmit owns its buffer either way); the rest
+				// of the batch — already dequeued — is released so the
+				// buffers are not leaked. Those packets count as dequeued
+				// but not transmitted, like frames lost on a failing link.
+				for j := i + 1; j < len(out); j++ {
+					e.putBuf(out[j].Data)
+					out[j] = Dequeued{}
+				}
+				return
+			}
+			p.txPackets.Add(1)
+			p.txBytes.Add(uint64(d.Bytes))
+			if shaped {
+				p.sh.charge(d.Bytes)
+			}
+		}
+	}
+}
+
+// park blocks until a wake or engine shutdown; false means shut down.
+func (p *port) park(stop <-chan struct{}) bool {
+	select {
+	case <-p.wake:
+		p.waiting.Store(false)
+		return true
+	case <-stop:
+		p.waiting.Store(false)
+		return false
+	}
+}
+
+// sleep waits out a shaper delay, interruptible by a kick (rate change,
+// pause) or shutdown; false means shut down.
+func (p *port) sleep(stop <-chan struct{}, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-p.wake:
+		return true
+	case <-stop:
+		return false
+	}
+}
+
+// dequeuePort serves up to max packets from p's scheduling units,
+// rotating the starting shard per call, appending to out. It is
+// DequeueNextBatch with the pick restricted to one port, sharing the
+// same per-shard drain (drainShard) so the datapath handling cannot
+// diverge.
+func (e *Engine) dequeuePort(p *port, out []Dequeued, max int) []Dequeued {
+	n := len(e.shards)
+	p.shardCursor++
+	start := int(p.shardCursor) % n
+	for i := 0; i < n && len(out) < max; i++ {
+		out = e.drainShard(e.shards[(start+i)%n], p.idx, out, max)
+	}
+	return out
+}
+
+// PortStat is one port's slice of the transmit-side statistics.
+type PortStat struct {
+	Port               int
+	TransmittedPackets uint64
+	TransmittedBytes   uint64
+	Throttled          uint64 // shaper waits (worker sleeps awaiting tokens)
+	Paused             bool
+	Serving            bool
+	ActiveFlows        int   // flows with backlog mapped to this port
+	RateBytesPerSec    int64 // 0 = unshaped
+	BurstBytes         int64
+	ShaperTokens       int64 // current bucket credit; negative = in debt
+}
+
+// PortStats returns one entry per port. Counters are cumulative since
+// New; the active-flow column is snapshotted per shard (consistent per
+// shard, not a global cut).
+func (e *Engine) PortStats() []PortStat {
+	out := make([]PortStat, len(e.ports))
+	now := time.Now()
+	for i, p := range e.ports {
+		rate, burst, tokens := p.sh.occupancy(now)
+		out[i] = PortStat{
+			Port:               i,
+			TransmittedPackets: p.txPackets.Load(),
+			TransmittedBytes:   p.txBytes.Load(),
+			Throttled:          p.throttled.Load(),
+			Paused:             p.paused.Load(),
+			Serving:            p.serving.Load(),
+			RateBytesPerSec:    rate,
+			BurstBytes:         burst,
+			ShaperTokens:       tokens,
+		}
+	}
+	for _, s := range e.shards {
+		s := s
+		e.run(s, func() {
+			for i := range out {
+				out[i].ActiveFlows += s.ps[i].activeFlows
+			}
+		})
+	}
+	return out
+}

@@ -62,6 +62,7 @@ type command struct {
 	kind opKind
 	flow uint32
 	arg  int
+	port int32 // opDequeueNext: scheduling unit to pick from (anyPort = all)
 	slot int32 // result slot in the completion's per-shard slices
 	data []byte
 	fn   func()
@@ -228,9 +229,11 @@ func (e *Engine) Drain() error {
 // commands, lets the workers drain everything already posted (no packet or
 // counter is lost), and waits for them to exit; blocked callers whose
 // commands were accepted complete normally, later calls return ErrClosed.
-// Close is idempotent and safe to call concurrently. After Close the
-// observation surface (Stats, ShardStats, CheckInvariants, Len, Occupancy,
-// ActiveFlows, FreeSegments) keeps working against the quiescent state.
+// Port workers spawned by Serve are unparked and waited out last (a Sink
+// blocked forever therefore blocks Close). Close is idempotent and safe
+// to call concurrently. After Close the observation surface (Stats,
+// ShardStats, PortStats, CheckInvariants, Len, Occupancy, ActiveFlows,
+// FreeSegments) keeps working against the quiescent state.
 func (e *Engine) Close() error {
 	e.lifeMu.Lock()
 	defer e.lifeMu.Unlock()
@@ -239,6 +242,7 @@ func (e *Engine) Close() error {
 		return nil
 	case modeSync:
 		e.mode.Store(modeClosed)
+		e.stopPorts()
 		return nil
 	}
 	// Order matters: the mode must not read modeClosed while any worker is
@@ -253,7 +257,15 @@ func (e *Engine) Close() error {
 	}
 	e.workers.Wait()
 	e.mode.Store(modeClosed)
+	e.stopPorts()
 	return nil
+}
+
+// stopPorts unparks every port worker and waits for them to exit; called
+// exactly once, under lifeMu, after the mode flipped to modeClosed.
+func (e *Engine) stopPorts() {
+	close(e.portStop)
+	e.portWG.Wait()
 }
 
 // worker is shard si's single writer: it drains the shard's command ring
@@ -328,7 +340,7 @@ func (e *Engine) exec(s *shard, c *command) {
 			dst = &c.co.deqs[c.slot]
 		}
 		for len(*dst) < c.arg {
-			d, ok := e.dequeuePicked(s)
+			d, ok := e.dequeuePicked(s, int(c.port))
 			if !ok {
 				break
 			}
@@ -476,12 +488,12 @@ func (e *Engine) dequeueRingWait(s *shard, flow uint32) ([]byte, error) {
 	return data, err
 }
 
-// dequeueNextRing asks s's worker for up to max egress-picked packets and
-// appends them to out.
-func (e *Engine) dequeueNextRing(s *shard, out []Dequeued, max int) []Dequeued {
+// dequeueNextRing asks s's worker for up to max egress-picked packets on
+// port (anyPort = all scheduling units) and appends them to out.
+func (e *Engine) dequeueNextRing(s *shard, port int, out []Dequeued, max int) []Dequeued {
 	c := e.getCall()
 	c.pending.Store(1)
-	if e.post(s, command{kind: opDequeueNext, arg: max, co: c}) != nil {
+	if e.post(s, command{kind: opDequeueNext, arg: max, port: int32(port), co: c}) != nil {
 		e.putCall(c)
 		return out
 	}
@@ -520,7 +532,7 @@ func (e *Engine) dequeueNextRingAll(start, max int) []Dequeued {
 			continue
 		}
 		s := e.shards[(start+i)%n]
-		if e.post(s, command{kind: opDequeueNext, arg: budget(i), slot: int32(i), co: c}) == nil {
+		if e.post(s, command{kind: opDequeueNext, arg: budget(i), port: anyPort, slot: int32(i), co: c}) == nil {
 			posted++
 		}
 	}
@@ -542,7 +554,7 @@ func (e *Engine) dequeueNextRingAll(start, max int) []Dequeued {
 		if len(out) >= max {
 			break
 		}
-		out = e.dequeueNextRing(e.shards[(start+i)%n], out, max-len(out))
+		out = e.dequeueNextRing(e.shards[(start+i)%n], anyPort, out, max-len(out))
 	}
 	return out
 }

@@ -1,0 +1,132 @@
+package engine
+
+// The per-port token-bucket shaper. Time is a first-class resource here:
+// a port earns rate bytes of credit per second of wall clock (Go's
+// time.Time carries the monotonic reading, so wall-clock steps cannot
+// inflate or starve the bucket), banks at most burst bytes while idle,
+// and transmits a packet only when the bucket is non-negative. The send
+// itself may overdraw the bucket by up to one packet — the byte-accurate
+// formulation that needs no packet-size foreknowledge: the debt delays
+// the next send by exactly the overdrawn bytes' serialization time, so
+// the long-run rate converges to the configured one for any packet mix.
+//
+// The bucket is shared between its port's worker (the hot reader) and
+// the control plane (SetPortRate, PortStats), so it carries its own
+// mutex; the worker takes it once per packet, far off the per-segment
+// paths.
+
+import (
+	"sync"
+	"time"
+
+	"npqm/internal/policy"
+)
+
+type shaper struct {
+	mu     sync.Mutex
+	rate   int64 // bytes per second; 0 = unshaped
+	burst  int64 // bucket depth in bytes
+	tokens int64 // current credit; negative = in debt from the last send
+	last   time.Time
+}
+
+func newShaper(cfg policy.ShaperConfig, now time.Time) *shaper {
+	sh := &shaper{}
+	sh.configure(cfg, now)
+	return sh
+}
+
+// configure swaps the rate/burst at runtime. The bucket starts full so a
+// freshly shaped port may emit one burst immediately — the conventional
+// token-bucket initial condition.
+func (sh *shaper) configure(cfg policy.ShaperConfig, now time.Time) {
+	cfg = cfg.WithDefaults()
+	sh.mu.Lock()
+	sh.rate = cfg.RateBytesPerSec
+	sh.burst = cfg.BurstBytes
+	sh.tokens = cfg.BurstBytes
+	sh.last = now
+	sh.mu.Unlock()
+}
+
+// enabled reports whether the shaper currently paces at all.
+func (sh *shaper) enabled() bool {
+	sh.mu.Lock()
+	on := sh.rate > 0
+	sh.mu.Unlock()
+	return on
+}
+
+// tokensFor converts an elapsed interval to earned bytes. Exact integer
+// arithmetic is used whenever ns × rate provably fits int64 (sub-second
+// window × rate below 2^33 ≈ 8.6 GB/s: the product stays under
+// 10^9 × 2^33 < 2^63); beyond that — long idle stretches or >8 GB/s
+// line rates, where a byte of float rounding is invisible against the
+// magnitudes involved — the conversion goes through float64 instead of
+// wrapping negative.
+func tokensFor(el time.Duration, rate int64) int64 {
+	if el <= 0 {
+		return 0
+	}
+	if el <= time.Second && rate < 1<<33 {
+		return int64(el) * rate / int64(time.Second)
+	}
+	return int64(float64(el) / float64(time.Second) * float64(rate))
+}
+
+// refillLocked advances the bucket to now; caller holds sh.mu.
+func (sh *shaper) refillLocked(now time.Time) {
+	el := now.Sub(sh.last)
+	if el <= 0 {
+		return
+	}
+	sh.last = now
+	sh.tokens += tokensFor(el, sh.rate)
+	if sh.tokens > sh.burst {
+		sh.tokens = sh.burst
+	}
+}
+
+// ready refills the bucket and returns 0 when the port may transmit now,
+// or the duration until the bucket climbs back to zero. Unshaped buckets
+// are always ready.
+func (sh *shaper) ready(now time.Time) time.Duration {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.rate <= 0 {
+		return 0
+	}
+	sh.refillLocked(now)
+	if sh.tokens >= 0 {
+		return 0
+	}
+	need := -sh.tokens
+	wait := time.Duration(need * int64(time.Second) / sh.rate)
+	if wait <= 0 {
+		wait = time.Nanosecond
+	}
+	return wait
+}
+
+// charge debits a transmitted packet's bytes (the bucket may go
+// negative). No-op when unshaped.
+func (sh *shaper) charge(n int) {
+	if n <= 0 {
+		return
+	}
+	sh.mu.Lock()
+	if sh.rate > 0 {
+		sh.tokens -= int64(n)
+	}
+	sh.mu.Unlock()
+}
+
+// occupancy snapshots the bucket for PortStats, refreshed to now.
+func (sh *shaper) occupancy(now time.Time) (rate, burst, tokens int64) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.rate > 0 {
+		sh.refillLocked(now)
+	}
+	return sh.rate, sh.burst, sh.tokens
+}

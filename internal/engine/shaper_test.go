@@ -1,0 +1,57 @@
+package engine
+
+// Unit tests of the token bucket, driven with an explicit clock.
+
+import (
+	"testing"
+	"time"
+
+	"npqm/internal/policy"
+)
+
+// TestShaperHighRateRefillNoOverflow is the regression for the refill
+// overflow: at rates above ~8.6 GB/s the exact ns×rate product no longer
+// fits int64, so the conversion must switch to float64 instead of
+// wrapping negative and stalling the port. 12.5 GB/s is 100 Gbps — a
+// plausible modeled line rate well inside the validator's bound.
+func TestShaperHighRateRefillNoOverflow(t *testing.T) {
+	epoch := time.Now()
+	sh := newShaper(policy.ShaperConfig{RateBytesPerSec: 12_500_000_000, BurstBytes: 1 << 20}, epoch)
+	sh.charge(1<<20 + 1000) // drain the bucket into debt
+	now := epoch.Add(900 * time.Millisecond)
+	if d := sh.ready(now); d != 0 {
+		t.Fatalf("100 Gbps shaper not ready after 900ms idle: wait %v", d)
+	}
+	if _, burst, tokens := sh.occupancy(now); tokens != burst {
+		t.Fatalf("bucket holds %d tokens after a long idle, want full burst %d", tokens, burst)
+	}
+}
+
+func TestShaperPacingArithmetic(t *testing.T) {
+	epoch := time.Now()
+	sh := newShaper(policy.ShaperConfig{RateBytesPerSec: 1000, BurstBytes: 100}, epoch)
+	// Fresh bucket is full: ready immediately.
+	if d := sh.ready(epoch); d != 0 {
+		t.Fatalf("fresh bucket not ready: %v", d)
+	}
+	// 600 bytes of debt beyond the 100-byte burst → 500 bytes short →
+	// 500ms at 1000 B/s.
+	sh.charge(600)
+	if d := sh.ready(epoch); d != 500*time.Millisecond {
+		t.Fatalf("wait = %v, want 500ms", d)
+	}
+	// Half the wait elapses: half the debt remains.
+	if d := sh.ready(epoch.Add(250 * time.Millisecond)); d != 250*time.Millisecond {
+		t.Fatalf("wait after 250ms = %v, want 250ms", d)
+	}
+	// Debt repaid exactly: ready with an empty bucket.
+	if d := sh.ready(epoch.Add(500 * time.Millisecond)); d != 0 {
+		t.Fatalf("wait after 500ms = %v, want 0", d)
+	}
+	// An unshaped reconfiguration is always ready and never charges.
+	sh.configure(policy.ShaperConfig{}, epoch)
+	sh.charge(1 << 30)
+	if d := sh.ready(epoch); d != 0 {
+		t.Fatalf("unshaped bucket not ready: %v", d)
+	}
+}

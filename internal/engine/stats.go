@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"math/bits"
 
 	"npqm/internal/queue"
 	"npqm/internal/stats"
@@ -27,6 +28,14 @@ type Stats struct {
 	DroppedSegments   uint64
 	PushedOutPackets  uint64
 	PushedOutSegments uint64
+
+	// Transmit side (ports served through Serve). Packets delivered by
+	// port workers are also counted in DequeuedPackets/Segments — the
+	// transmit counters slice that total by delivery path and add the
+	// pacing signal. See PortStats for the per-port breakdown.
+	TransmittedPackets uint64
+	TransmittedBytes   uint64
+	Throttled          uint64 // port-worker sleeps waiting for shaper tokens
 
 	// Occupancy.
 	FreeSegments   int   // shared-pool free population (depot + caches)
@@ -102,6 +111,11 @@ func (e *Engine) Stats() Stats {
 				merged.Merge(s.res.hist)
 			}
 		})
+	}
+	for _, p := range e.ports {
+		st.TransmittedPackets += p.txPackets.Load()
+		st.TransmittedBytes += p.txBytes.Load()
+		st.Throttled += p.throttled.Load()
 	}
 	if merged != nil {
 		st.ResidenceSamples = merged.N()
@@ -181,8 +195,13 @@ func (e *Engine) CheckInvariants() error {
 	return nil
 }
 
-// checkActiveLocked validates the shard's active bitmap against the queue
-// table, inside the shard's critical section.
+// checkActiveLocked validates the shard's per-port active bitmaps against
+// the queue table, inside the shard's critical section: a non-empty flow
+// must be marked active on its own port's scheduling unit, and — via the
+// popcount cross-check — on no other (every owning bit being correct
+// plus per-port popcounts matching their counters leaves no room for
+// stray bits on foreign ports). O(flows + ports·words), so wide port
+// spaces stay checkable.
 func (s *shard) checkActiveLocked(shardIdx int) error {
 	count := 0
 	for q := 0; q < s.m.NumQueues(); q++ {
@@ -190,21 +209,36 @@ func (s *shard) checkActiveLocked(shardIdx int) error {
 		if err != nil {
 			return err
 		}
-		bit := s.active[q>>6]&(1<<(uint(q)&63)) != 0
-		if (n > 0) != bit {
-			return fmt.Errorf("engine: shard %d flow %d has %d segments but active bit is %v", shardIdx, q, n, bit)
+		if bit := s.isActive(uint32(q)); bit != (n > 0) {
+			return fmt.Errorf("engine: shard %d flow %d has %d segments but port %d active bit is %v",
+				shardIdx, q, n, s.portOf(uint32(q)), bit)
 		}
-		if bit {
+		if n > 0 {
 			count++
 		}
 	}
 	if count != s.activeFlows {
-		return fmt.Errorf("engine: shard %d bitmap holds %d flows, counter says %d", shardIdx, count, s.activeFlows)
+		return fmt.Errorf("engine: shard %d bitmaps hold %d flows, counter says %d", shardIdx, count, s.activeFlows)
 	}
-	for w := 0; w < s.lowWord && w < len(s.active); w++ {
-		if s.active[w] != 0 {
-			return fmt.Errorf("engine: shard %d has active bits below lowWord %d", shardIdx, s.lowWord)
+	perPort := 0
+	for p := range s.ps {
+		ps := &s.ps[p]
+		perPort += ps.activeFlows
+		popcount := 0
+		for _, word := range ps.active {
+			popcount += bits.OnesCount64(word)
 		}
+		if popcount != ps.activeFlows {
+			return fmt.Errorf("engine: shard %d port %d bitmap holds %d flows, counter says %d", shardIdx, p, popcount, ps.activeFlows)
+		}
+		for w := 0; w < ps.lowWord && w < len(ps.active); w++ {
+			if ps.active[w] != 0 {
+				return fmt.Errorf("engine: shard %d port %d has active bits below lowWord %d", shardIdx, p, ps.lowWord)
+			}
+		}
+	}
+	if perPort != s.activeFlows {
+		return fmt.Errorf("engine: shard %d per-port counters sum to %d, total says %d", shardIdx, perPort, s.activeFlows)
 	}
 	return nil
 }

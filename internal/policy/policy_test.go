@@ -211,3 +211,40 @@ func TestVerdictAndKindStrings(t *testing.T) {
 		}
 	}
 }
+
+func TestShaperConfigValidation(t *testing.T) {
+	good := []ShaperConfig{
+		{}, // unshaped
+		{RateBytesPerSec: 125_000_000},
+		{RateBytesPerSec: 1 << 20, BurstBytes: 1024},
+	}
+	for i, cfg := range good {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("valid shaper config %d rejected: %v", i, err)
+		}
+	}
+	bad := []ShaperConfig{
+		{RateBytesPerSec: -1},
+		{RateBytesPerSec: MaxShaperRate + 1},
+		{BurstBytes: -1, RateBytesPerSec: 100},
+		{BurstBytes: 100}, // burst without rate
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("invalid shaper config %d accepted: %+v", i, cfg)
+		}
+	}
+	// Defaults: burst fills to 10ms of rate, floored at 64KiB.
+	if got := (ShaperConfig{RateBytesPerSec: 125_000_000}).WithDefaults().BurstBytes; got != 1_250_000 {
+		t.Errorf("default burst at 125MB/s = %d, want 1250000", got)
+	}
+	if got := (ShaperConfig{RateBytesPerSec: 1000}).WithDefaults().BurstBytes; got != 64*1024 {
+		t.Errorf("default burst at 1KB/s = %d, want 65536 floor", got)
+	}
+	if (ShaperConfig{}).Enabled() {
+		t.Error("zero shaper config reports enabled")
+	}
+	if !(ShaperConfig{RateBytesPerSec: 1}).Enabled() {
+		t.Error("shaped config reports disabled")
+	}
+}

@@ -31,6 +31,31 @@ type EgressConfig = policy.EgressConfig
 // DequeuedPacket is one packet served by the integrated egress scheduler.
 type DequeuedPacket = engine.Dequeued
 
+// ShaperConfig parameterizes a port's token-bucket shaper; build one with
+// PortShaper (the zero value is unshaped). The bucket earns
+// RateBytesPerSec of credit per second up to BurstBytes and transmits
+// only while non-negative, so a served port drains at line rate with at
+// most one burst of slack.
+type ShaperConfig = policy.ShaperConfig
+
+// Sink consumes the packets a served port transmits (push-mode delivery).
+// Transmit may block — that is the backpressure path — and returning an
+// error stops the port's worker. See ConcurrentQueueManager.Serve.
+type Sink = engine.Sink
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc = engine.SinkFunc
+
+// PortStat is one output port's transmit statistics (see PortStats).
+type PortStat = engine.PortStat
+
+// PortShaper returns a token-bucket shaper configuration: rate is the
+// sustained drain in bytes per second (0 = unshaped), burst the bucket
+// depth in bytes (0 takes 10ms of rate, floored at 64KiB).
+func PortShaper(rate, burst int64) ShaperConfig {
+	return policy.ShaperConfig{RateBytesPerSec: rate, BurstBytes: burst}
+}
+
 // ErrAdmissionDrop is returned by enqueue paths when the admission policy
 // refuses the arrival; classify with errors.Is. The drop is counted in
 // EngineStats.DroppedPackets — it is policy behavior, not a caller error.
@@ -96,6 +121,13 @@ type ConcurrentConfig struct {
 	Admission AdmissionConfig
 	// Egress is the integrated scheduler discipline (zero value: RR).
 	Egress EgressConfig
+	// Ports is the output-port count (0 means 1). Flows start on port 0;
+	// SetFlowPort re-homes them, and Serve attaches a push-mode Sink per
+	// port.
+	Ports int
+	// PortRate is the token-bucket shaper installed on every port (zero
+	// value: unshaped); reshape individual ports with SetPortRate.
+	PortRate ShaperConfig
 	// RingCapacity is the per-shard command-ring depth for the
 	// asynchronous datapath entered with Start (0 means 1024; rounded up
 	// to a power of two). A full ring applies backpressure to producers.
@@ -117,6 +149,8 @@ func NewConcurrentEngine(cfg ConcurrentConfig) (*ConcurrentQueueManager, error) 
 		StoreData:       true,
 		Admission:       cfg.Admission,
 		Egress:          cfg.Egress,
+		NumPorts:        cfg.Ports,
+		PortRate:        cfg.PortRate,
 		RingCapacity:    cfg.RingCapacity,
 		ResidenceSample: cfg.ResidenceSample,
 	})
