@@ -1,0 +1,211 @@
+// Command benchjson runs (or parses) the repository's Go benchmarks and
+// emits a machine-readable JSON summary, so CI and the experiment log can
+// track performance without scraping `go test -bench` text.
+//
+// Usage:
+//
+//	benchjson -bench 'EngineHierarchy|EnginePorts' -o BENCH_6.json
+//	go test -bench . -benchmem | benchjson -o BENCH_6.json
+//	benchjson -i bench.txt -o -          # parse a saved log, JSON to stdout
+//
+// With -bench the tool execs `go test -run NONE -bench <pattern> -benchmem`
+// in the current module and parses its output; without it, input comes from
+// -i (default stdin). Each benchmark maps to its ns/op, allocs/op, and a
+// derived Mpkt/s throughput: the benchmark's own Mdeliv/s metric when it
+// reports one (the delivered-packet rate, the honest number for pipeline
+// benchmarks), otherwise operations per second in millions (exact for the
+// one-packet-per-op round-trip benchmarks). All other custom metrics are
+// preserved under "metrics".
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's summary row.
+type Result struct {
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_op"`
+	MpktPerSec float64 `json:"mpkt_s"`
+	BytesPerOp float64 `json:"bytes_op,omitempty"`
+	AllocsOp   float64 `json:"allocs_op"`
+	// Metrics holds every reported unit not folded into the fields above
+	// (e.g. "MB/s", "loss", "deliv/op").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the whole JSON document.
+type Report struct {
+	Goos       string            `json:"goos,omitempty"`
+	Goarch     string            `json:"goarch,omitempty"`
+	Pkg        string            `json:"pkg,omitempty"`
+	CPU        string            `json:"cpu,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.+)$`)
+
+func main() {
+	var (
+		bench = flag.String("bench", "", "run `go test -bench` with this pattern instead of reading input")
+		pkg   = flag.String("pkg", ".", "package to benchmark with -bench")
+		count = flag.Int("count", 1, "-count passed to go test with -bench")
+		btime = flag.String("benchtime", "", "-benchtime passed to go test with -bench (e.g. 0.3s, 100x)")
+		in    = flag.String("i", "-", "input file with benchmark output (- = stdin)")
+		out   = flag.String("o", "BENCH_6.json", "output JSON file (- = stdout)")
+	)
+	flag.Parse()
+
+	if err := run(*bench, *pkg, *count, *btime, *in, *out); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench, pkg string, count int, btime, in, out string) error {
+	var src io.Reader
+	switch {
+	case bench != "":
+		args := []string{"test", "-run", "NONE",
+			"-bench", bench, "-benchmem", "-count", strconv.Itoa(count)}
+		if btime != "" {
+			args = append(args, "-benchtime", btime)
+		}
+		cmd := exec.Command("go", append(args, pkg)...)
+		cmd.Stderr = os.Stderr
+		raw, err := cmd.Output()
+		if err != nil {
+			return fmt.Errorf("go test -bench: %w", err)
+		}
+		os.Stderr.Write(raw) // keep the human-readable table visible
+		src = strings.NewReader(string(raw))
+	case in == "-":
+		src = os.Stdin
+	default:
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+
+	rep, err := parse(src)
+	if err != nil {
+		return err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(out, enc, 0o644)
+}
+
+// parse reads `go test -bench` output. Repeated runs of one benchmark
+// (-count > 1) are averaged.
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{Benchmarks: map[string]Result{}}
+	counts := map[string]int{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for _, hdr := range []struct {
+			prefix string
+			dst    *string
+		}{
+			{"goos: ", &rep.Goos}, {"goarch: ", &rep.Goarch},
+			{"pkg: ", &rep.Pkg}, {"cpu: ", &rep.CPU},
+		} {
+			if strings.HasPrefix(line, hdr.prefix) {
+				*hdr.dst = strings.TrimPrefix(line, hdr.prefix)
+			}
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Iterations: iters, Metrics: map[string]float64{}}
+		// The tail is tab-separated "value unit" pairs.
+		for _, field := range strings.Split(m[3], "\t") {
+			parts := strings.Fields(field)
+			if len(parts) != 2 {
+				continue
+			}
+			v, err := strconv.ParseFloat(parts[0], 64)
+			if err != nil {
+				continue
+			}
+			switch parts[1] {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsOp = v
+			default:
+				res.Metrics[parts[1]] = v
+			}
+		}
+		if md, ok := res.Metrics["Mdeliv/s"]; ok {
+			res.MpktPerSec = md
+		} else if res.NsPerOp > 0 {
+			res.MpktPerSec = 1e3 / res.NsPerOp // Mops/s; 1 packet per op
+		}
+		if len(res.Metrics) == 0 {
+			res.Metrics = nil
+		}
+		// Average repeated runs (-count > 1).
+		if prev, ok := rep.Benchmarks[name]; ok {
+			res = averaged(prev, res, float64(counts[name]))
+		}
+		counts[name]++
+		rep.Benchmarks[name] = res
+	}
+	return rep, sc.Err()
+}
+
+// averaged folds one more run into a running mean over n prior runs.
+func averaged(prev, cur Result, n float64) Result {
+	mix := func(a, b float64) float64 { return (a*n + b) / (n + 1) }
+	out := Result{
+		Iterations: prev.Iterations + cur.Iterations,
+		NsPerOp:    mix(prev.NsPerOp, cur.NsPerOp),
+		MpktPerSec: mix(prev.MpktPerSec, cur.MpktPerSec),
+		BytesPerOp: mix(prev.BytesPerOp, cur.BytesPerOp),
+		AllocsOp:   mix(prev.AllocsOp, cur.AllocsOp),
+	}
+	if prev.Metrics != nil || cur.Metrics != nil {
+		out.Metrics = map[string]float64{}
+		for k, v := range prev.Metrics {
+			out.Metrics[k] = v
+		}
+		for k, v := range cur.Metrics {
+			out.Metrics[k] = mix(out.Metrics[k], v)
+		}
+	}
+	return out
+}

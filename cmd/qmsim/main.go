@@ -12,15 +12,24 @@
 //	qmsim -model engine -policy lqd -pool 8192 -zipf 1.2 -ops 500000
 //	qmsim -model engine -datapath ring -shards 16 -parallel 8 -residence 64
 //	qmsim -ports 4 -rate 125000000 -egress drr
+//	qmsim -classes 8 -class-egress wrr -class-weights 4,4,2,2,1,1,1,1
 //
 // -ports and -rate select the push-mode transmit path: flows are spread
-// across N output ports (flow % N), each port gets a dedicated egress
-// worker (engine.Serve) and — with -rate — a token-bucket shaper of that
-// many bytes per second (-burst overrides the bucket depth), modeling
-// shaped uplinks instead of an unbounded consumer loop. The CSV then
-// grows a per-port block: transmissions, throttle waits, shaper credit,
-// and achieved Gbps per port. Setting -ports or -rate implies
-// -model engine.
+// across N output ports (flow % N), each port is served push-mode
+// (engine.Serve, paced by the per-shard timing-wheel pacer) and — with
+// -rate — a token-bucket shaper of that many bytes per second (-burst
+// overrides the bucket depth), modeling shaped uplinks instead of an
+// unbounded consumer loop. The CSV then grows a per-port block:
+// transmissions, throttle waits, shaper credit, and achieved Gbps per
+// port. Setting -ports or -rate implies -model engine.
+//
+// -classes layers the two-level scheduling hierarchy over the flow level:
+// flows are spread across N classes (flow % N), -class-egress picks the
+// discipline arbitrating among a port's backlogged classes (the -egress
+// discipline then arbitrates within the winning class), and
+// -class-weights sets the per-class WRR/DRR weights. The CSV grows a
+// per-class block mirroring the per-port one: deliveries, bytes, and the
+// achieved share per class. Any class flag implies -model engine.
 //
 // The engine's segment pool is one shared buffer: -limit, -minth/-maxth and
 // LQD eviction are pool-wide, and a skewed workload (-zipf > 1 concentrates
@@ -40,6 +49,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -93,13 +104,18 @@ func main() {
 		ports     = flag.Int("ports", 1, "engine: output ports (flows spread flow %% N; >1 or -rate switches egress to push-mode port workers)")
 		rate      = flag.Int64("rate", 0, "engine: per-port shaper rate in bytes/sec (0 = unshaped)")
 		burstB    = flag.Int64("burst-bytes", 0, "engine: per-port shaper bucket depth in bytes (0 = 10ms of rate)")
+		classes   = flag.Int("classes", 0, "engine: scheduling classes layered over the flow level (0/1 = flat; flows spread flow %% N)")
+		classEg   = flag.String("class-egress", "rr", "engine: class-level discipline (rr, prio, wrr, drr)")
+		classW    = flag.String("class-weights", "", "engine: comma-separated per-class WRR/DRR weights (missing entries = 1)")
 	)
 	flag.Parse()
-	// -ports / -rate only make sense on the engine model; let the shaped
-	// multi-port invocation stay short (qmsim -ports 4 -rate 125000000).
+	// -ports / -rate / the class layer only make sense on the engine model;
+	// let those invocations stay short (qmsim -ports 4 -rate 125000000,
+	// qmsim -classes 8 -class-egress prio).
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-	if !explicit["model"] && (explicit["ports"] || explicit["rate"]) {
+	if !explicit["model"] && (explicit["ports"] || explicit["rate"] ||
+		explicit["classes"] || explicit["class-egress"] || explicit["class-weights"]) {
 		*model = "engine"
 	}
 
@@ -123,6 +139,7 @@ func main() {
 			zipf:     *zipf,
 			datapath: *datapath, ringCap: *ringCap, residence: *residence,
 			ports: *ports, rate: *rate, burstBytes: *burstB,
+			classes: *classes, classEgress: *classEg, classWeights: *classW,
 		})
 	default:
 		err = fmt.Errorf("unknown model %q (want ddr, mms, ixp, npu, engine)", *model)
@@ -203,6 +220,29 @@ type engineArgs struct {
 	residence                                    int
 	ports                                        int
 	rate, burstBytes                             int64
+	classes                                      int
+	classEgress, classWeights                    string
+}
+
+// parseClassWeights turns "-class-weights 4,4,2,2" into the per-class
+// weight slice the egress config takes (class index order).
+func parseClassWeights(s string, classes int) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) > classes {
+		return nil, fmt.Errorf("%d class weights for %d classes", len(parts), classes)
+	}
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		w, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("class weight %q: %w", p, err)
+		}
+		out[i] = w
+	}
+	return out, nil
 }
 
 // compLatEvery is how often a producer swaps a fire-and-forget post for a
@@ -255,6 +295,17 @@ func runEngine(a engineArgs) error {
 	if err != nil {
 		return err
 	}
+	classKind, err := policy.ParseEgressKind(a.classEgress)
+	if err != nil {
+		return err
+	}
+	if a.classes < 0 {
+		return fmt.Errorf("classes must be >= 0, got %d", a.classes)
+	}
+	classWeights, err := parseClassWeights(a.classWeights, a.classes)
+	if err != nil {
+		return err
+	}
 	e, err := engine.New(engine.Config{
 		Shards:      a.shards,
 		NumFlows:    a.flows,
@@ -265,7 +316,10 @@ func runEngine(a engineArgs) error {
 			MinTh: a.minth, MaxTh: a.maxth, MaxP: a.maxp, Weight: a.wq,
 			Seed: a.seed,
 		},
-		Egress:          policy.EgressConfig{Kind: egKind, QuantumBytes: a.quantum},
+		Egress: policy.EgressConfig{
+			Kind: egKind, QuantumBytes: a.quantum,
+			NumClasses: a.classes, ClassKind: classKind, ClassWeights: classWeights,
+		},
 		NumPorts:        a.ports,
 		PortRate:        policy.ShaperConfig{RateBytesPerSec: a.rate, BurstBytes: a.burstBytes},
 		RingCapacity:    a.ringCap,
@@ -279,6 +333,24 @@ func runEngine(a engineArgs) error {
 			if err := e.SetFlowPort(uint32(f), f%a.ports); err != nil {
 				return err
 			}
+		}
+	}
+	if a.classes > 1 {
+		for f := 0; f < a.flows; f++ {
+			if err := e.SetFlowClass(uint32(f), f%a.classes); err != nil {
+				return err
+			}
+		}
+	}
+	// Per-class delivery tallies for the class CSV block; the flow→class
+	// map is the f %% classes spread above, so the tally indexes directly.
+	var classPkts []atomic.Uint64
+	if a.classes > 1 {
+		classPkts = make([]atomic.Uint64, a.classes)
+	}
+	countClass := func(f uint32) {
+		if classPkts != nil {
+			classPkts[int(f)%a.classes].Add(1)
 		}
 	}
 	if ringMode {
@@ -362,6 +434,7 @@ func runEngine(a engineArgs) error {
 		// a releasing sink, paced by the per-port shaper.
 		for p := 0; p < a.ports; p++ {
 			if err := e.Serve(p, engine.SinkFunc(func(d engine.Dequeued) error {
+				countClass(d.Flow)
 				e.Release(d.Data)
 				return nil
 			})); err != nil {
@@ -376,6 +449,7 @@ func runEngine(a engineArgs) error {
 				for {
 					batch := e.DequeueNextBatch(64)
 					for _, d := range batch {
+						countClass(d.Flow)
 						e.Release(d.Data)
 					}
 					if len(batch) == 0 {
@@ -457,12 +531,14 @@ func runEngine(a engineArgs) error {
 			break
 		}
 		for _, d := range batch {
+			countClass(d.Flow)
 			e.Release(d.Data)
 		}
 	}
 	elapsed := time.Since(start)
 	st := e.Stats()
 	portStats := e.PortStats()
+	classStats := e.ClassStats()
 	if err := e.CheckInvariants(); err != nil {
 		return err
 	}
@@ -498,6 +574,28 @@ func runEngine(a engineArgs) error {
 				p.Port, p.RateBytesPerSec*8, p.TransmittedPackets, p.TransmittedBytes,
 				p.Throttled, p.ShaperTokens,
 				float64(p.TransmittedBytes)*8/elapsed.Seconds()/1e9)
+		}
+	}
+	if a.classes > 1 {
+		// Per-class block, mirroring the per-port one: what each scheduling
+		// class was actually granted under the class-level discipline.
+		var total uint64
+		for c := range classPkts {
+			total += classPkts[c].Load()
+		}
+		fmt.Println("class,class_kind,weight,delivered,delivered_bytes,share_pct")
+		for c := 0; c < a.classes; c++ {
+			n := classPkts[c].Load()
+			share := 0.0
+			if total > 0 {
+				share = 100 * float64(n) / float64(total)
+			}
+			weight := 1
+			if c < len(classStats) {
+				weight = classStats[c].Weight
+			}
+			fmt.Printf("%d,%s,%d,%d,%d,%.1f\n",
+				c, classKind, weight, n, n*uint64(a.pktBytes), share)
 		}
 	}
 	return nil

@@ -194,16 +194,42 @@ func (cm *ConcurrentQueueManager) SetWeight(q uint32, weight int) error {
 	return cm.e.SetWeight(q, weight)
 }
 
+// NumClasses returns the per-port scheduling class count (1 = flat).
+func (cm *ConcurrentQueueManager) NumClasses() int { return cm.e.NumClasses() }
+
+// SetFlowClass moves flow q into a scheduling class (all flows start in
+// class 0; see ClassLayer for configuring the class level). A backlogged
+// flow moves with its queue and per-flow FIFO order is unaffected. Safe
+// while traffic flows.
+func (cm *ConcurrentQueueManager) SetFlowClass(q uint32, class int) error {
+	return cm.e.SetFlowClass(q, class)
+}
+
+// FlowClass returns the scheduling class flow q is currently mapped to.
+func (cm *ConcurrentQueueManager) FlowClass(q uint32) (int, error) { return cm.e.FlowClass(q) }
+
+// SetClassWeight sets a class's weight for class-level WRR (packets per
+// visit) and DRR (quantum multiplier). Weights must be positive. Safe
+// while traffic flows.
+func (cm *ConcurrentQueueManager) SetClassWeight(class, weight int) error {
+	return cm.e.SetClassWeight(class, weight)
+}
+
+// ClassStats returns per-class backlog occupancy and weights.
+func (cm *ConcurrentQueueManager) ClassStats() []ClassStat { return cm.e.ClassStats() }
+
 // NumPorts returns the configured output-port count.
 func (cm *ConcurrentQueueManager) NumPorts() int { return cm.e.NumPorts() }
 
-// Serve registers sink as port's transmitter and spawns the port's
-// egress worker: push-mode delivery — the worker picks packets via the
-// configured egress discipline, paces them against the port's
-// token-bucket shaper, and calls sink.Transmit (which may block for
-// backpressure) until the manager closes or sink returns an error. One
-// worker per port. Close waits for port workers, so a Sink must not
-// block forever.
+// Serve registers sink as port's transmitter and hands the port to its
+// home shard's pacer: push-mode delivery — the pacer picks packets via
+// the configured class and flow disciplines, paces them against the
+// port's token-bucket shaper on a timing wheel, and calls sink.Transmit
+// (which may block for backpressure) until the manager closes or sink
+// returns an error. Serving any number of ports costs one goroutine per
+// shard, not one per port; a Transmit always runs on the port's home
+// pacer goroutine, never concurrently with itself. Close waits for the
+// pacers, so a Sink must not block forever.
 func (cm *ConcurrentQueueManager) Serve(port int, sink Sink) error {
 	return cm.e.Serve(port, sink)
 }

@@ -3,17 +3,20 @@
 // switching (with QoS e.g. 802.1p, 802.1q)").
 //
 // Tagged frames are classified by their priority code point (PCP) onto
-// eight class queues. Where this example used to hand-roll a virtual-time
-// drain loop, the egress side now runs on the engine's push-mode transmit
-// path: the eight classes feed one output port whose token-bucket shaper
-// enforces the line rate in real time, and a dedicated port worker picks
-// classes by the configured discipline — strict priority, then
-// 4:4:2:2:1:1:1:1 weighted round robin — and pushes frames into a
-// counting sink. Ingress offers 2:1 congestion (paced in real time), a
-// tail-drop admission policy caps each class's share of the shared
-// buffer, and a mid-run Pause/Resume on the port models link-level flow
-// control: transmission stops, the backlog holds, drops spike at the
-// caps, and service resumes where it left off.
+// eight class queues. The 802.1p priorities are expressed directly with
+// the engine's class layer: ClassLayer wraps the flow-level egress
+// config with an eight-class scheduling level, SetFlowClass homes each
+// class queue in its class, and the port's scheduler arbitrates classes
+// first — strict priority, then 4:4:2:2:1:1:1:1 weighted round robin —
+// before round-robining flows within the winning class. Egress runs on
+// the push-mode transmit path: the classes feed one output port whose
+// token-bucket shaper enforces the line rate in real time, paced by the
+// per-shard timing wheel, into a counting sink. Ingress offers 2:1
+// congestion (paced in real time), a tail-drop admission policy caps
+// each class's share of the shared buffer, and a mid-run Pause/Resume
+// on the port models link-level flow control: transmission stops, the
+// backlog holds, drops spike at the caps, and service resumes where it
+// left off.
 package main
 
 import (
@@ -48,9 +51,13 @@ func main() {
 }
 
 func run(policy string) error {
-	egress := npqm.PriorityEgress()
+	// The whole 802.1p policy is the class layer: eight classes over a
+	// round-robin flow level, arbitrated strict-priority or 4:4:2:2:1:1:1:1
+	// weighted round robin.
+	egress := npqm.ClassLayer(npqm.RoundRobinEgress(), classes, npqm.EgressPrio)
 	if policy == "wrr" {
-		egress = npqm.WRREgress(1)
+		egress = npqm.ClassLayer(npqm.RoundRobinEgress(), classes, npqm.EgressWRR,
+			4, 4, 2, 2, 1, 1, 1, 1)
 	}
 	// One shard: eight class queues share one pool, one scheduler and one
 	// shaped output port, like a single line card. Class 0 is the highest
@@ -67,12 +74,10 @@ func run(policy string) error {
 	if err != nil {
 		return err
 	}
-	if policy == "wrr" {
-		// Classes 0-1 get weight 4, 2-3 weight 2, rest weight 1.
-		for class, w := range []int{4, 4, 2, 2, 1, 1, 1, 1} {
-			if err := cm.SetWeight(uint32(class), w); err != nil {
-				return err
-			}
+	// Home each class queue in its scheduling class (flows start in class 0).
+	for c := 0; c < classes; c++ {
+		if err := cm.SetFlowClass(uint32(c), c); err != nil {
+			return err
 		}
 	}
 

@@ -1,31 +1,39 @@
 package engine
 
-// The integrated egress scheduler. Each shard keeps one scheduling unit
-// per output port: a bitmap of the port's active flows (one bit per flow
-// ID, set while the flow's queue is non-empty), so picking the next flow
-// to serve is a word-level bit scan — O(1) amortized — instead of the
-// O(flows) Occupancy polling the examples used to hand-roll around
-// internal/sched. Four disciplines are supported (see policy.EgressKind):
-// round-robin, strict priority by flow ID, weighted round-robin, and
-// deficit round-robin for variable-length packets.
+// The integrated egress scheduler — a two-level hierarchy. Each shard
+// keeps one scheduling unit per output port; a unit arbitrates first
+// among the port's backlogged *classes* (SetFlowClass groups flows into
+// policy.EgressConfig.NumClasses classes) and then among the backlogged
+// flows of the winning class. Both levels run the same four disciplines
+// (see policy.EgressKind) through one implementation, sched.Level, so
+// class-level WRR cannot drift from flow-level WRR.
+//
+// Scheduler state is dense and index-based: every flow owns one
+// flowState entry in an engine-wide table (intrusive list links, port,
+// class, weight, DRR deficit — no per-flow maps, no per-port bitmaps),
+// so a million flows cost a million small structs rather than
+// ports×flows bits, and activation/deactivation/picking are O(1) list
+// splices. Entries are only ever touched inside the owning shard's
+// critical section; the table is engine-wide only so the facade can
+// size it once.
 //
 // All egress state lives per shard under the shard lock: a flow always
-// hashes to the same shard, so per-flow cursor/credit/deficit state never
-// migrates. The discipline arbitrates among the flows of one (shard,
-// port) pair; cross-shard fairness comes from rotating the shard a batch
-// (or a port worker's scan) starts on, and ports are independent transmit
-// resources by construction.
+// hashes to the same shard, so per-flow cursor/credit/deficit state
+// never migrates. The discipline arbitrates among the flows of one
+// (shard, port) pair; cross-shard fairness comes from rotating the
+// shard a batch (or the pacer's scan) starts on, and ports are
+// independent transmit resources by construction.
 
 import (
 	"fmt"
-	"math/bits"
 
 	"npqm/internal/policy"
 	"npqm/internal/queue"
+	"npqm/internal/sched"
 )
 
 // On the ring datapath the egress pick itself runs inside the shard's
-// worker: DequeueNext, DequeueNextBatch and the port workers post a
+// worker: DequeueNext, DequeueNextBatch and the pacers post a
 // pick-and-dequeue command per shard (see ring.go), so the discipline
 // state is only ever touched by the single writer.
 
@@ -44,60 +52,206 @@ type Dequeued struct {
 	Bytes int
 }
 
-// portSched is one (shard, port) scheduling unit: the port's active-flow
-// bitmap plus the discipline's rotation state. Guarded by the shard's
-// critical section. The bitmap is allocated on the port's first active
-// flow (setActive): the port space can be large (MaxPorts) while only a
-// few ports ever own flows, and an unused port must not cost
-// NumFlows/8 bytes per shard. activeFlows > 0 implies active != nil.
-type portSched struct {
-	active      []uint64
-	activeFlows int
-	lowWord     int    // no active bits live in words below this index
-	cursor      uint32 // flow position for RR/WRR/DRR
-	visiting    bool   // WRR/DRR: cursor points at a flow mid-visit
-	credit      int64  // WRR: packets left in the current visit
+// flowState is one flow's dense scheduler state: the intrusive links of
+// its (port, class) active list, its home port and class, its WRR/DRR
+// weight, and its DRR deficit. One entry per flow, engine-wide, touched
+// only inside the owning shard's critical section. next == sched.None
+// means the flow is not active (no backlog).
+type flowState struct {
+	next, prev int32
+	port       int32
+	class      int32
+	weight     int32  // 0 = discipline default
+	defEpoch   uint32 // deficit is valid only when this matches eg.epoch
+	deficit    int64
 }
 
-// egressState is one shard's scheduler state, guarded by the shard mutex.
-// Per-flow state (deficit, weights) is shared across ports — a flow
-// belongs to exactly one port at a time; the rotation state lives in the
-// per-port portSched units.
-type egressState struct {
-	kind          policy.EgressKind
-	defaultWeight int
-	quantum       int // DRR bytes per weight unit per visit
+// classUnit is one class's state within a (shard, port) scheduling
+// unit: the flow-level rotation over the class's active flows, the
+// class's own links on the port's class-level list, and its class-level
+// DRR deficit.
+type classUnit struct {
+	fl           sched.Level
+	cnext, cprev int32
+	deficit      int64
+}
 
-	deficit []int64 // DRR: per-flow byte deficit (lazily allocated)
-	weights []int32 // per-flow weights, 0 = defaultWeight (lazily allocated)
+// portSched is one (shard, port) scheduling unit: the class-level
+// rotation plus one classUnit per class, allocated on the port's first
+// active flow — the port space can be large (MaxPorts) while only a few
+// ports ever own flows, and an unused port must not cost per-class
+// state on every shard. Guarded by the shard's critical section.
+// activeFlows > 0 implies classes != nil.
+type portSched struct {
+	s           *shard // back-pointer for the class-level Entity methods
+	cls         sched.Level
+	classes     []classUnit
+	classAudit  []int64 // test-only class-level entitlement (see egressState.audit)
+	activeFlows int
+}
+
+// egressState is one shard's scheduler configuration, guarded by the
+// shard's critical section. Per-flow state lives in the dense flowState
+// table; per-class rotation state lives in the per-port portSched units.
+type egressState struct {
+	kind          policy.EgressKind // flow-level discipline
+	defaultWeight int
+	quantum       int // flow-level DRR bytes per weight unit per visit
+
+	classKind    policy.EgressKind // class-level discipline
+	classQuantum int
+	classWeights []int32 // per-shard copy, len numClasses; 0 = weight 1
+
+	// epoch versions the flowState deficits: SetEgress bumps it instead
+	// of zeroing a million entries, and stale deficits read as 0.
+	epoch uint32
 
 	// audit, when non-nil (tests only), accumulates the net service
 	// entitlement granted to each flow — quantum bytes for DRR, visit
 	// packets for WRR — with forfeited credit subtracted back out, so a
 	// conservation property can hold the pickers to served == granted −
-	// outstanding, exactly.
-	audit []int64
+	// outstanding, exactly. auditClasses mirrors it at the class level
+	// (per-port classAudit slices, allocated with the classUnits).
+	audit        []int64
+	auditClasses bool
 }
 
-// SetEgress replaces the egress discipline on every shard, resetting the
-// per-port cursor and credit state. Per-flow weights set with SetWeight
-// survive a discipline change. Safe while traffic flows.
+// --- sched.Entity implementations ---
+
+// The shard itself is the flow-level Entity: member ids are flow IDs
+// indexing the dense flowState table. Pointer-shaped, so the interface
+// conversion in the pick paths does not allocate.
+
+func (s *shard) Next(id int32) int32    { return s.flows[id].next }
+func (s *shard) SetNext(id, next int32) { s.flows[id].next = next }
+func (s *shard) Prev(id int32) int32    { return s.flows[id].prev }
+func (s *shard) SetPrev(id, prev int32) { s.flows[id].prev = prev }
+
+func (s *shard) Weight(id int32) int64 {
+	if w := s.flows[id].weight; w > 0 {
+		return int64(w)
+	}
+	return int64(s.eg.defaultWeight)
+}
+
+func (s *shard) Deficit(id int32) int64 {
+	fs := &s.flows[id]
+	if fs.defEpoch != s.eg.epoch {
+		return 0
+	}
+	return fs.deficit
+}
+
+func (s *shard) SetDeficit(id int32, d int64) {
+	fs := &s.flows[id]
+	fs.defEpoch = s.eg.epoch
+	fs.deficit = d
+}
+
+func (s *shard) HeadBytes(id int32) (int64, bool) {
+	bytes, _, err := s.m.PacketLen(queue.QueueID(id))
+	if err != nil {
+		return 0, false
+	}
+	return int64(bytes), true
+}
+
+func (s *shard) Audit(id int32, delta int64) {
+	if s.eg.audit != nil {
+		s.eg.audit[id] += delta
+	}
+}
+
+// The portSched is the class-level Entity: member ids are class indices
+// into its classUnit array.
+
+func (ps *portSched) Next(id int32) int32    { return ps.classes[id].cnext }
+func (ps *portSched) SetNext(id, next int32) { ps.classes[id].cnext = next }
+func (ps *portSched) Prev(id int32) int32    { return ps.classes[id].cprev }
+func (ps *portSched) SetPrev(id, prev int32) { ps.classes[id].cprev = prev }
+
+func (ps *portSched) Weight(id int32) int64 {
+	if w := ps.s.eg.classWeights[id]; w > 0 {
+		return int64(w)
+	}
+	return 1
+}
+
+func (ps *portSched) Deficit(id int32) int64       { return ps.classes[id].deficit }
+func (ps *portSched) SetDeficit(id int32, d int64) { ps.classes[id].deficit = d }
+
+// HeadBytes prices a class for the class-level DRR fit check: the head
+// packet of the flow the class's flow level would serve next. Exact for
+// RR/Prio/WRR flow levels; best-effort under flow-level DRR (the
+// banking loop may advance past the peeked flow) — accounting stays
+// exact regardless, because the class deficit is charged with the bytes
+// actually served (see dequeuePicked), never with this estimate.
+func (ps *portSched) HeadBytes(id int32) (int64, bool) {
+	f, ok := ps.classes[id].fl.Peek(ps.s.flowParams(), ps.s)
+	if !ok {
+		return 0, false
+	}
+	return ps.s.HeadBytes(f)
+}
+
+func (ps *portSched) Audit(id int32, delta int64) {
+	if ps.classAudit != nil {
+		ps.classAudit[id] += delta
+	}
+}
+
+func (s *shard) flowParams() sched.Params {
+	return sched.Params{Kind: s.eg.kind, Quantum: int64(s.eg.quantum)}
+}
+
+func (s *shard) classParams() sched.Params {
+	return sched.Params{Kind: s.eg.classKind, Quantum: int64(s.eg.classQuantum)}
+}
+
+// --- configuration ---
+
+// SetEgress replaces the egress discipline (both levels) on every
+// shard, resetting rotation, visit and deficit state. The class count
+// is fixed at construction: a zero NumClasses keeps the configured
+// count, any other value must match it. Per-flow weights set with
+// SetWeight survive a discipline change; class weights are replaced
+// when ClassWeights is non-nil. Safe while traffic flows.
 func (e *Engine) SetEgress(cfg policy.EgressConfig) error {
+	if cfg.NumClasses == 0 {
+		cfg.NumClasses = e.numClasses
+	}
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
 	cfg = cfg.WithDefaults()
+	if cfg.NumClasses != e.numClasses {
+		return fmt.Errorf("engine: NumClasses %d does not match the configured %d (the class space is fixed at construction)",
+			cfg.NumClasses, e.numClasses)
+	}
 	for _, s := range e.shards {
 		s := s
 		e.run(s, func() {
 			s.eg.kind = cfg.Kind
 			s.eg.defaultWeight = cfg.DefaultWeight
 			s.eg.quantum = cfg.QuantumBytes
-			s.eg.deficit = nil
+			s.eg.classKind = cfg.ClassKind
+			s.eg.classQuantum = cfg.ClassQuantumBytes
+			if cfg.ClassWeights != nil || s.eg.classWeights == nil {
+				s.eg.classWeights = make([]int32, e.numClasses)
+				for i, w := range cfg.ClassWeights {
+					s.eg.classWeights[i] = int32(w)
+				}
+			}
+			// Invalidate every flow deficit in O(1) instead of walking
+			// the flow table.
+			s.eg.epoch++
 			for p := range s.ps {
-				s.ps[p].cursor = 0
-				s.ps[p].visiting = false
-				s.ps[p].credit = 0
+				ps := &s.ps[p]
+				ps.cls.ResetRotation()
+				for c := range ps.classes {
+					ps.classes[c].fl.ResetRotation()
+					ps.classes[c].deficit = 0
+				}
 			}
 		})
 	}
@@ -116,14 +270,74 @@ func (e *Engine) SetWeight(flow uint32, weight int) error {
 		return ErrUnknownFlow
 	}
 	s := e.shardOf(flow)
+	e.run(s, func() { s.flows[flow].weight = int32(weight) })
+	return nil
+}
+
+// SetClassWeight sets class's weight for class-level WRR (packets per
+// visit) and DRR (quantum multiplier) on every shard. Weights must be
+// positive; classes default to weight 1 (or Config.Egress.ClassWeights).
+// Safe while traffic flows.
+func (e *Engine) SetClassWeight(class, weight int) error {
+	if weight <= 0 {
+		return fmt.Errorf("engine: non-positive weight %d for class %d", weight, class)
+	}
+	if class < 0 || class >= e.numClasses {
+		return fmt.Errorf("engine: class %d out of range [0, %d)", class, e.numClasses)
+	}
+	for _, s := range e.shards {
+		s := s
+		e.run(s, func() { s.eg.classWeights[class] = int32(weight) })
+	}
+	return nil
+}
+
+// NumClasses returns the per-port class count (1 = flat).
+func (e *Engine) NumClasses() int { return e.numClasses }
+
+// SetFlowClass moves flow into class (all flows start in class 0). A
+// backlogged flow moves with its queue: it leaves its old class's
+// active list — ending any open visit and forfeiting banked DRR deficit
+// exactly as if it had drained, at both hierarchy levels — and joins
+// the new class's rotation at the tail. Safe while traffic flows;
+// per-flow FIFO is unaffected (the flow's shard does not change).
+func (e *Engine) SetFlowClass(flow uint32, class int) error {
+	if class < 0 || class >= e.numClasses {
+		return fmt.Errorf("engine: class %d out of range [0, %d)", class, e.numClasses)
+	}
+	if int64(flow) >= int64(e.cfg.NumFlows) {
+		return ErrUnknownFlow
+	}
+	s := e.shardOf(flow)
 	e.run(s, func() {
-		if s.eg.weights == nil {
-			s.eg.weights = make([]int32, e.cfg.NumFlows)
+		fs := &s.flows[flow]
+		if int(fs.class) == class {
+			return
 		}
-		s.eg.weights[flow] = int32(weight)
+		active := fs.next != sched.None
+		if active {
+			s.clearActive(flow)
+		}
+		fs.class = int32(class)
+		if active {
+			s.setActive(flow)
+		}
 	})
 	return nil
 }
+
+// FlowClass returns the class flow is currently mapped to.
+func (e *Engine) FlowClass(flow uint32) (int, error) {
+	if int64(flow) >= int64(e.cfg.NumFlows) {
+		return 0, ErrUnknownFlow
+	}
+	s := e.shardOf(flow)
+	var class int
+	e.run(s, func() { class = int(s.flows[flow].class) })
+	return class, nil
+}
+
+// --- dequeue paths ---
 
 // DequeueNext serves one packet chosen by the egress discipline,
 // whichever port it belongs to. ok is false when the engine holds no
@@ -162,8 +376,9 @@ func (e *Engine) DequeueNext() (Dequeued, bool) {
 // DequeueNextBatch serves up to max packets, choosing flows by the
 // configured egress discipline across all ports. The starting shard
 // rotates per call so shards share the egress bandwidth; within a shard,
-// flows are picked by the discipline against the active bitmaps. Buffers
-// come from the engine pool — Release each packet's Data when done.
+// classes and flows are picked by the two-level discipline against the
+// active lists. Buffers come from the engine pool — Release each
+// packet's Data when done.
 func (e *Engine) DequeueNextBatch(max int) []Dequeued {
 	if max <= 0 {
 		return nil
@@ -187,8 +402,8 @@ func (e *Engine) DequeueNextBatch(max int) []Dequeued {
 // drainShard serves discipline-picked packets from one shard on one port
 // (anyPort = all) until out reaches max or the shard has nothing
 // servable, resolving the current datapath mode per attempt. Shared by
-// the pull API (DequeueNextBatch) and the port workers (dequeuePort) so
-// the mode-switch handling cannot diverge between them.
+// the pull API (DequeueNextBatch) and the pacers (dequeuePort) so the
+// mode-switch handling cannot diverge between them.
 func (e *Engine) drainShard(s *shard, port int, out []Dequeued, max int) []Dequeued {
 	for {
 		switch e.mode.Load() {
@@ -213,10 +428,10 @@ func (e *Engine) drainShard(s *shard, port int, out []Dequeued, max int) []Deque
 	}
 }
 
-// dequeuePicked serves one packet picked by the discipline from shard s,
-// inside s's critical section (mutex or worker). port selects the
-// scheduling unit (anyPort rotates over all of them). ok is false when
-// the shard has nothing servable on that port.
+// dequeuePicked serves one packet picked by the two-level discipline
+// from shard s, inside s's critical section (mutex or worker). port
+// selects the scheduling unit (anyPort rotates over all of them). ok is
+// false when the shard has nothing servable on that port.
 func (e *Engine) dequeuePicked(s *shard, port int) (Dequeued, bool) {
 	for {
 		flow, debit, ok := s.pickLocked(port)
@@ -227,31 +442,42 @@ func (e *Engine) dequeuePicked(s *shard, port int) (Dequeued, bool) {
 		data, segs, err := s.m.DequeuePacketAppend(queue.QueueID(flow), buf)
 		s.noteDequeue(segs, err)
 		if err != nil {
-			// The bitmap said active but no complete packet is available
-			// (raw-segment misuse): clear the bit so the pick loop cannot
-			// spin on this flow. The DRR debit is not charged — nothing
+			// The list said active but no complete packet is available
+			// (raw-segment misuse): deactivate the flow so the pick loop
+			// cannot spin on it. The DRR debit is not charged — nothing
 			// was served — and any banked deficit is forfeited by
 			// clearActive.
 			e.putBuf(buf)
 			s.clearActive(flow)
 			continue
 		}
-		if debit != 0 {
-			// DRR: charge the served packet against the flow's deficit.
-			// The picker returns the debit rather than pre-deducting so
-			// the charge lands if and only if the packet was actually
-			// served — and so the bound-exhaustion fallback pays for its
-			// packet too, driving the deficit negative instead of
-			// transmitting for free (the debt delays the flow's next
-			// service until its quanta cover it).
-			s.eg.deficit[flow] -= debit
-		}
-		s.syncActive(flow)
-		s.noteRemoveRes(flow, true)
 		bytes := len(data)
 		if !e.cfg.StoreData {
 			bytes = segs * queue.SegmentBytes
 		}
+		if debit != 0 {
+			// Flow-level DRR: charge the served packet against the flow's
+			// deficit. The picker returns the debit rather than
+			// pre-deducting so the charge lands if and only if the packet
+			// was actually served — and so the bound-exhaustion fallback
+			// pays for its packet too, driving the deficit negative
+			// instead of transmitting for free (the debt delays the
+			// flow's next service until its quanta cover it).
+			s.SetDeficit(int32(flow), s.Deficit(int32(flow))-debit)
+		}
+		if s.eg.classKind == policy.EgressDRR {
+			// Class-level DRR: charge the bytes actually served to the
+			// class the flow was served under. The pick's fit check used
+			// a peeked estimate; charging actuals keeps the class-level
+			// conservation exact (served ≡ granted − deficit).
+			fs := &s.flows[flow]
+			ps := &s.ps[fs.port]
+			if len(ps.classes) > 1 {
+				ps.classes[fs.class].deficit -= int64(bytes)
+			}
+		}
+		s.syncActive(flow)
+		s.noteRemoveRes(flow, true)
 		return Dequeued{Flow: flow, Data: data, Bytes: bytes}, true
 	}
 }
@@ -266,79 +492,71 @@ func (e *Engine) ActiveFlows() int {
 	return total
 }
 
-// --- bitmap maintenance (caller holds s.mu) ---
+// --- active-list maintenance (caller holds the shard's critical section) ---
 
-// portOf returns the scheduling unit owning flow. The flowPort slice is
+// portOf returns the scheduling unit owning flow. The flows table is
 // engine-wide but each entry is only touched inside the owning shard's
 // critical section.
-func (s *shard) portOf(flow uint32) int { return int(s.flowPort[flow]) }
+func (s *shard) portOf(flow uint32) int { return int(s.flows[flow].port) }
 
-func (s *shard) isActive(flow uint32) bool {
-	ps := &s.ps[s.portOf(flow)]
-	if ps.active == nil {
-		return false
+func (s *shard) isActive(flow uint32) bool { return s.flows[flow].next != sched.None }
+
+// initPortLocked allocates a port's classUnits on its first active flow.
+func (s *shard) initPortLocked(ps *portSched) {
+	ps.classes = make([]classUnit, s.numClasses)
+	for c := range ps.classes {
+		ps.classes[c].cnext = sched.None
+		ps.classes[c].cprev = sched.None
 	}
-	return ps.active[flow>>6]&(1<<(flow&63)) != 0
+	if s.eg.auditClasses {
+		ps.classAudit = make([]int64, s.numClasses)
+	}
 }
 
 func (s *shard) setActive(flow uint32) {
-	p := s.portOf(flow)
+	fs := &s.flows[flow]
+	if fs.next != sched.None {
+		return
+	}
+	p := int(fs.port)
 	ps := &s.ps[p]
-	if ps.active == nil {
-		ps.active = make([]uint64, (len(s.flowPort)+63)/64)
+	if ps.classes == nil {
+		s.initPortLocked(ps)
 	}
-	w, bit := int(flow>>6), uint64(1)<<(flow&63)
-	if ps.active[w]&bit == 0 {
-		ps.active[w] |= bit
-		ps.activeFlows++
-		s.activeFlows++
-		if w < ps.lowWord {
-			ps.lowWord = w
-		}
-		// First traffic for this flow: a parked port worker wants to know.
-		// The flag check is one atomic load; the wake itself only happens
-		// while the worker is actually parked.
-		s.ports[p].notify()
+	cu := &ps.classes[fs.class]
+	if cu.fl.Count() == 0 {
+		// First backlogged flow of the class: the class joins the port's
+		// class-level rotation.
+		ps.cls.Activate(ps, fs.class)
 	}
+	cu.fl.Activate(s, int32(flow))
+	ps.activeFlows++
+	s.activeFlows++
+	// First traffic for this flow: an idle-parked port wants to know.
+	// The flag check is one atomic load; the enqueue to the pacer only
+	// happens while the port is actually parked.
+	s.ports[p].notify()
 }
 
 func (s *shard) clearActive(flow uint32) {
-	p := s.portOf(flow)
-	ps := &s.ps[p]
-	w, bit := int(flow>>6), uint64(1)<<(flow&63)
-	if ps.active == nil || ps.active[w]&bit == 0 {
+	fs := &s.flows[flow]
+	if fs.next == sched.None {
 		return
 	}
-	ps.active[w] &^= bit
+	ps := &s.ps[fs.port]
+	cu := &ps.classes[fs.class]
+	cu.fl.Deactivate(s.flowParams(), s, int32(flow))
+	if cu.fl.Count() == 0 {
+		// Last backlogged flow drained: the class leaves the port's
+		// rotation, ending any open class-level visit and forfeiting
+		// banked class deficit exactly as the flow level does.
+		ps.cls.Deactivate(s.classParams(), ps, fs.class)
+	}
 	ps.activeFlows--
 	s.activeFlows--
-	if s.eg.deficit != nil && s.eg.deficit[flow] > 0 {
-		// A queue that empties forfeits its banked DRR deficit, no
-		// matter which dequeue path emptied it — otherwise a flow
-		// drained directly (DequeuePacket) returns with stale credit
-		// and bursts ahead of its weight. Debt (a negative deficit from
-		// a fallback overdraw) is NOT forgiven: a flow cannot shed what
-		// it owes by going briefly idle.
-		if s.eg.audit != nil {
-			s.eg.audit[flow] -= s.eg.deficit[flow]
-		}
-		s.eg.deficit[flow] = 0
-	}
-	if ps.visiting && ps.cursor == flow {
-		// The flow emptied mid-visit: end the visit now, exactly as DRR
-		// forfeits its deficit above. Leaving it open let a flow that
-		// drained and refilled before the next pick resume its old WRR
-		// credit and burst past its weight.
-		if s.eg.audit != nil && s.eg.kind == policy.EgressWRR {
-			s.eg.audit[flow] -= ps.credit
-		}
-		ps.visiting = false
-		ps.credit = 0
-		ps.cursor = flow + 1
-	}
 }
 
-// syncActive reconciles flow's bit with its queue occupancy.
+// syncActive reconciles flow's list membership with its queue occupancy.
 func (s *shard) syncActive(flow uint32) {
 	n, err := s.m.Len(queue.QueueID(flow))
 	if err == nil && n > 0 {
@@ -348,39 +566,13 @@ func (s *shard) syncActive(flow uint32) {
 	}
 }
 
-// nextActive returns the first active flow at or after from on one port's
-// bitmap, wrapping at the end of the flow space. ok is false when no flow
-// is active.
-func (ps *portSched) nextActive(from uint32) (uint32, bool) {
-	if ps.activeFlows == 0 {
-		return 0, false
-	}
-	nw := len(ps.active)
-	w := int(from >> 6)
-	if w >= nw {
-		w, from = 0, 0
-	}
-	word := ps.active[w] &^ ((1 << (from & 63)) - 1) // mask bits below from
-	for i := 0; i <= nw; i++ {
-		if word != 0 {
-			return uint32(w<<6 + bits.TrailingZeros64(word)), true
-		}
-		w++
-		if w == nw {
-			w = 0
-		}
-		word = ps.active[w]
-	}
-	return 0, false
-}
+// --- picking (caller holds the shard's critical section) ---
 
-// --- pickers (caller holds s.mu) ---
-
-// pickLocked returns the next flow the discipline serves on port (anyPort
-// rotates across ports), plus the DRR byte debit to charge if the packet
-// is actually served (0 for the packet-granular disciplines). The
-// scheduler is work-conserving: whenever any flow is active on the
-// selected port, a flow is returned.
+// pickLocked returns the next flow the two-level discipline serves on
+// port (anyPort rotates across ports), plus the flow-level DRR byte
+// debit to charge if the packet is actually served (0 for the
+// packet-granular disciplines). The scheduler is work-conserving:
+// whenever any flow is active on the selected port, a flow is returned.
 func (s *shard) pickLocked(port int) (uint32, int64, bool) {
 	if s.activeFlows == 0 {
 		return 0, 0, false
@@ -402,168 +594,24 @@ func (s *shard) pickLocked(port int) (uint32, int64, bool) {
 	return s.pickPort(port)
 }
 
-// pickPort dispatches to the discipline for one scheduling unit; the
-// port has at least one active flow.
+// pickPort runs the hierarchy for one scheduling unit: the class-level
+// discipline picks among the port's backlogged classes, the flow-level
+// discipline picks within the winner. The port has at least one active
+// flow. With a single class the class level is skipped entirely — the
+// flat configuration pays nothing for the hierarchy.
 func (s *shard) pickPort(port int) (uint32, int64, bool) {
 	ps := &s.ps[port]
-	switch s.eg.kind {
-	case policy.EgressPrio:
-		f, ok := s.pickPrio(ps)
-		return f, 0, ok
-	case policy.EgressWRR:
-		f, ok := s.pickWRR(ps)
-		return f, 0, ok
-	case policy.EgressDRR:
-		return s.pickDRR(ps)
-	default:
-		f, ok := s.pickRR(ps)
-		return f, 0, ok
+	var cls int32
+	if len(ps.classes) > 1 {
+		c, _, ok := ps.cls.Pick(s.classParams(), ps)
+		if !ok {
+			return 0, 0, false // unreachable while activeFlows > 0
+		}
+		cls = c
 	}
-}
-
-func (s *shard) pickRR(ps *portSched) (uint32, bool) {
-	f, ok := ps.nextActive(ps.cursor)
+	f, debit, ok := ps.classes[cls].fl.Pick(s.flowParams(), s)
 	if !ok {
-		return 0, false
+		return 0, 0, false // unreachable: a listed class has active flows
 	}
-	ps.cursor = f + 1
-	return f, true
-}
-
-// pickPrio serves the lowest-numbered active flow. lowWord is a lower
-// bound under which no bits are set: it only decreases when a lower bit is
-// set and advances here as empty words are skipped, so the scan is O(1)
-// amortized.
-func (s *shard) pickPrio(ps *portSched) (uint32, bool) {
-	for w := ps.lowWord; w < len(ps.active); w++ {
-		if word := ps.active[w]; word != 0 {
-			ps.lowWord = w
-			return uint32(w<<6 + bits.TrailingZeros64(word)), true
-		}
-		ps.lowWord = w + 1
-	}
-	return 0, false
-}
-
-func (s *shard) weightOf(flow uint32) int64 {
-	if s.eg.weights != nil && s.eg.weights[flow] > 0 {
-		return int64(s.eg.weights[flow])
-	}
-	return int64(s.eg.defaultWeight)
-}
-
-// pickWRR serves the flow under the cursor weight(q) packets per visit.
-func (s *shard) pickWRR(ps *portSched) (uint32, bool) {
-	if ps.visiting {
-		f := ps.cursor
-		if s.isActive(f) && ps.credit > 0 {
-			ps.credit--
-			if ps.credit == 0 {
-				ps.visiting = false
-				ps.cursor = f + 1
-			}
-			return f, true
-		}
-		// Defensive: clearActive ends visits when their flow drains, so
-		// an open visit on an unservable flow should not occur; if it
-		// does, cancel the unused credit and move on.
-		if s.eg.audit != nil {
-			s.eg.audit[f] -= ps.credit
-		}
-		ps.visiting = false
-		ps.credit = 0
-		ps.cursor = f + 1
-	}
-	f, ok := ps.nextActive(ps.cursor)
-	if !ok {
-		return 0, false
-	}
-	if s.eg.audit != nil {
-		s.eg.audit[f] += s.weightOf(f)
-	}
-	ps.cursor = f
-	ps.visiting = true
-	ps.credit = s.weightOf(f) - 1
-	if ps.credit == 0 {
-		ps.visiting = false
-		ps.cursor = f + 1
-	}
-	return f, true
-}
-
-// drrAdvance moves the DRR visit to the next active flow after from,
-// crediting it one quantum's worth of deficit for the new visit; caller
-// holds s.mu. ok is false when no flow is active.
-func (s *shard) drrAdvance(ps *portSched, from uint32) (uint32, bool) {
-	ps.visiting = false
-	f, ok := ps.nextActive(from + 1)
-	if !ok {
-		return 0, false
-	}
-	ps.cursor = f
-	ps.visiting = true
-	grant := s.weightOf(f) * int64(s.eg.quantum)
-	s.eg.deficit[f] += grant
-	if s.eg.audit != nil {
-		s.eg.audit[f] += grant
-	}
-	return f, true
-}
-
-// pickDRR implements deficit round-robin: each visit a flow earns
-// weight(q)*quantum bytes of deficit and may send head packets its
-// deficit covers; the served packet's bytes are charged by dequeuePicked
-// through the returned debit. A flow that empties forfeits any banked
-// (positive) deficit but keeps its debt (see clearActive). The loop is
-// bounded; if a pathological quantum/packet-size ratio exhausts the
-// bound, the current candidate is served anyway so the scheduler stays
-// work-conserving — but its packet is still charged, so the flow goes
-// into debt rather than transmitting for free.
-func (s *shard) pickDRR(ps *portSched) (uint32, int64, bool) {
-	eg := &s.eg
-	if eg.deficit == nil {
-		eg.deficit = make([]int64, len(s.flowPort))
-	}
-	f := ps.cursor
-	if !ps.visiting {
-		var ok bool
-		if f, ok = s.drrAdvance(ps, f-1); !ok {
-			return 0, 0, false
-		}
-	}
-	// Each full rotation adds at least quantum bytes of deficit to every
-	// active flow, so any head packet is reachable within
-	// maxPacketBytes/quantum rotations; the cap covers jumbo frames at
-	// single-byte quanta.
-	maxIter := ps.activeFlows*2048 + 8
-	for iter := 0; iter < maxIter; iter++ {
-		if !s.isActive(f) {
-			var ok bool
-			if f, ok = s.drrAdvance(ps, f); !ok {
-				return 0, 0, false
-			}
-			continue
-		}
-		bytes, _, err := s.m.PacketLen(queue.QueueID(f))
-		if err == nil && int64(bytes) <= eg.deficit[f] {
-			return f, int64(bytes), true
-		}
-		if err != nil {
-			// No complete packet (raw-segment misuse): skip the flow.
-			s.clearActive(f)
-		}
-		// Not enough deficit (or unservable): bank it, move on.
-		var ok bool
-		if f, ok = s.drrAdvance(ps, f); !ok {
-			return 0, 0, false
-		}
-	}
-	// Bound exhausted: serve the candidate anyway (work conservation),
-	// charging its head packet so the overdraft is repaid before the flow
-	// is served again.
-	bytes, _, err := s.m.PacketLen(queue.QueueID(f))
-	if err != nil {
-		return f, 0, true // unservable head; dequeuePicked clears the flow
-	}
-	return f, int64(bytes), true
+	return uint32(f), debit, true
 }

@@ -7,9 +7,11 @@ package engine
 // forever under pathological quantum/packet-size ratios), and a WRR visit
 // used to survive its flow emptying and refilling (stale credit bursts).
 // The property test then holds every discipline to the structural law the
-// fixes restore — served ≡ granted − outstanding, per flow — over
-// randomized command sequences in the spirit of FuzzManagerCommands, so
-// future accounting drift is caught without hand-written scenarios.
+// fixes restore — served ≡ granted − outstanding — over randomized command
+// sequences in the spirit of FuzzManagerCommands, at BOTH hierarchy
+// levels: per flow within its class, and per class within its port. Flows
+// are re-homed across randomized class configurations mid-run, so future
+// accounting drift is caught without hand-written scenarios.
 
 import (
 	"errors"
@@ -21,11 +23,21 @@ import (
 	"npqm/internal/queue"
 )
 
-// enableEgressAudit arms the grant-accounting hooks on every shard.
+// enableEgressAudit arms the grant-accounting hooks on every shard, at
+// both hierarchy levels (ports that already allocated class state get
+// their class audit retrofitted).
 func enableEgressAudit(e *Engine) {
 	for _, s := range e.shards {
 		s := s
-		e.run(s, func() { s.eg.audit = make([]int64, e.cfg.NumFlows) })
+		e.run(s, func() {
+			s.eg.audit = make([]int64, e.cfg.NumFlows)
+			s.eg.auditClasses = true
+			for p := range s.ps {
+				if ps := &s.ps[p]; ps.classes != nil && ps.classAudit == nil {
+					ps.classAudit = make([]int64, s.numClasses)
+				}
+			}
+		})
 	}
 }
 
@@ -59,14 +71,13 @@ func TestDRRFallbackChargesDeficit(t *testing.T) {
 	}
 	e.Release(d.Data)
 	s := e.shards[0]
-	if s.eg.deficit == nil {
-		t.Fatal("DRR deficit state never allocated")
-	}
+	var deficit int64
+	e.run(s, func() { deficit = s.Deficit(int32(d.Flow)) })
 	// The flow banked at most maxIter quanta (a few KB) before the
 	// fallback served its 9000-byte packet: charging that service must
 	// leave it in debt.
-	if got := s.eg.deficit[d.Flow]; got >= 0 {
-		t.Fatalf("fallback-served flow %d has deficit %d, want < 0 (service was not charged)", d.Flow, got)
+	if deficit >= 0 {
+		t.Fatalf("fallback-served flow %d has deficit %d, want < 0 (service was not charged)", d.Flow, deficit)
 	}
 	if err := e.CheckInvariants(); err != nil {
 		t.Fatal(err)
@@ -130,128 +141,210 @@ func TestWRRVisitEndsWhenFlowDrains(t *testing.T) {
 	}
 }
 
-// TestEgressConservationProperty drives every discipline through a
-// randomized command sequence — enqueues, discipline serves, direct
-// dequeues and deletes that empty flows mid-visit, weight changes — and
-// then checks the accounting law per flow:
+// TestEgressConservationProperty drives every flow-level discipline —
+// crossed with randomized class-level configurations — through a
+// randomized command sequence: enqueues, discipline serves, direct
+// dequeues and deletes that empty flows mid-visit, weight changes, and
+// class re-homing. It then checks the accounting law at both levels:
 //
 //	DRR:  bytes served == quanta granted − deficit outstanding
 //	WRR:  packets served == visit credit granted − credit outstanding
 //
-// with grants audited inside the pickers (net of forfeiture). Any path
-// that serves without charging, charges without serving, or leaks credit
-// across a drain breaks the equality. The pathological 1-byte quantum
-// case routes every DRR pick through the work-conservation fallback, so
-// the regression above is also covered structurally here.
+// per flow (flow-level grants) and per class (class-level grants), with
+// grants audited inside the pickers (net of forfeiture). Any path that
+// serves without charging, charges without serving, or leaks credit
+// across a drain or a class move breaks an equality. The pathological
+// 1-byte quantum case routes every DRR pick through the
+// work-conservation fallback, so the regression above is also covered
+// structurally here.
 func TestEgressConservationProperty(t *testing.T) {
-	cases := []policy.EgressConfig{
+	type caseCfg struct {
+		eg     policy.EgressConfig
+		shards int
+	}
+	var cases []caseCfg
+	flowKinds := []policy.EgressConfig{
 		{Kind: policy.EgressRR},
 		{Kind: policy.EgressPrio},
 		{Kind: policy.EgressWRR, DefaultWeight: 3},
 		{Kind: policy.EgressDRR, QuantumBytes: 512},
 		{Kind: policy.EgressDRR, QuantumBytes: 1}, // fallback-heavy
 	}
-	for _, eg := range cases {
+	classKinds := []policy.EgressKind{policy.EgressRR, policy.EgressPrio, policy.EgressWRR, policy.EgressDRR}
+	crng := rand.New(rand.NewSource(41))
+	for i, fk := range flowKinds {
 		for _, shards := range []int{1, 4} {
-			name := fmt.Sprintf("%v/q=%d/shards=%d", eg.Kind, eg.QuantumBytes, shards)
-			t.Run(name, func(t *testing.T) {
-				const flows = 64
-				e, err := New(Config{
-					Shards: shards, NumFlows: flows, NumSegments: 4096,
-					StoreData: true, Egress: eg,
-				})
-				if err != nil {
-					t.Fatal(err)
-				}
-				enableEgressAudit(e)
-				rng := rand.New(rand.NewSource(int64(7*shards) + int64(eg.Kind)<<8 + int64(eg.QuantumBytes)))
-				servedBytes := make([]int64, flows)
-				servedPkts := make([]int64, flows)
-				check := func(stage string) {
-					t.Helper()
-					for f := uint32(0); f < flows; f++ {
-						s := e.shardOf(f)
-						switch eg.Kind {
-						case policy.EgressDRR:
-							var deficit int64
-							if s.eg.deficit != nil {
-								deficit = s.eg.deficit[f]
-							}
-							if got, want := servedBytes[f], s.eg.audit[f]-deficit; got != want {
-								t.Fatalf("%s: flow %d served %d bytes, granted−outstanding = %d−%d = %d",
-									stage, f, got, s.eg.audit[f], deficit, want)
-							}
-						case policy.EgressWRR:
-							var credit int64
-							ps := &s.ps[s.portOf(f)]
-							if ps.visiting && ps.cursor == f {
-								credit = ps.credit
-							}
-							if got, want := servedPkts[f], s.eg.audit[f]-credit; got != want {
-								t.Fatalf("%s: flow %d served %d packets, granted−outstanding = %d−%d = %d",
-									stage, f, got, s.eg.audit[f], credit, want)
-							}
-						}
-					}
-					if err := e.CheckInvariants(); err != nil {
-						t.Fatalf("%s: %v", stage, err)
-					}
-				}
-				serve := func() {
-					d, ok := e.DequeueNext()
-					if !ok {
-						return
-					}
-					servedBytes[d.Flow] += int64(len(d.Data))
-					servedPkts[d.Flow]++
-					e.Release(d.Data)
-				}
-				for i := 0; i < 20000; i++ {
-					f := uint32(rng.Intn(flows))
-					switch op := rng.Intn(12); {
-					case op < 5:
-						size := 1 + rng.Intn(9*queue.SegmentBytes)
-						_, err := e.EnqueuePacket(f, make([]byte, size))
-						if err != nil && !errors.Is(err, queue.ErrNoFreeSegments) {
-							t.Fatal(err)
-						}
-					case op < 9:
-						serve()
-					case op < 10:
-						// Direct drain: empties flows mid-visit, the path
-						// that used to leak WRR credit and must forfeit
-						// banked (positive) DRR deficit.
-						if data, err := e.DequeuePacket(f); err == nil {
-							e.Release(data)
-						}
-					case op < 11:
-						_, _ = e.DeletePacket(f)
-					default:
-						if err := e.SetWeight(f, 1+rng.Intn(5)); err != nil {
-							t.Fatal(err)
-						}
-					}
-					if i%4096 == 0 {
-						check(fmt.Sprintf("step %d", i))
-					}
-				}
-				check("end of run")
-				// Drain through the discipline and re-check: conservation
-				// must survive the backlog's full service too.
-				for {
-					d, ok := e.DequeueNext()
-					if !ok {
-						break
-					}
-					servedBytes[d.Flow] += int64(len(d.Data))
-					servedPkts[d.Flow]++
-					e.Release(d.Data)
-				}
-				check("after drain")
-				if st := e.Stats(); st.ActiveFlows != 0 || st.QueuedSegments != 0 {
-					t.Fatalf("engine not empty after drain: %d flows, %d segments", st.ActiveFlows, st.QueuedSegments)
-				}
-			})
+			// The flat configuration, and a randomized 8-class hierarchy
+			// with the class kind cycling so every (flow, class) discipline
+			// pairing appears across the matrix.
+			cases = append(cases, caseCfg{eg: fk, shards: shards})
+			hier := fk
+			hier.NumClasses = 8
+			hier.ClassKind = classKinds[(i+shards)%len(classKinds)]
+			hier.ClassQuantumBytes = 256 << crng.Intn(3)
+			hier.ClassWeights = make([]int, 8)
+			for c := range hier.ClassWeights {
+				hier.ClassWeights[c] = 1 + crng.Intn(4)
+			}
+			cases = append(cases, caseCfg{eg: hier, shards: shards})
 		}
+	}
+	for ci, tc := range cases {
+		eg := tc.eg
+		numClasses := eg.NumClasses
+		if numClasses == 0 {
+			numClasses = 1
+		}
+		name := fmt.Sprintf("%v/q=%d/shards=%d/classes=%d-%v", eg.Kind, eg.QuantumBytes, tc.shards, numClasses, eg.ClassKind)
+		t.Run(name, func(t *testing.T) {
+			const flows = 64
+			e, err := New(Config{
+				Shards: tc.shards, NumFlows: flows, NumSegments: 4096,
+				StoreData: true, Egress: eg,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			enableEgressAudit(e)
+			rng := rand.New(rand.NewSource(int64(1000*ci) + int64(7*tc.shards)))
+			servedBytes := make([]int64, flows)
+			servedPkts := make([]int64, flows)
+			// Class-level service tallies, per (shard, class); every flow
+			// stays on port 0 here (cross-port churn has its own test).
+			classBytes := make([][]int64, tc.shards)
+			classPkts := make([][]int64, tc.shards)
+			for i := range classBytes {
+				classBytes[i] = make([]int64, numClasses)
+				classPkts[i] = make([]int64, numClasses)
+			}
+			check := func(stage string) {
+				t.Helper()
+				for f := uint32(0); f < flows; f++ {
+					s := e.shardOf(f)
+					switch eg.Kind {
+					case policy.EgressDRR:
+						deficit := s.Deficit(int32(f))
+						if got, want := servedBytes[f], s.eg.audit[f]-deficit; got != want {
+							t.Fatalf("%s: flow %d served %d bytes, granted−outstanding = %d−%d = %d",
+								stage, f, got, s.eg.audit[f], deficit, want)
+						}
+					case policy.EgressWRR:
+						var credit int64
+						ps := &s.ps[s.portOf(f)]
+						if ps.classes != nil {
+							fl := &ps.classes[s.flows[f].class].fl
+							if fl.Visiting() && fl.Cursor() == int32(f) {
+								credit = fl.Credit()
+							}
+						}
+						if got, want := servedPkts[f], s.eg.audit[f]-credit; got != want {
+							t.Fatalf("%s: flow %d served %d packets, granted−outstanding = %d−%d = %d",
+								stage, f, got, s.eg.audit[f], credit, want)
+						}
+					}
+				}
+				if numClasses > 1 {
+					for si, s := range e.shards {
+						ps := &s.ps[0]
+						if ps.classes == nil {
+							continue
+						}
+						for c := range ps.classes {
+							switch eg.ClassKind {
+							case policy.EgressDRR:
+								deficit := ps.classes[c].deficit
+								if got, want := classBytes[si][c], ps.classAudit[c]-deficit; got != want {
+									t.Fatalf("%s: shard %d class %d served %d bytes, granted−outstanding = %d−%d = %d",
+										stage, si, c, got, ps.classAudit[c], deficit, want)
+								}
+							case policy.EgressWRR:
+								var credit int64
+								if ps.cls.Visiting() && ps.cls.Cursor() == int32(c) {
+									credit = ps.cls.Credit()
+								}
+								if got, want := classPkts[si][c], ps.classAudit[c]-credit; got != want {
+									t.Fatalf("%s: shard %d class %d served %d packets, granted−outstanding = %d−%d = %d",
+										stage, si, c, got, ps.classAudit[c], credit, want)
+								}
+							}
+						}
+					}
+				}
+				if err := e.CheckInvariants(); err != nil {
+					t.Fatalf("%s: %v", stage, err)
+				}
+			}
+			serve := func() {
+				d, ok := e.DequeueNext()
+				if !ok {
+					return
+				}
+				servedBytes[d.Flow] += int64(len(d.Data))
+				servedPkts[d.Flow]++
+				s := e.shardOf(d.Flow)
+				cls := int(s.flows[d.Flow].class)
+				classBytes[e.ShardOf(d.Flow)][cls] += int64(len(d.Data))
+				classPkts[e.ShardOf(d.Flow)][cls]++
+				e.Release(d.Data)
+			}
+			for i := 0; i < 20000; i++ {
+				f := uint32(rng.Intn(flows))
+				switch op := rng.Intn(13); {
+				case op < 5:
+					size := 1 + rng.Intn(9*queue.SegmentBytes)
+					_, err := e.EnqueuePacket(f, make([]byte, size))
+					if err != nil && !errors.Is(err, queue.ErrNoFreeSegments) {
+						t.Fatal(err)
+					}
+				case op < 9:
+					serve()
+				case op < 10:
+					// Direct drain: empties flows mid-visit, the path
+					// that used to leak WRR credit and must forfeit
+					// banked (positive) DRR deficit.
+					if data, err := e.DequeuePacket(f); err == nil {
+						e.Release(data)
+					}
+				case op < 11:
+					_, _ = e.DeletePacket(f)
+				case op < 12:
+					if err := e.SetWeight(f, 1+rng.Intn(5)); err != nil {
+						t.Fatal(err)
+					}
+				default:
+					// Class re-homing, possibly mid-visit at either level:
+					// open visits must end and banked credit must be
+					// forfeited exactly as on a drain.
+					if numClasses > 1 {
+						if err := e.SetFlowClass(f, rng.Intn(numClasses)); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				if i%4096 == 0 {
+					check(fmt.Sprintf("step %d", i))
+				}
+			}
+			check("end of run")
+			// Drain through the discipline and re-check: conservation
+			// must survive the backlog's full service too.
+			for {
+				d, ok := e.DequeueNext()
+				if !ok {
+					break
+				}
+				servedBytes[d.Flow] += int64(len(d.Data))
+				servedPkts[d.Flow]++
+				s := e.shardOf(d.Flow)
+				cls := int(s.flows[d.Flow].class)
+				classBytes[e.ShardOf(d.Flow)][cls] += int64(len(d.Data))
+				classPkts[e.ShardOf(d.Flow)][cls]++
+				e.Release(d.Data)
+			}
+			check("after drain")
+			if st := e.Stats(); st.ActiveFlows != 0 || st.QueuedSegments != 0 {
+				t.Fatalf("engine not empty after drain: %d flows, %d segments", st.ActiveFlows, st.QueuedSegments)
+			}
+		})
 	}
 }

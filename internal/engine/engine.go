@@ -45,6 +45,7 @@ import (
 
 	"npqm/internal/policy"
 	"npqm/internal/queue"
+	"npqm/internal/sched"
 	"npqm/internal/segstore"
 )
 
@@ -177,16 +178,16 @@ type shard struct {
 	admKind  policy.Kind
 	admLimit int
 
-	// Egress state: one scheduling unit (active-flow bitmap + rotation
-	// cursor/credit) per output port, plus the shard-wide discipline
-	// parameters and per-flow weight/deficit state (see egress.go).
-	// flowPort and ports alias engine-wide slices: flowPort entries are
-	// only touched inside the owning shard's critical section, ports is
-	// immutable after New.
+	// Egress state: one scheduling unit (class-level rotation + per-class
+	// flow lists) per output port, plus the shard-wide discipline
+	// parameters (see egress.go). flows and ports alias engine-wide
+	// slices: flowState entries are only touched inside the owning
+	// shard's critical section, ports is immutable after New.
 	ps          []portSched
 	activeFlows int    // total active flows across all ports
 	portCursor  uint32 // rotating port for anyPort picks
-	flowPort    []int32
+	flows       []flowState
+	numClasses  int
 	ports       []*port
 	eg          egressState
 
@@ -203,13 +204,17 @@ type Engine struct {
 	shards []*shard
 	epoch  time.Time
 
-	// Transmit side: one port object per output port, a stop channel
-	// closed exactly once on Close to unpark port workers, and the
-	// workers' WaitGroup.
-	ports    []*port
-	flowPort []int32
-	portStop chan struct{}
-	portWG   sync.WaitGroup
+	// Transmit side: one port object per output port, one pacer slot per
+	// shard (the goroutine starts lazily on the first Serve homed
+	// there), a stop channel closed exactly once on Close to halt the
+	// pacers, and their WaitGroup. flows is the engine-wide dense
+	// scheduler state, one entry per flow, owned by the flow's shard.
+	ports      []*port
+	pacers     []*pacer
+	flows      []flowState
+	numClasses int
+	portStop   chan struct{}
+	portWG     sync.WaitGroup
 
 	// mode is the current datapath (modeSync → modeRing → modeClosed);
 	// lifeMu serializes the transitions, workers tracks ring workers.
@@ -286,21 +291,34 @@ func New(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	numClasses := cfg.Egress.WithDefaults().NumClasses
 	e := &Engine{
-		cfg:      cfg,
-		shift:    uint(32 - bits.TrailingZeros(uint(cfg.Shards))),
-		store:    store,
-		shards:   make([]*shard, cfg.Shards),
-		epoch:    time.Now(),
-		ports:    make([]*port, cfg.NumPorts),
-		flowPort: make([]int32, cfg.NumFlows),
-		portStop: make(chan struct{}),
+		cfg:        cfg,
+		shift:      uint(32 - bits.TrailingZeros(uint(cfg.Shards))),
+		store:      store,
+		shards:     make([]*shard, cfg.Shards),
+		epoch:      time.Now(),
+		ports:      make([]*port, cfg.NumPorts),
+		pacers:     make([]*pacer, cfg.Shards),
+		flows:      make([]flowState, cfg.NumFlows),
+		numClasses: numClasses,
+		portStop:   make(chan struct{}),
+	}
+	for f := range e.flows {
+		e.flows[f].next = sched.None
+		e.flows[f].prev = sched.None
+	}
+	for i := range e.pacers {
+		e.pacers[i] = newPacer(e, i)
 	}
 	for i := range e.ports {
 		e.ports[i] = &port{
-			idx:  i,
-			sh:   newShaper(cfg.PortRate, e.epoch),
-			wake: make(chan struct{}, 1),
+			idx: i,
+			sh:  newShaper(cfg.PortRate, e.epoch),
+			// A port homes to one pacer: all its service — every shard's
+			// scheduling unit — runs on that pacer's goroutine, so a
+			// Sink's Transmit is never concurrent with itself.
+			pc: e.pacers[i&(cfg.Shards-1)],
 		}
 	}
 	e.bufs.New = func() any { return make([]byte, 0, 4*queue.SegmentBytes) }
@@ -316,13 +334,17 @@ func New(cfg Config) (*Engine, error) {
 				}
 			}
 		}
-		// Per-port bitmaps are allocated lazily on first activity (see
+		// Per-port classUnits are allocated lazily on first activity (see
 		// portSched), so a wide port space costs nothing up front.
 		s := &shard{
-			m:        m,
-			ps:       make([]portSched, cfg.NumPorts),
-			flowPort: e.flowPort,
-			ports:    e.ports,
+			m:          m,
+			ps:         make([]portSched, cfg.NumPorts),
+			flows:      e.flows,
+			numClasses: numClasses,
+			ports:      e.ports,
+		}
+		for p := range s.ps {
+			s.ps[p].s = s
 		}
 		e.shards[i] = s
 		if cfg.ResidenceSample > 0 {

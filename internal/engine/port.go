@@ -5,18 +5,19 @@ package engine
 // rate, with the scheduler deciding which flow each port serves next.
 // This file is that interface in software. Every flow belongs to exactly
 // one port (Config.NumPorts, SetFlowPort; all flows start on port 0),
-// each (shard, port) pair owns a scheduling unit (see egress.go), and a
-// port served through Serve gets a dedicated egress worker: it picks via
-// the configured discipline, paces against the port's token-bucket shaper
-// (see shaper.go), and pushes reassembled packets into the registered
-// Sink — push-mode delivery with backpressure, where the old
+// each (shard, port) pair owns a two-level scheduling unit (see
+// egress.go), and a port served through Serve is driven by its home
+// shard's pacer goroutine (see pacer.go): it picks via the configured
+// class and flow disciplines, paces against the port's token-bucket
+// shaper (see shaper.go), and pushes reassembled packets into the
+// registered Sink — push-mode delivery with backpressure, where the old
 // DequeueNextBatch pull loop survives as the unported path.
 //
 // Pause/Resume model link-level flow control (a paused port holds its
-// backlog and transmits nothing); SetPortRate reshapes at runtime. Idle
-// and paused workers park on a wake channel: the enqueue path's
-// setActive notifies a parked worker with one atomic flag check, so an
-// idle port costs nothing per packet elsewhere and nothing while idle.
+// backlog and transmits nothing); SetPortRate reshapes at runtime. An
+// idle port drops out of its pacer's structures entirely: the enqueue
+// path's setActive re-queues it with one atomic flag check, so an idle
+// port costs nothing per packet elsewhere and nothing while idle.
 
 import (
 	"fmt"
@@ -32,10 +33,12 @@ import (
 const MaxPorts = 4096
 
 // Sink consumes the packets a served port transmits. Transmit may block —
-// that is the backpressure path; the port worker will not pick another
-// packet until it returns. Returning a non-nil error stops the port's
-// worker (the port can be Served again). Transmit always runs on the
-// port's worker goroutine, never concurrently with itself.
+// that is the backpressure path; the pacer will not pick another packet
+// for this port until it returns. Returning a non-nil error stops the
+// port's service (the port can be Served again). Transmit always runs on
+// the port's home pacer goroutine, never concurrently with itself; note
+// that a Transmit that blocks indefinitely also stalls the other ports
+// homed to the same pacer.
 type Sink interface {
 	Transmit(d Dequeued) error
 }
@@ -46,42 +49,44 @@ type SinkFunc func(d Dequeued) error
 // Transmit implements Sink.
 func (f SinkFunc) Transmit(d Dequeued) error { return f(d) }
 
-// port is one output port: shaper, worker parking state, and transmit
+// sinkBox wraps a Sink for atomic publication (atomic.Pointer needs a
+// concrete pointed-to type; the interface itself is two words).
+type sinkBox struct{ sink Sink }
+
+// port is one output port: shaper, pacer handoff state, and transmit
 // counters. The scheduling state lives in the shards (one portSched per
-// (shard, port) pair).
+// (shard, port) pair); the service loop lives in the port's home pacer.
 type port struct {
 	idx int
 	sh  *shaper
+	pc  *pacer // home pacer; all service for this port runs there
 
 	paused  atomic.Bool
-	serving atomic.Bool   // a Serve worker is running
-	waiting atomic.Bool   // the worker is parked awaiting traffic
-	wake    chan struct{} // capacity 1; nudges a parked/paused worker
+	serving atomic.Bool             // Serve registered a sink; cleared on error/close
+	idle    atomic.Bool             // dropped from the pacer awaiting traffic
+	sink    atomic.Pointer[sinkBox] // current sink; replaced by each Serve
 
-	shardCursor uint32 // rotating start shard; only the worker touches it
+	shardCursor uint32 // rotating start shard; only the home pacer touches it
 
 	txPackets atomic.Uint64
 	txBytes   atomic.Uint64
-	throttled atomic.Uint64 // times the worker slept on the shaper
+	throttled atomic.Uint64 // times the port parked on the shaper wheel
 }
 
-// notify wakes the port's worker if (and only if) it is parked waiting
-// for traffic. Called from setActive inside shard critical sections, so
-// the no-worker and worker-busy cases must stay one atomic load.
+// notify re-queues the port on its home pacer if (and only if) it went
+// idle. Called from setActive inside shard critical sections, so the
+// not-serving and port-busy cases must stay one atomic load.
 func (p *port) notify() {
-	if p.waiting.CompareAndSwap(true, false) {
-		p.kick()
+	if p.idle.CompareAndSwap(true, false) {
+		p.pc.enqueue(int32(p.idx))
 	}
 }
 
-// kick nudges the worker unconditionally (Pause/Resume/SetPortRate/
-// SetFlowPort): a parked or sleeping worker re-evaluates, a running one
-// sees a buffered token and re-loops once — harmless.
+// kick queues the port for pacer attention unconditionally (Serve/Pause/
+// Resume/SetPortRate/SetFlowPort): a parked or waiting port re-evaluates;
+// for a runnable one the pacer de-duplicates — harmless.
 func (p *port) kick() {
-	select {
-	case p.wake <- struct{}{}:
-	default:
-	}
+	p.pc.enqueue(int32(p.idx))
 }
 
 // portAt validates a port index.
@@ -96,11 +101,11 @@ func (e *Engine) portAt(port int) (*port, error) {
 func (e *Engine) NumPorts() int { return len(e.ports) }
 
 // SetFlowPort moves flow onto port (all flows start on port 0). A
-// backlogged flow moves with its queue: its active bit transfers to the
-// new port's scheduling unit, any open visit on the old port ends, and
-// banked DRR deficit is forfeited exactly as if the flow had drained.
-// Safe while traffic flows; per-flow FIFO is unaffected (the flow's
-// shard does not change).
+// backlogged flow moves with its queue: its scheduling membership
+// transfers to the new port's unit under its current class, any open
+// visit on the old port ends, and banked DRR deficit is forfeited
+// exactly as if the flow had drained. Safe while traffic flows; per-flow
+// FIFO is unaffected (the flow's shard does not change).
 func (e *Engine) SetFlowPort(flow uint32, port int) error {
 	p, err := e.portAt(port)
 	if err != nil {
@@ -118,7 +123,7 @@ func (e *Engine) SetFlowPort(flow uint32, port int) error {
 		if active {
 			s.clearActive(flow)
 		}
-		s.flowPort[flow] = int32(port)
+		s.flows[flow].port = int32(port)
 		if active {
 			s.setActive(flow)
 		}
@@ -154,9 +159,9 @@ func (e *Engine) SetPortRate(port int, cfg policy.ShaperConfig) error {
 	return nil
 }
 
-// Pause stops port's transmission: its worker parks, its backlog holds.
-// Packets keep accumulating on the port's flows (admission still
-// applies). Idempotent.
+// Pause stops port's transmission: it drops out of its pacer's rotation,
+// its backlog holds. Packets keep accumulating on the port's flows
+// (admission still applies). Idempotent.
 func (e *Engine) Pause(port int) error {
 	p, err := e.portAt(port)
 	if err != nil {
@@ -187,14 +192,15 @@ func (e *Engine) Paused(port int) (bool, error) {
 	return p.paused.Load(), nil
 }
 
-// Serve registers sink as port's transmitter and spawns the port's
-// egress worker: it picks packets via the configured discipline, paces
-// them against the port's shaper, and pushes them into sink until the
-// engine closes or sink returns an error. On a sink error, packets the
-// worker had already picked for the current burst are released — counted
-// as dequeued but not transmitted, like frames lost on a failing link.
-// One worker per port; a second Serve on a live port fails. Close waits
-// for port workers to exit, so a Sink must not block forever.
+// Serve registers sink as port's transmitter and hands the port to its
+// home shard's pacer (starting that pacer's goroutine on first use): the
+// pacer picks packets via the configured disciplines, paces them against
+// the port's shaper on its timing wheel, and pushes them into sink until
+// the engine closes or sink returns an error. On a sink error, packets
+// already picked for the current burst are released — counted as
+// dequeued but not transmitted, like frames lost on a failing link. One
+// service per port; a second Serve on a live port fails. Serving any
+// number of ports costs one goroutine per shard, not one per port.
 func (e *Engine) Serve(port int, sink Sink) error {
 	p, err := e.portAt(port)
 	if err != nil {
@@ -211,119 +217,16 @@ func (e *Engine) Serve(port int, sink Sink) error {
 	if !p.serving.CompareAndSwap(false, true) {
 		return fmt.Errorf("engine: port %d is already being served", port)
 	}
-	e.portWG.Add(1)
-	go e.servePort(p, sink)
+	p.sink.Store(&sinkBox{sink: sink})
+	p.pc.start()
+	p.kick()
 	return nil
 }
 
-// unshapedBatch is how many packets an unshaped port worker picks per
-// scan — the same burst the pull loops use, so push-mode delivery pays
-// the same per-shard amortization as DequeueNextBatch.
+// unshapedBatch is how many packets an unshaped port's service round
+// picks at most — the same burst the pull loops use, so push-mode
+// delivery pays the same per-shard amortization as DequeueNextBatch.
 const unshapedBatch = 64
-
-// servePort is port p's egress worker.
-func (e *Engine) servePort(p *port, sink Sink) {
-	defer func() {
-		p.serving.Store(false)
-		e.portWG.Done()
-	}()
-	var out []Dequeued
-	for {
-		if e.mode.Load() == modeClosed {
-			return
-		}
-		if p.paused.Load() {
-			if !p.park(e.portStop) {
-				return
-			}
-			continue
-		}
-		shaped := p.sh.enabled()
-		if shaped {
-			// Pace before every pick: the packet is only removed from
-			// its queue once the bucket is non-negative, so a paused or
-			// slow port holds its backlog in the buffer (visible to
-			// admission), not in flight.
-			if d := p.sh.ready(time.Now()); d > 0 {
-				p.throttled.Add(1)
-				if !p.sleep(e.portStop, d) {
-					return
-				}
-				continue
-			}
-		}
-		budget := unshapedBatch
-		if shaped {
-			budget = 1
-		}
-		out = e.dequeuePort(p, out[:0], budget)
-		if len(out) == 0 {
-			// Nothing servable: declare intent to park, then scan once
-			// more. The scan enters every shard's critical section, so a
-			// producer whose setActive preceded our scan is seen by it,
-			// and one whose setActive follows our scan observes
-			// waiting=true (the store below happens-before our lock
-			// acquisitions) and wakes us via notify.
-			p.waiting.Store(true)
-			out = e.dequeuePort(p, out[:0], budget)
-			if len(out) == 0 {
-				if !p.park(e.portStop) {
-					return
-				}
-				continue
-			}
-			p.waiting.Store(false)
-		}
-		for i := range out {
-			d := out[i]
-			out[i] = Dequeued{}
-			if err := sink.Transmit(d); err != nil {
-				// The link died mid-burst: the erroring packet belongs to
-				// the sink (Transmit owns its buffer either way); the rest
-				// of the batch — already dequeued — is released so the
-				// buffers are not leaked. Those packets count as dequeued
-				// but not transmitted, like frames lost on a failing link.
-				for j := i + 1; j < len(out); j++ {
-					e.putBuf(out[j].Data)
-					out[j] = Dequeued{}
-				}
-				return
-			}
-			p.txPackets.Add(1)
-			p.txBytes.Add(uint64(d.Bytes))
-			if shaped {
-				p.sh.charge(d.Bytes)
-			}
-		}
-	}
-}
-
-// park blocks until a wake or engine shutdown; false means shut down.
-func (p *port) park(stop <-chan struct{}) bool {
-	select {
-	case <-p.wake:
-		p.waiting.Store(false)
-		return true
-	case <-stop:
-		p.waiting.Store(false)
-		return false
-	}
-}
-
-// sleep waits out a shaper delay, interruptible by a kick (rate change,
-// pause) or shutdown; false means shut down.
-func (p *port) sleep(stop <-chan struct{}, d time.Duration) bool {
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-t.C:
-		return true
-	case <-p.wake:
-		return true
-	case <-stop:
-		return false
-	}
-}
 
 // dequeuePort serves up to max packets from p's scheduling units,
 // rotating the starting shard per call, appending to out. It is
@@ -345,7 +248,7 @@ type PortStat struct {
 	Port               int
 	TransmittedPackets uint64
 	TransmittedBytes   uint64
-	Throttled          uint64 // shaper waits (worker sleeps awaiting tokens)
+	Throttled          uint64 // shaper waits (wheel parks awaiting tokens)
 	Paused             bool
 	Serving            bool
 	ActiveFlows        int   // flows with backlog mapped to this port

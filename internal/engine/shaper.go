@@ -108,6 +108,31 @@ func (sh *shaper) ready(now time.Time) time.Duration {
 	return wait
 }
 
+// budget refills the bucket and returns how many bytes the port may
+// transmit between now and now+horizon (current credit plus the credit
+// the coming horizon will earn). When the answer is not positive, wait
+// is the duration until it becomes so — the pacer parks the port on its
+// wheel for that long. Unshaped buckets report an effectively unlimited
+// budget.
+func (sh *shaper) budget(now time.Time, horizon time.Duration) (bytes int64, wait time.Duration) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.rate <= 0 {
+		return 1 << 62, 0
+	}
+	sh.refillLocked(now)
+	b := sh.tokens + tokensFor(horizon, sh.rate)
+	if b > 0 {
+		return b, 0
+	}
+	need := -b + 1
+	wait = time.Duration(need * int64(time.Second) / sh.rate)
+	if wait <= 0 {
+		wait = time.Nanosecond
+	}
+	return b, wait
+}
+
 // charge debits a transmitted packet's bytes (the bucket may go
 // negative). No-op when unshaped.
 func (sh *shaper) charge(n int) {

@@ -2,9 +2,9 @@ package engine
 
 import (
 	"fmt"
-	"math/bits"
 
 	"npqm/internal/queue"
+	"npqm/internal/sched"
 	"npqm/internal/stats"
 )
 
@@ -35,7 +35,7 @@ type Stats struct {
 	// pacing signal. See PortStats for the per-port breakdown.
 	TransmittedPackets uint64
 	TransmittedBytes   uint64
-	Throttled          uint64 // port-worker sleeps waiting for shaper tokens
+	Throttled          uint64 // pacer parks waiting for shaper tokens
 
 	// Occupancy.
 	FreeSegments   int   // shared-pool free population (depot + caches)
@@ -151,8 +151,43 @@ func (e *Engine) ShardStats() []ShardStat {
 	return out
 }
 
-// CheckInvariants validates every shard's queue discipline, the active
-// bitmaps, the shared store's free structures, and the engine-wide
+// ClassStat is one scheduling class's slice of the egress statistics.
+type ClassStat struct {
+	Class       int
+	ActiveFlows int // flows with backlog currently mapped to this class
+	Weight      int // class-level WRR/DRR weight
+}
+
+// ClassStats returns one entry per scheduling class: how many backlogged
+// flows the class holds right now (summed across shards and ports;
+// consistent per shard, not a global cut) and its configured weight.
+func (e *Engine) ClassStats() []ClassStat {
+	out := make([]ClassStat, e.numClasses)
+	for c := range out {
+		out[c] = ClassStat{Class: c, Weight: 1}
+	}
+	for si, s := range e.shards {
+		si, s := si, s
+		e.run(s, func() {
+			if si == 0 {
+				for c := range out {
+					if w := s.eg.classWeights[c]; w > 0 {
+						out[c].Weight = int(w)
+					}
+				}
+			}
+			for p := range s.ps {
+				for c := range s.ps[p].classes {
+					out[c].ActiveFlows += s.ps[p].classes[c].fl.Count()
+				}
+			}
+		})
+	}
+	return out
+}
+
+// CheckInvariants validates every shard's queue discipline, the
+// two-level active lists, the shared store's free structures, and the engine-wide
 // conservation laws: free + queued + floating equals the configured pool,
 // and every enqueued segment was either dequeued, pushed out by the
 // admission policy, or is still resident (enqueued = dequeued + pushed-out
@@ -169,7 +204,7 @@ func (e *Engine) CheckInvariants() error {
 			s.m.PublishFree()
 			err = s.m.CheckInvariants()
 			if err == nil {
-				err = s.checkActiveLocked(i)
+				err = e.checkActiveLocked(s, i)
 			}
 			enq += s.enqSegments
 			deq += s.deqSegments
@@ -195,46 +230,99 @@ func (e *Engine) CheckInvariants() error {
 	return nil
 }
 
-// checkActiveLocked validates the shard's per-port active bitmaps against
-// the queue table, inside the shard's critical section: a non-empty flow
-// must be marked active on its own port's scheduling unit, and — via the
-// popcount cross-check — on no other (every owning bit being correct
-// plus per-port popcounts matching their counters leaves no room for
-// stray bits on foreign ports). O(flows + ports·words), so wide port
-// spaces stay checkable.
-func (s *shard) checkActiveLocked(shardIdx int) error {
+// checkActiveLocked validates the shard's two-level active lists against
+// the queue table, inside the shard's critical section: a flow owned by
+// this shard is linked into exactly one (port, class) rotation iff it
+// has backlog, every linked class holds flows, both list levels are
+// well-formed circular rings (walking Count steps closes the cycle with
+// prev mirroring next), and every per-port and per-class counter matches
+// what its list actually holds — which together leave no room for a flow
+// linked under a foreign port or class.
+func (e *Engine) checkActiveLocked(s *shard, shardIdx int) error {
 	count := 0
 	for q := 0; q < s.m.NumQueues(); q++ {
+		if e.ShardOf(uint32(q)) != shardIdx {
+			// The flow table is engine-wide: this entry belongs to another
+			// shard's critical section and queue manager.
+			continue
+		}
 		n, err := s.m.Len(queue.QueueID(q))
 		if err != nil {
 			return err
 		}
-		if bit := s.isActive(uint32(q)); bit != (n > 0) {
-			return fmt.Errorf("engine: shard %d flow %d has %d segments but port %d active bit is %v",
-				shardIdx, q, n, s.portOf(uint32(q)), bit)
+		if linked := s.isActive(uint32(q)); linked != (n > 0) {
+			return fmt.Errorf("engine: shard %d flow %d has %d segments but list membership is %v",
+				shardIdx, q, n, linked)
 		}
 		if n > 0 {
 			count++
 		}
 	}
 	if count != s.activeFlows {
-		return fmt.Errorf("engine: shard %d bitmaps hold %d flows, counter says %d", shardIdx, count, s.activeFlows)
+		return fmt.Errorf("engine: shard %d lists hold %d flows, counter says %d", shardIdx, count, s.activeFlows)
 	}
 	perPort := 0
 	for p := range s.ps {
 		ps := &s.ps[p]
 		perPort += ps.activeFlows
-		popcount := 0
-		for _, word := range ps.active {
-			popcount += bits.OnesCount64(word)
-		}
-		if popcount != ps.activeFlows {
-			return fmt.Errorf("engine: shard %d port %d bitmap holds %d flows, counter says %d", shardIdx, p, popcount, ps.activeFlows)
-		}
-		for w := 0; w < ps.lowWord && w < len(ps.active); w++ {
-			if ps.active[w] != 0 {
-				return fmt.Errorf("engine: shard %d port %d has active bits below lowWord %d", shardIdx, p, ps.lowWord)
+		if ps.classes == nil {
+			if ps.activeFlows != 0 || ps.cls.Count() != 0 {
+				return fmt.Errorf("engine: shard %d port %d counts %d flows, %d classes with no class state",
+					shardIdx, p, ps.activeFlows, ps.cls.Count())
 			}
+			continue
+		}
+		if cn := ps.cls.Count(); cn > 0 {
+			id := ps.cls.Cursor()
+			for i := 0; i < cn; i++ {
+				next := ps.Next(id)
+				if next == sched.None || ps.Prev(next) != id {
+					return fmt.Errorf("engine: shard %d port %d class ring broken at class %d", shardIdx, p, id)
+				}
+				id = next
+			}
+			if id != ps.cls.Cursor() {
+				return fmt.Errorf("engine: shard %d port %d class ring does not close in %d steps", shardIdx, p, cn)
+			}
+		}
+		flows, linked := 0, 0
+		for c := range ps.classes {
+			cu := &ps.classes[c]
+			on := cu.cnext != sched.None
+			if on != (cu.fl.Count() > 0) {
+				return fmt.Errorf("engine: shard %d port %d class %d linked=%v but holds %d flows",
+					shardIdx, p, c, on, cu.fl.Count())
+			}
+			if !on {
+				continue
+			}
+			linked++
+			fn := cu.fl.Count()
+			id := cu.fl.Cursor()
+			for i := 0; i < fn; i++ {
+				if fs := &s.flows[id]; int(fs.port) != p || int(fs.class) != c {
+					return fmt.Errorf("engine: shard %d flow %d sits on port %d class %d list but maps to port %d class %d",
+						shardIdx, id, p, c, fs.port, fs.class)
+				}
+				next := s.Next(id)
+				if next == sched.None || s.Prev(next) != id {
+					return fmt.Errorf("engine: shard %d port %d class %d flow ring broken at flow %d", shardIdx, p, c, id)
+				}
+				flows++
+				id = next
+			}
+			if id != cu.fl.Cursor() {
+				return fmt.Errorf("engine: shard %d port %d class %d flow ring does not close in %d steps",
+					shardIdx, p, c, fn)
+			}
+		}
+		if linked != ps.cls.Count() {
+			return fmt.Errorf("engine: shard %d port %d has %d backlogged classes, rotation says %d",
+				shardIdx, p, linked, ps.cls.Count())
+		}
+		if flows != ps.activeFlows {
+			return fmt.Errorf("engine: shard %d port %d lists hold %d flows, counter says %d",
+				shardIdx, p, flows, ps.activeFlows)
 		}
 	}
 	if perPort != s.activeFlows {

@@ -64,9 +64,21 @@ func ParseEgressKind(s string) (EgressKind, error) {
 	return EgressRR, fmt.Errorf("policy: unknown egress discipline %q (want rr, prio, wrr, drr)", s)
 }
 
+// MaxEgressClasses bounds EgressConfig.NumClasses: per-class scheduling
+// state is allocated per (shard, port) unit, so the class space is a
+// small configuration constant (802.1p needs 8), not a dynamic resource.
+const MaxEgressClasses = 256
+
 // EgressConfig parameterizes the integrated egress scheduler. The zero
-// value is round-robin.
+// value is flat round-robin (one class).
+//
+// With NumClasses > 1 the scheduler is a two-level hierarchy: flows are
+// grouped into classes (SetFlowClass; every flow starts in class 0),
+// ClassKind arbitrates among the backlogged classes of a port first,
+// and Kind then arbitrates among the backlogged flows of the winning
+// class. The same four disciplines are available at both levels.
 type EgressConfig struct {
+	// Kind is the flow-level discipline (within the picked class).
 	Kind EgressKind
 	// DefaultWeight is the weight of flows with no explicit weight set
 	// (WRR packets per visit, DRR quantum multiplier). Default 1.
@@ -74,6 +86,20 @@ type EgressConfig struct {
 	// QuantumBytes is the DRR byte quantum earned per weight unit per
 	// visit. Default 512.
 	QuantumBytes int
+
+	// NumClasses is the class space per port (0 or 1 = flat, no class
+	// level; at most MaxEgressClasses).
+	NumClasses int
+	// ClassKind is the class-level discipline (default round-robin).
+	ClassKind EgressKind
+	// ClassWeights are the per-class weights for class-level WRR
+	// (packets per visit) and DRR (quantum multiplier); entries beyond
+	// the slice, and zero entries, default to 1. Reconfigurable at
+	// runtime with SetClassWeight.
+	ClassWeights []int
+	// ClassQuantumBytes is the DRR byte quantum per class weight unit
+	// per visit (0 takes QuantumBytes after its own default).
+	ClassQuantumBytes int
 }
 
 // WithDefaults fills zero-valued fields.
@@ -84,6 +110,12 @@ func (c EgressConfig) WithDefaults() EgressConfig {
 	if c.QuantumBytes == 0 {
 		c.QuantumBytes = 512
 	}
+	if c.NumClasses == 0 {
+		c.NumClasses = 1
+	}
+	if c.ClassQuantumBytes == 0 {
+		c.ClassQuantumBytes = c.QuantumBytes
+	}
 	return c
 }
 
@@ -93,11 +125,28 @@ func (c EgressConfig) Validate() error {
 	if c.Kind > EgressDRR {
 		return fmt.Errorf("policy: unknown egress kind %d", c.Kind)
 	}
+	if c.ClassKind > EgressDRR {
+		return fmt.Errorf("policy: unknown class egress kind %d", c.ClassKind)
+	}
 	if c.DefaultWeight < 0 {
 		return fmt.Errorf("policy: negative egress default weight %d", c.DefaultWeight)
 	}
 	if c.QuantumBytes < 0 {
 		return fmt.Errorf("policy: negative egress quantum %d", c.QuantumBytes)
+	}
+	if c.ClassQuantumBytes < 0 {
+		return fmt.Errorf("policy: negative class egress quantum %d", c.ClassQuantumBytes)
+	}
+	if c.NumClasses < 0 || c.NumClasses > MaxEgressClasses {
+		return fmt.Errorf("policy: NumClasses %d out of range [0, %d]", c.NumClasses, MaxEgressClasses)
+	}
+	if len(c.ClassWeights) > c.NumClasses {
+		return fmt.Errorf("policy: %d class weights for %d classes", len(c.ClassWeights), c.NumClasses)
+	}
+	for i, w := range c.ClassWeights {
+		if w < 0 {
+			return fmt.Errorf("policy: negative weight %d for class %d", w, i)
+		}
 	}
 	return nil
 }

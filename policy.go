@@ -19,14 +19,29 @@ type AdmissionConfig = policy.Config
 
 // EgressConfig parameterizes the integrated egress scheduler; build one
 // with RoundRobinEgress, PriorityEgress, WRREgress, or DRREgress (the zero
-// value is round-robin).
+// value is round-robin), and optionally layer class scheduling on top
+// with ClassLayer.
 //
 // Disciplines arbitrate within each shard; across shards, batches rotate
 // the starting shard so every shard gets egress bandwidth. Strict global
 // priority or exact global weight ratios therefore need the competing
-// flows on one shard — use Shards: 1 (as examples/ethswitch does for its
-// eight 802.1p classes) or flow IDs that hash together.
+// flows on one shard — use Shards: 1 or flow IDs that hash together.
+// Class-level arbitration has no such caveat when classes span flows of
+// one shard's port unit; see examples/ethswitch for the 802.1p pattern.
 type EgressConfig = policy.EgressConfig
+
+// EgressKind names a scheduling discipline — used to pick the
+// class-level discipline in ClassLayer (the flow level is normally built
+// with RoundRobinEgress and friends).
+type EgressKind = policy.EgressKind
+
+// The scheduling disciplines, re-exported for ClassLayer.
+const (
+	EgressRR   = policy.EgressRR
+	EgressPrio = policy.EgressPrio
+	EgressWRR  = policy.EgressWRR
+	EgressDRR  = policy.EgressDRR
+)
 
 // DequeuedPacket is one packet served by the integrated egress scheduler.
 type DequeuedPacket = engine.Dequeued
@@ -48,6 +63,9 @@ type SinkFunc = engine.SinkFunc
 
 // PortStat is one output port's transmit statistics (see PortStats).
 type PortStat = engine.PortStat
+
+// ClassStat is one scheduling class's backlog statistics (see ClassStats).
+type ClassStat = engine.ClassStat
 
 // PortShaper returns a token-bucket shaper configuration: rate is the
 // sustained drain in bytes per second (0 = unshaped), burst the bucket
@@ -106,6 +124,26 @@ func WRREgress(defaultWeight int) EgressConfig {
 // making weighted sharing fair for variable-length packets (0 = 512).
 func DRREgress(quantumBytes int) EgressConfig {
 	return policy.EgressConfig{Kind: policy.EgressDRR, QuantumBytes: quantumBytes}
+}
+
+// ClassLayer layers a two-level scheduling hierarchy onto an egress
+// configuration: flows are grouped into numClasses classes (SetFlowClass;
+// every flow starts in class 0), kind arbitrates among a port's
+// backlogged classes first, and cfg's own discipline then arbitrates
+// among the flows of the winning class. weights, when given, are the
+// per-class WRR/DRR weights (class index order; missing or zero entries
+// default to 1). The class count is fixed at construction.
+//
+// 802.1p-style strict priorities become one line:
+//
+//	Egress: npqm.ClassLayer(npqm.RoundRobinEgress(), 8, npqm.EgressPrio)
+func ClassLayer(cfg EgressConfig, numClasses int, kind EgressKind, weights ...int) EgressConfig {
+	cfg.NumClasses = numClasses
+	cfg.ClassKind = kind
+	if len(weights) > 0 {
+		cfg.ClassWeights = weights
+	}
+	return cfg
 }
 
 // ConcurrentConfig sizes a policy-aware sharded engine for
