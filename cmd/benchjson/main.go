@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	benchjson -bench 'EngineHierarchy|EnginePorts' -o BENCH_6.json
-//	go test -bench . -benchmem | benchjson -o BENCH_6.json
+//	benchjson -bench 'EngineHierarchy|EnginePorts' -o BENCH_7.json
+//	benchjson -bench 'EngineSharded' -cpu 1,2,4,8 -o BENCH_7.json
+//	go test -bench . -benchmem | benchjson -o BENCH_7.json
 //	benchjson -i bench.txt -o -          # parse a saved log, JSON to stdout
 //
 // With -bench the tool execs `go test -run NONE -bench <pattern> -benchmem`
@@ -16,6 +17,11 @@
 // benchmarks), otherwise operations per second in millions (exact for the
 // one-packet-per-op round-trip benchmarks). All other custom metrics are
 // preserved under "metrics".
+//
+// Schema v2: every entry carries "cpus" — the GOMAXPROCS the run used,
+// parsed from the `-N` suffix go test appends for N != 1 (absent suffix
+// means 1). Entries at different -cpu values therefore key separately, and
+// a v2 reader compares rows only at matching cpus.
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"os"
 	"os/exec"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -38,6 +45,9 @@ type Result struct {
 	MpktPerSec float64 `json:"mpkt_s"`
 	BytesPerOp float64 `json:"bytes_op,omitempty"`
 	AllocsOp   float64 `json:"allocs_op"`
+	// CPUs is the GOMAXPROCS value the run used (the `-N` name suffix;
+	// 1 when go test printed none).
+	CPUs int `json:"cpus"`
 	// Metrics holds every reported unit not folded into the fields above
 	// (e.g. "MB/s", "loss", "deliv/op").
 	Metrics map[string]float64 `json:"metrics,omitempty"`
@@ -45,14 +55,23 @@ type Result struct {
 
 // Report is the whole JSON document.
 type Report struct {
-	Goos       string            `json:"goos,omitempty"`
-	Goarch     string            `json:"goarch,omitempty"`
-	Pkg        string            `json:"pkg,omitempty"`
-	CPU        string            `json:"cpu,omitempty"`
-	Benchmarks map[string]Result `json:"benchmarks"`
+	SchemaVersion int               `json:"schema_version"`
+	Goos          string            `json:"goos,omitempty"`
+	Goarch        string            `json:"goarch,omitempty"`
+	Pkg           string            `json:"pkg,omitempty"`
+	CPU           string            `json:"cpu,omitempty"`
+	Benchmarks    map[string]Result `json:"benchmarks"`
 }
 
+// schemaVersion is bumped whenever the JSON shape changes in a way readers
+// must know about. v2 added per-entry "cpus".
+const schemaVersion = 2
+
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.+)$`)
+
+// cpuSuffix matches the `-N` GOMAXPROCS suffix go test appends to a
+// benchmark name when N != 1.
+var cpuSuffix = regexp.MustCompile(`-(\d+)$`)
 
 func main() {
 	var (
@@ -60,18 +79,19 @@ func main() {
 		pkg   = flag.String("pkg", ".", "package to benchmark with -bench")
 		count = flag.Int("count", 1, "-count passed to go test with -bench")
 		btime = flag.String("benchtime", "", "-benchtime passed to go test with -bench (e.g. 0.3s, 100x)")
+		cpu   = flag.String("cpu", "", "-cpu list passed to go test with -bench (e.g. 1,2,4,8)")
 		in    = flag.String("i", "-", "input file with benchmark output (- = stdin)")
-		out   = flag.String("o", "BENCH_6.json", "output JSON file (- = stdout)")
+		out   = flag.String("o", "BENCH_7.json", "output JSON file (- = stdout)")
 	)
 	flag.Parse()
 
-	if err := run(*bench, *pkg, *count, *btime, *in, *out); err != nil {
+	if err := run(*bench, *pkg, *count, *btime, *cpu, *in, *out); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(bench, pkg string, count int, btime, in, out string) error {
+func run(bench, pkg string, count int, btime, cpu, in, out string) error {
 	var src io.Reader
 	switch {
 	case bench != "":
@@ -79,6 +99,9 @@ func run(bench, pkg string, count int, btime, in, out string) error {
 			"-bench", bench, "-benchmem", "-count", strconv.Itoa(count)}
 		if btime != "" {
 			args = append(args, "-benchtime", btime)
+		}
+		if cpu != "" {
+			args = append(args, "-cpu", cpu)
 		}
 		cmd := exec.Command("go", append(args, pkg)...)
 		cmd.Stderr = os.Stderr
@@ -120,10 +143,12 @@ func run(bench, pkg string, count int, btime, in, out string) error {
 }
 
 // parse reads `go test -bench` output. Repeated runs of one benchmark
-// (-count > 1) are averaged.
+// (-count > 1) are folded per field by median, as benchstat does — on a
+// shared/noisy host a single scheduling spike would otherwise drag a mean
+// arbitrarily far from the typical run.
 func parse(r io.Reader) (*Report, error) {
-	rep := &Report{Benchmarks: map[string]Result{}}
-	counts := map[string]int{}
+	rep := &Report{SchemaVersion: schemaVersion, Benchmarks: map[string]Result{}}
+	samples := map[string][]Result{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -148,7 +173,12 @@ func parse(r io.Reader) (*Report, error) {
 		if err != nil {
 			continue
 		}
-		res := Result{Iterations: iters, Metrics: map[string]float64{}}
+		res := Result{Iterations: iters, CPUs: 1, Metrics: map[string]float64{}}
+		if sm := cpuSuffix.FindStringSubmatch(name); sm != nil {
+			if n, err := strconv.Atoi(sm[1]); err == nil && n > 0 {
+				res.CPUs = n
+			}
+		}
 		// The tail is tab-separated "value unit" pairs.
 		for _, field := range strings.Split(m[3], "\t") {
 			parts := strings.Fields(field)
@@ -178,33 +208,50 @@ func parse(r io.Reader) (*Report, error) {
 		if len(res.Metrics) == 0 {
 			res.Metrics = nil
 		}
-		// Average repeated runs (-count > 1).
-		if prev, ok := rep.Benchmarks[name]; ok {
-			res = averaged(prev, res, float64(counts[name]))
-		}
-		counts[name]++
-		rep.Benchmarks[name] = res
+		samples[name] = append(samples[name], res)
+	}
+	for name, runs := range samples {
+		rep.Benchmarks[name] = folded(runs)
 	}
 	return rep, sc.Err()
 }
 
-// averaged folds one more run into a running mean over n prior runs.
-func averaged(prev, cur Result, n float64) Result {
-	mix := func(a, b float64) float64 { return (a*n + b) / (n + 1) }
-	out := Result{
-		Iterations: prev.Iterations + cur.Iterations,
-		NsPerOp:    mix(prev.NsPerOp, cur.NsPerOp),
-		MpktPerSec: mix(prev.MpktPerSec, cur.MpktPerSec),
-		BytesPerOp: mix(prev.BytesPerOp, cur.BytesPerOp),
-		AllocsOp:   mix(prev.AllocsOp, cur.AllocsOp),
+// folded reduces repeated runs of one benchmark to per-field medians
+// (iterations sum; cpus is constant across runs of one name).
+func folded(runs []Result) Result {
+	if len(runs) == 1 {
+		return runs[0]
 	}
-	if prev.Metrics != nil || cur.Metrics != nil {
-		out.Metrics = map[string]float64{}
-		for k, v := range prev.Metrics {
-			out.Metrics[k] = v
+	pick := func(get func(Result) float64) float64 {
+		vs := make([]float64, len(runs))
+		for i, r := range runs {
+			vs[i] = get(r)
 		}
-		for k, v := range cur.Metrics {
-			out.Metrics[k] = mix(out.Metrics[k], v)
+		sort.Float64s(vs)
+		if n := len(vs); n%2 == 1 {
+			return vs[n/2]
+		} else {
+			return (vs[n/2-1] + vs[n/2]) / 2
+		}
+	}
+	out := Result{
+		NsPerOp:    pick(func(r Result) float64 { return r.NsPerOp }),
+		MpktPerSec: pick(func(r Result) float64 { return r.MpktPerSec }),
+		BytesPerOp: pick(func(r Result) float64 { return r.BytesPerOp }),
+		AllocsOp:   pick(func(r Result) float64 { return r.AllocsOp }),
+		CPUs:       runs[0].CPUs,
+	}
+	keys := map[string]bool{}
+	for _, r := range runs {
+		out.Iterations += r.Iterations
+		for k := range r.Metrics {
+			keys[k] = true
+		}
+	}
+	if len(keys) > 0 {
+		out.Metrics = map[string]float64{}
+		for k := range keys {
+			out.Metrics[k] = pick(func(r Result) float64 { return r.Metrics[k] })
 		}
 	}
 	return out

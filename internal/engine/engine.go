@@ -141,7 +141,26 @@ type Config struct {
 	// in the Stats residence histogram. 0 disables sampling (no memory or
 	// hot-path cost).
 	ResidenceSample int
+	// BusyPoll makes ring workers spin (yielding between polls, bounded by
+	// busyPollSpins) before parking when their ring runs empty, trading CPU
+	// for wakeup latency on latency-critical deployments. Workers still
+	// park once the spin budget is exhausted, so an idle engine does not
+	// burn cores.
+	BusyPoll bool
+	// WorkSteal lets ring workers execute commands from a backlogged
+	// sibling shard's ring when their own is empty. Shard execution is then
+	// serialized by the shard mutex (the owner pays roughly one uncontended
+	// lock per drained batch), per-flow FIFO is preserved — pops stay in
+	// ring order and are never concurrent — and a zipf-skewed load cannot
+	// pin one worker at 100% while the rest idle.
+	WorkSteal bool
 }
+
+// hotPad separates cross-thread hot words inside engine structs (and from
+// their neighbours). Two cache lines, matching internal/ring: adjacent-line
+// prefetchers pair 64-byte lines, so 64-byte spacing still false-shares.
+// layout_test.go pins the distances.
+const hotPad = 128
 
 // shard pairs one single-threaded Manager with its synchronization and
 // local counters. On the sync datapath mu guards everything below it; on
@@ -193,6 +212,21 @@ type shard struct {
 
 	// res samples packet residence times (nil when disabled).
 	res *residence
+
+	// Worker accounting, written by the ring datapath and read by
+	// ShardStats/Stats from any goroutine. Atomics, not plain counters: in
+	// work-stealing mode a thief updates this shard's stolen/coalesced
+	// words while the shard's own worker accounts a steal of its own
+	// elsewhere. Padded so the accounting stores cannot bounce the lines
+	// holding the mutex or the plain counters above, and so the trailing
+	// word does not share with whatever follows the shard allocation.
+	_              [hotPad]byte
+	wBusyNs        atomic.Int64  // ns this shard's worker spent executing (own and stolen batches)
+	wIdleNs        atomic.Int64  // ns this shard's worker spent waiting for work
+	wStealBatches  atomic.Uint64 // batches this shard's worker executed from siblings' rings
+	wStolenCmds    atomic.Uint64 // commands siblings executed from this shard's ring
+	coalescedWakes atomic.Uint64 // completion decrements merged into one per-drain flush
+	_              [hotPad]byte
 }
 
 // Engine is the concurrent sharded queue manager. All methods are safe for

@@ -31,6 +31,7 @@ package engine
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -63,11 +64,26 @@ type pacer struct {
 	e    *Engine
 	home int
 
+	// Cross-thread mailbox, padded away from the read-only header above
+	// and the goroutine-local wheel state below: every enqueue-path notify
+	// lands here, and without the pads those stores would drag the pacer's
+	// private wheel lines around the machine. layout_test.go pins the
+	// distances.
+	_       [hotPad]byte
 	mu      sync.Mutex
 	pending []int32       // port indices kicked since the last absorb
 	wake    chan struct{} // capacity 1; nudges a sleeping pacer
 
+	// coalesced counts notifies that found the wake channel already full —
+	// merged into the pending signal, not lost (the pacer re-absorbs the
+	// mailbox after every wake, so a merged notify is still served; the
+	// no-strand regression test holds it to that). Surfaces in
+	// Stats.CoalescedWakes.
+	coalesced atomic.Uint64
+
 	started bool // a goroutine is running; guarded by e.lifeMu
+
+	_ [hotPad]byte
 
 	// Everything below is touched only by the pacer goroutine.
 	state    []uint8
@@ -99,6 +115,11 @@ func (pc *pacer) enqueue(pi int32) {
 	select {
 	case pc.wake <- struct{}{}:
 	default:
+		// The channel already carries a wake: this notify coalesces into
+		// it. Not lost — the port is in pending, and the pacer drains the
+		// whole mailbox on every wake — but counted, so a deployment can
+		// see how much signaling the capacity-1 channel absorbs.
+		pc.coalesced.Add(1)
 	}
 }
 

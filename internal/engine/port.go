@@ -61,16 +61,25 @@ type port struct {
 	sh  *shaper
 	pc  *pacer // home pacer; all service for this port runs there
 
+	shardCursor uint32 // rotating start shard; only the home pacer touches it
+
+	// Control words, padded off the read-only header: idle is CASed by
+	// every enqueue-path notify, so it must not share a line with fields
+	// the pacer reads per packet. layout_test.go pins the distances.
+	_       [hotPad]byte
 	paused  atomic.Bool
 	serving atomic.Bool             // Serve registered a sink; cleared on error/close
 	idle    atomic.Bool             // dropped from the pacer awaiting traffic
 	sink    atomic.Pointer[sinkBox] // current sink; replaced by each Serve
 
-	shardCursor uint32 // rotating start shard; only the home pacer touches it
-
+	// Transmit counters: written per packet by the home pacer, read by
+	// PortStats/Stats. Separated from the producer-CASed control words
+	// above and from the next heap neighbour below.
+	_         [hotPad]byte
 	txPackets atomic.Uint64
 	txBytes   atomic.Uint64
 	throttled atomic.Uint64 // times the port parked on the shaper wheel
+	_         [hotPad]byte
 }
 
 // notify re-queues the port on its home pacer if (and only if) it went

@@ -31,6 +31,7 @@ import (
 	"errors"
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"npqm/internal/policy"
 	"npqm/internal/queue"
@@ -90,9 +91,12 @@ type call struct {
 	segs atomic.Int64 // batch enqueue: total segments linked
 }
 
-// finish is called by a worker after executing a command carrying c.
-func (c *call) finish() {
-	if c.pending.Add(-1) == 0 {
+// finishN retires n of c's commands in one countdown decrement. Workers
+// call it once per completion per drained batch (see execBatch), so a
+// multi-command completion costs its poster one wakeup and the worker one
+// atomic per drain, not per command.
+func (c *call) finishN(n int32) {
+	if c.pending.Add(-n) == 0 {
 		c.done <- struct{}{}
 	}
 }
@@ -268,34 +272,221 @@ func (e *Engine) stopPorts() {
 	e.portWG.Wait()
 }
 
+// busyPollSpins is the bounded spin budget of Config.BusyPoll: how many
+// empty polls (each yielding the processor) a worker makes before parking.
+// Large enough to ride out a producer's inter-burst gap, small enough that
+// a worker whose traffic stopped is parked within microseconds of the
+// budget draining — the park-within-budget test holds the engine to that.
+const busyPollSpins = 1024
+
+// Work-stealing tuning. A victim is worth visiting when its ring backlog
+// is at least stealThreshold commands (half a drain batch — below that the
+// owner clears it faster than a thief can take the mutex), and a thief
+// bites off at most stealBatch commands per visit so the owner is never
+// starved of its own ring.
+const (
+	stealThreshold = workerBatch / 2
+	stealBatch     = workerBatch / 4
+)
+
+// workerScratch is a worker's (or thief's) per-goroutine drain state:
+// the command buffer plus the completion-flush table execBatch merges
+// countdown decrements into. One allocation per worker, reused per drain.
+type workerScratch struct {
+	buf []command
+	cos []*call
+	cnt []int32
+}
+
+func newWorkerScratch() *workerScratch {
+	return &workerScratch{
+		buf: make([]command, workerBatch),
+		cos: make([]*call, 0, workerBatch),
+		cnt: make([]int32, 0, workerBatch),
+	}
+}
+
+// execBatch runs a drained batch inside shard s's critical section and
+// flushes completion countdowns merged per distinct completion — one
+// decrement and at most one producer wakeup per completion per drain,
+// instead of one per command. Merged decrements are counted on the shard
+// as coalesced wakes. The caller must hold s's consumer role (own ring
+// drain, or the shard mutex in work-stealing mode).
+func (e *Engine) execBatch(s *shard, cmds []command, w *workerScratch) {
+	cos, cnt := w.cos[:0], w.cnt[:0]
+	coalesced := uint64(0)
+	for i := range cmds {
+		c := &cmds[i]
+		co := c.co
+		e.exec(s, c)
+		if co != nil {
+			// Reverse scan: commands sharing a completion are posted in
+			// runs, so the previous entry hits first.
+			merged := false
+			for t := len(cos) - 1; t >= 0; t-- {
+				if cos[t] == co {
+					cnt[t]++
+					coalesced++
+					merged = true
+					break
+				}
+			}
+			if !merged {
+				cos = append(cos, co)
+				cnt = append(cnt, 1)
+			}
+		}
+		cmds[i] = command{} // drop payload/closure references promptly
+	}
+	// Republish the free-count mirror before the flush: the per-operation
+	// publish is deferred on the single-writer path, but pool-wide Free()
+	// must be fresh by the time a woken producer can observe the batch.
+	s.m.PublishFree()
+	for i := range cos {
+		cos[i].finishN(cnt[i])
+		cos[i] = nil // don't pin pooled completions through the scratch
+	}
+	if coalesced > 0 {
+		s.coalescedWakes.Add(coalesced)
+	}
+	w.cos, w.cnt = cos[:0], cnt
+}
+
 // worker is shard si's single writer: it drains the shard's command ring
-// in batches, run to completion, until the ring is closed and empty.
+// in batches, run to completion, until the ring is closed and empty. With
+// Config.WorkSteal it is instead the shard's *default* writer — execution
+// is serialized by the shard mutex and idle siblings help out
+// (workerSteal).
 func (e *Engine) worker(si int) {
 	defer e.workers.Done()
 	s := e.shards[si]
+	w := newWorkerScratch()
+	if e.cfg.WorkSteal {
+		e.workerSteal(si, w)
+		return
+	}
 	// Single-writer fast path: with no admission policy, nothing reads
 	// pool-wide occupancy between operations, so the per-op publish of the
 	// free-count mirror is deferred while this worker owns the shard.
 	s.m.SetDeferPublish(s.admKind == policy.KindNone)
-	buf := make([]command, workerBatch)
 	for {
-		n, closed := s.ring.PopWait(buf)
-		for i := range buf[:n] {
-			e.exec(s, &buf[i])
-			buf[i] = command{} // drop payload/closure references promptly
+		var n int
+		var closed bool
+		t0 := time.Now()
+		if e.cfg.BusyPoll {
+			n, closed = s.ring.PopWaitSpin(w.buf, busyPollSpins)
+		} else {
+			n, closed = s.ring.PopWait(w.buf)
 		}
+		t1 := time.Now()
+		s.wIdleNs.Add(t1.Sub(t0).Nanoseconds())
 		if n > 0 {
-			// Republish the free-count mirror once per drained batch: the
-			// per-operation publish is deferred on this single-writer path,
-			// but pool-wide Free() must stay fresh at batch granularity —
-			// the stranded-cache flush valve and occupancy telemetry read
-			// it between batches.
-			s.m.PublishFree()
+			e.execBatch(s, w.buf[:n], w)
+			s.wBusyNs.Add(time.Since(t1).Nanoseconds())
 		}
 		if closed {
 			// Republish so the closed-mode observation surface sees exact
 			// pool occupancy.
 			s.m.SetDeferPublish(false)
+			return
+		}
+	}
+}
+
+// workerSteal is the work-stealing variant of the worker loop. Every pop
+// and exec on a shard happens under that shard's mutex, which restores
+// mutual exclusion between the owner and thieves without giving up
+// run-to-completion batching: the owner pays one uncontended lock per
+// drained batch. Per-flow FIFO survives because commands leave a ring in
+// order and never concurrently, and execution of a ring's commands is
+// serialized by its shard's mutex. Deadlock cannot arise: a worker holds
+// at most one shard mutex at a time (exec never enters another shard).
+func (e *Engine) workerSteal(si int, w *workerScratch) {
+	s := e.shards[si]
+	s.mu.Lock()
+	s.m.SetDeferPublish(s.admKind == policy.KindNone)
+	s.mu.Unlock()
+	for {
+		s.mu.Lock()
+		n := s.ring.PopBatch(w.buf)
+		if n > 0 {
+			t0 := time.Now()
+			e.execBatch(s, w.buf[:n], w)
+			s.mu.Unlock()
+			s.wBusyNs.Add(time.Since(t0).Nanoseconds())
+			if s.ring.Len() >= stealThreshold {
+				// Still backlogged after a full batch: recruit a parked
+				// sibling to steal from us.
+				e.recruit(si)
+			}
+			continue
+		}
+		s.mu.Unlock()
+		if s.ring.Closed() {
+			if s.ring.Drained() {
+				// Under the mutex: a thief may still be executing commands
+				// it popped from our ring.
+				s.mu.Lock()
+				s.m.SetDeferPublish(false)
+				s.mu.Unlock()
+				return
+			}
+			// Sealed but a claimed command is still publishing, or a thief
+			// holds the mutex mid-drain; yield and re-check.
+			runtime.Gosched()
+			continue
+		}
+		if e.stealRound(si, w) {
+			continue
+		}
+		spins := 0
+		if e.cfg.BusyPoll {
+			spins = busyPollSpins
+		}
+		t0 := time.Now()
+		s.ring.WaitReady(spins)
+		s.wIdleNs.Add(time.Since(t0).Nanoseconds())
+	}
+}
+
+// stealRound scans the sibling shards once and executes up to stealBatch
+// commands from each backlogged ring it can lock without waiting. Reports
+// whether it executed anything (the caller then re-checks its own ring
+// before scanning again). TryLock, never Lock: a thief must not queue
+// behind the owner — that would serialize the very workers stealing is
+// meant to spread.
+func (e *Engine) stealRound(si int, w *workerScratch) bool {
+	shards := e.shards
+	n := len(shards)
+	did := false
+	for off := 1; off < n; off++ {
+		v := shards[(si+off)%n]
+		if v.ring.Len() < stealThreshold || !v.mu.TryLock() {
+			continue
+		}
+		k := v.ring.PopBatch(w.buf[:stealBatch])
+		if k > 0 {
+			t0 := time.Now()
+			e.execBatch(v, w.buf[:k], w)
+			v.mu.Unlock()
+			e.shards[si].wBusyNs.Add(time.Since(t0).Nanoseconds())
+			e.shards[si].wStealBatches.Add(1)
+			v.wStolenCmds.Add(uint64(k))
+			did = true
+		} else {
+			v.mu.Unlock()
+		}
+	}
+	return did
+}
+
+// recruit wakes one parked sibling worker so it can steal from a
+// backlogged shard. Cost when nobody is parked: one atomic load per
+// sibling, no syscalls.
+func (e *Engine) recruit(si int) {
+	n := len(e.shards)
+	for off := 1; off < n; off++ {
+		if e.shards[(si+off)%n].ring.Poke() {
 			return
 		}
 	}
@@ -351,9 +542,8 @@ func (e *Engine) exec(s *shard, c *command) {
 	case opBarrier:
 		// Completion only.
 	}
-	if c.co != nil {
-		c.co.finish()
-	}
+	// Completion countdowns are NOT decremented here: execBatch flushes
+	// them merged per distinct completion at the end of the drained batch.
 }
 
 // enqueueEvictLocal handles an LQD push-out verdict for a fire-and-forget

@@ -37,6 +37,13 @@ type Stats struct {
 	TransmittedBytes   uint64
 	Throttled          uint64 // pacer parks waiting for shaper tokens
 
+	// CoalescedWakes counts wakeups merged away instead of delivered: ring
+	// completion decrements folded into one per-drain flush (see
+	// execBatch) plus pacer notifies absorbed by an already-pending wake.
+	// High values mean the signaling fabric is doing its job — producers
+	// and pacers are being spared cross-core channel operations.
+	CoalescedWakes uint64
+
 	// Occupancy.
 	FreeSegments   int   // shared-pool free population (depot + caches)
 	QueuedSegments int   // segments currently linked into flow queues
@@ -67,6 +74,19 @@ type ShardStat struct {
 	QueuedSegments   int // segments this shard's queues hold
 	BufferedBytes    int64
 	ActiveFlows      int
+
+	// Ring-datapath worker accounting (zero on the synchronous datapath).
+	// Busy and idle nanoseconds are the shard's *worker's* time — in
+	// work-stealing mode busy includes batches it executed from siblings'
+	// rings, while StolenCommands counts what siblings took from this
+	// shard's ring. max(WorkerBusyNs) / sum(WorkerBusyNs) is the busy
+	// share a skewed load concentrates on one worker; stealing exists to
+	// push that toward 1/shards.
+	WorkerBusyNs   int64
+	WorkerIdleNs   int64
+	StealBatches   uint64 // batches this worker executed from sibling rings
+	StolenCommands uint64 // commands siblings executed from this shard's ring
+	CoalescedWakes uint64 // completion decrements merged per-drain on this shard
 }
 
 // Stats aggregates counters and occupancy across shards. Each shard is
@@ -117,6 +137,12 @@ func (e *Engine) Stats() Stats {
 		st.TransmittedBytes += p.txBytes.Load()
 		st.Throttled += p.throttled.Load()
 	}
+	for _, s := range e.shards {
+		st.CoalescedWakes += s.coalescedWakes.Load()
+	}
+	for _, pc := range e.pacers {
+		st.CoalescedWakes += pc.coalesced.Load()
+	}
 	if merged != nil {
 		st.ResidenceSamples = merged.N()
 		if st.ResidenceSamples > 0 {
@@ -147,6 +173,14 @@ func (e *Engine) ShardStats() []ShardStat {
 				ActiveFlows:      s.activeFlows,
 			}
 		})
+		// Worker accounting is atomic — snapshot outside the critical
+		// section (reading it from inside a worker-executed closure would
+		// self-deadlock on busy time anyway).
+		out[i].WorkerBusyNs = s.wBusyNs.Load()
+		out[i].WorkerIdleNs = s.wIdleNs.Load()
+		out[i].StealBatches = s.wStealBatches.Load()
+		out[i].StolenCommands = s.wStolenCmds.Load()
+		out[i].CoalescedWakes = s.coalescedWakes.Load()
 	}
 	return out
 }

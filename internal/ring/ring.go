@@ -60,19 +60,27 @@ type slot[T any] struct {
 // consumer has exited.
 const closedBit = uint64(1) << 63
 
+// padBytes separates the ring's hot words. Two cache lines, not one:
+// modern x86 prefetchers pull adjacent line pairs, so 64-byte spacing
+// still ping-pongs under producer/consumer contention. The layout test
+// (layout_test.go) pins these distances so they cannot silently regress.
+const padBytes = 128
+
 // Ring is a bounded MPSC queue. Any number of goroutines may push; exactly
-// one goroutine may pop. The zero value is not usable; call New.
+// one goroutine may pop (at a time — consumers may hand off, serialized
+// externally, as the engine's work stealing does). The zero value is not
+// usable; call New.
 type Ring[T any] struct {
 	slots []slot[T]
 	mask  uint64
 
-	_    [64]byte // keep the producer and consumer hot words apart
-	tail atomic.Uint64
-	_    [64]byte
-	head atomic.Uint64 // written only by the consumer; atomic for Len readers
-	_    [64]byte
-
-	sleeping atomic.Bool
+	_        [padBytes]byte // keep the producer and consumer hot words apart
+	tail     atomic.Uint64  // producers CAS; carries the closedBit seal
+	_        [padBytes]byte
+	head     atomic.Uint64 // written only by the consumer; atomic for Len readers
+	_        [padBytes]byte
+	sleeping atomic.Bool // producers load per push; CAS only on wake
+	_        [padBytes]byte
 	wake     chan struct{}
 }
 
@@ -234,6 +242,86 @@ func (r *Ring[T]) PopWait(buf []T) (n int, closed bool) {
 		}
 		<-r.wake
 	}
+}
+
+// PopWaitSpin is PopWait with a busy-poll prologue: before parking on the
+// wake channel the consumer makes up to spins empty polls, yielding the
+// processor between them, so a command posted within the spin window is
+// picked up without a park/unpark round trip. The spin budget is bounded —
+// once it is exhausted the call parks exactly like PopWait, so a consumer
+// whose traffic stops cannot burn a core forever. Must be called only by
+// the single consumer.
+func (r *Ring[T]) PopWaitSpin(buf []T, spins int) (n int, closed bool) {
+	for i := 0; i < spins; i++ {
+		if n = r.PopBatch(buf); n > 0 {
+			return n, false
+		}
+		if r.tail.Load()&closedBit != 0 {
+			// Closed: fall through to PopWait's drain-then-report logic.
+			return r.PopWait(buf)
+		}
+		runtime.Gosched()
+	}
+	return r.PopWait(buf)
+}
+
+// WaitReady blocks until a command is ready at the head, the ring is
+// closed, or a Poke arrives — without popping anything. Callers that
+// serialize consumption externally (the engine's work-stealing workers,
+// which pop only under the shard mutex) wait here so the ring is never
+// popped outside that serialization. Up to spins empty polls run before
+// parking. closed=true means the tail is sealed, NOT that the ring is
+// drained — commands already claimed may still be publishing; poll
+// Drained for the exit condition. A false return is only a hint (data, or
+// a Poke with none): the caller re-checks.
+func (r *Ring[T]) WaitReady(spins int) (closed bool) {
+	for i := 0; ; i++ {
+		if r.peek() {
+			return false
+		}
+		if r.tail.Load()&closedBit != 0 {
+			return true
+		}
+		if i < spins {
+			runtime.Gosched()
+			continue
+		}
+		// Same sleeper/waker protocol as PopWait: announce, re-check, park.
+		r.sleeping.Store(true)
+		if r.peek() || r.tail.Load()&closedBit != 0 {
+			r.sleeping.Store(false)
+			continue
+		}
+		<-r.wake
+		return false
+	}
+}
+
+// Drained reports that the ring is closed and every accepted command has
+// been popped: head has caught the sealed tail. Safe from any goroutine.
+func (r *Ring[T]) Drained() bool {
+	tail := r.tail.Load()
+	return tail&closedBit != 0 && r.head.Load() == tail&^closedBit
+}
+
+// Parked reports whether the consumer has announced it is (about to be)
+// parked on the wake channel. Telemetry/test hook: momentarily stale by
+// construction.
+func (r *Ring[T]) Parked() bool { return r.sleeping.Load() }
+
+// Poke wakes a parked consumer without publishing a command, and reports
+// whether a consumer was actually parked. Work stealing uses it to recruit
+// an idle sibling worker: the woken consumer finds its own ring empty and
+// runs its steal scan. A no-op (false) when the consumer is running.
+func (r *Ring[T]) Poke() bool {
+	if r.sleeping.CompareAndSwap(true, false) {
+		select {
+		case r.wake <- struct{}{}:
+		default:
+		}
+		return true
+	}
+	return false
 }
 
 // peek reports whether a published command is ready at the head.

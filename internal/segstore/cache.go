@@ -2,6 +2,12 @@ package segstore
 
 import "sync/atomic"
 
+// cachePad separates the owner-hot magazine words from the cross-thread
+// count mirror, and both from neighbouring heap objects (small allocations
+// share cache lines within a span). 128 bytes covers the adjacent-line
+// prefetcher pair; layout_test.go pins the distances.
+const cachePad = 128
+
 // Cache is a per-owner allocation front end over a shared Store: two
 // magazines (an active one and a spare) refilled from and flushed to the
 // depot a whole magazine at a time. A Cache is single-owner — the engine
@@ -12,6 +18,16 @@ type Cache struct {
 	st  *Store
 	mag [2]magazine // [0] is the active magazine
 
+	// deferred suppresses the per-operation Publish entirely — the
+	// single-writer fast path. An owner that is the only goroutine touching
+	// its shard (the engine's ring-datapath worker) and whose pool-wide
+	// occupancy nobody reads per-operation (no admission policy configured)
+	// sets it, dropping the one atomic store per queue op; observation paths
+	// call ForcePublish before reading. Owner-only plain field.
+	deferred bool
+
+	_ [cachePad]byte // owner-hot words above; cross-thread mirror below
+
 	// count mirrors mag[0].n + mag[1].n for lock-free readers. The owner
 	// refreshes it with Publish — once per queue operation, not per
 	// segment, keeping the per-segment path free of atomics — and at
@@ -20,13 +36,7 @@ type Cache struct {
 	// low, which keeps concurrent policy reads conservative.
 	count atomic.Int32
 
-	// deferred suppresses the per-operation Publish entirely — the
-	// single-writer fast path. An owner that is the only goroutine touching
-	// its shard (the engine's ring-datapath worker) and whose pool-wide
-	// occupancy nobody reads per-operation (no admission policy configured)
-	// sets it, dropping the one atomic store per queue op; observation paths
-	// call ForcePublish before reading. Owner-only plain field.
-	deferred bool
+	_ [cachePad]byte // keep the next heap neighbour off the mirror's line
 }
 
 type magazine struct {

