@@ -1,0 +1,190 @@
+package npqm
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"npqm/internal/traffic"
+)
+
+// BenchmarkEngineMTU sweeps packet size — the dimension the original matrix
+// holds fixed at 320 bytes — across the two engine shapes. Small packets
+// measure fixed per-command overhead; 1500-byte packets (24 segments)
+// measure the per-segment path the bulk run allocation amortizes; the IMIX
+// mix (64/576/1500 weighted 7:4:1) is the realistic blend. Shards and
+// datapath stay fixed (4, sync) so the packet-size effect is isolated.
+//
+//   - shape=sharded is the per-packet round trip of BenchmarkEngineSharded:
+//     each iteration enqueues one packet and dequeues it back.
+//   - shape=pipeline is the ingress/egress shape of
+//     BenchmarkEngineShardedPipeline: producers offer with pool-watermark
+//     pacing while two consumers drain, and the headline metric is
+//     Mdeliv/s — packets delivered inside the timed window.
+func BenchmarkEngineMTU(b *testing.B) {
+	for _, shape := range []string{"sharded", "pipeline"} {
+		for _, size := range []string{"64", "1500", "imix"} {
+			b.Run(fmt.Sprintf("shape=%s/pkt=%s", shape, size), func(b *testing.B) {
+				mixCfg := traffic.SizeMixConfig{Kind: traffic.MixIMIX}
+				if size != "imix" {
+					mixCfg.Kind = traffic.MixFixed
+					if size == "64" {
+						mixCfg.Fixed = 64
+					} else {
+						mixCfg.Fixed = 1500
+					}
+				}
+				probe, err := traffic.NewSizeMix(mixCfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				payload := make([]byte, probe.Max()) // shared, read-only
+				maxSegs := (probe.Max() + 63) / 64
+				if shape == "sharded" {
+					benchMTUSharded(b, mixCfg, payload)
+					return
+				}
+				benchMTUPipeline(b, mixCfg, payload, maxSegs, probe.Mean())
+			})
+		}
+	}
+}
+
+// benchMTUSharded is the enqueue/dequeue round trip: per-packet cost with
+// no cross-goroutine handoff, the closest measure of the per-segment path.
+func benchMTUSharded(b *testing.B, mixCfg traffic.SizeMixConfig, payload []byte) {
+	cm, err := NewConcurrentEngine(ConcurrentConfig{
+		Flows:    DefaultFlows,
+		Segments: 1 << 17,
+		Shards:   4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var gid atomic.Uint32
+	b.SetParallelism(4)
+	b.RunParallel(func(pb *testing.PB) {
+		seed := uint64(gid.Add(1))
+		fd := benchFlowDist(b, seed)
+		mc := mixCfg
+		mc.Seed = seed
+		mix, err := traffic.NewSizeMix(mc)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		for pb.Next() {
+			f := fd.Next()
+			pkt := payload[:mix.Next()]
+			if _, err := cm.EnqueuePacket(f, pkt); err != nil {
+				b.Error(err)
+				return
+			}
+			data, err := cm.DequeuePacket(f)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			cm.Release(data)
+		}
+	})
+}
+
+// benchMTUPipeline is the ingress/egress shape: producers offer under
+// watermark flow control, two consumers drain, deliveries are counted only
+// inside the timed window.
+func benchMTUPipeline(b *testing.B, mixCfg traffic.SizeMixConfig, payload []byte, maxSegs int, meanBytes float64) {
+	cm, err := NewConcurrentEngine(ConcurrentConfig{
+		Flows:    DefaultFlows,
+		Segments: 1 << 17,
+		Shards:   4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var consWG sync.WaitGroup
+	for c := 0; c < 2; c++ {
+		consWG.Add(1)
+		go func() {
+			defer consWG.Done()
+			for {
+				out := cm.DequeueNextBatch(64)
+				for _, d := range out {
+					cm.Release(d.Data)
+				}
+				if len(out) == 0 {
+					select {
+					case <-stop:
+						return
+					default:
+						runtime.Gosched()
+					}
+				}
+			}
+		}()
+	}
+	// Watermark sized to the worst case of every producer posting a full
+	// 32-packet pacing window of maximum-size packets.
+	lowWater := (1<<17)/8 + runtime.GOMAXPROCS(0)*4*32*maxSegs
+	var gid atomic.Uint32
+	b.SetParallelism(4)
+	b.ResetTimer()
+	start := time.Now()
+	b.RunParallel(func(pb *testing.PB) {
+		seed := uint64(gid.Add(1))
+		fd := benchFlowDist(b, seed)
+		mc := mixCfg
+		mc.Seed = seed
+		mix, err := traffic.NewSizeMix(mc)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		pace := 0
+		for pb.Next() {
+			f := fd.Next()
+			pkt := payload[:mix.Next()]
+			if pace == 0 {
+				for cm.FreeSegments() < lowWater {
+					runtime.Gosched()
+				}
+				pace = 32
+			}
+			pace--
+			for {
+				_, err := cm.EnqueuePacket(f, pkt)
+				if err == nil {
+					break
+				}
+				if !errors.Is(err, ErrNoFreeSegments) {
+					b.Error(err)
+					return
+				}
+				runtime.Gosched() // pool full: wait for the consumers
+			}
+		}
+	})
+	elapsed := time.Since(start)
+	b.StopTimer()
+	close(stop)
+	consWG.Wait()
+	window := cm.Stats().DequeuedPackets
+	for {
+		out := cm.DequeueNextBatch(256)
+		if len(out) == 0 {
+			break
+		}
+		for _, d := range out {
+			cm.Release(d.Data)
+		}
+	}
+	st := cm.Stats()
+	b.ReportMetric(float64(window)/elapsed.Seconds()/1e6, "Mdeliv/s")
+	b.ReportMetric(float64(st.DequeuedPackets)/float64(b.N), "deliv/op")
+	b.ReportMetric(meanBytes, "B/pkt")
+}

@@ -86,7 +86,8 @@ func main() {
 		parallel  = flag.Int("parallel", 4, "engine: producer goroutines (consumers match)")
 		flows     = flag.Int("flows", 32768, "engine: flow-ID space")
 		pool      = flag.Int("pool", 1<<17, "engine: total segment pool")
-		pktBytes  = flag.Int("pkt", 320, "engine: packet size in bytes")
+		pktBytes  = flag.Int("pkt", 320, "engine: packet size in bytes (fixed mix)")
+		pktMix    = flag.String("pktmix", "fixed", "engine: packet-size mix (fixed = every packet -pkt bytes, imix = 64/576/1500 weighted 7:4:1)")
 		ops       = flag.Int("ops", 1_000_000, "engine: packets to push through")
 		polName   = flag.String("policy", "none", "engine: admission policy (none, tail, lqd, red)")
 		limit     = flag.Int("limit", 0, "engine: tail-drop per-flow segment cap (0 = pool only)")
@@ -132,7 +133,7 @@ func main() {
 	case "engine":
 		err = runEngine(engineArgs{
 			shards: *shards, parallel: *parallel, flows: *flows, pool: *pool,
-			pktBytes: *pktBytes, ops: *ops, seed: *seed,
+			pktBytes: *pktBytes, pktMix: *pktMix, ops: *ops, seed: *seed,
 			policy: *polName, limit: *limit,
 			minth: *minth, maxth: *maxth, maxp: *maxp, wq: *wq,
 			egress: *egName, quantum: *quantum, burst: *burst,
@@ -207,6 +208,7 @@ func runIXP(queues, engines int) error {
 
 type engineArgs struct {
 	shards, parallel, flows, pool, pktBytes, ops int
+	pktMix                                       string
 	seed                                         uint64
 	policy                                       string
 	limit                                        int
@@ -266,6 +268,23 @@ func runEngine(a engineArgs) error {
 	}
 	if a.pktBytes < 1 {
 		return fmt.Errorf("pkt must be >= 1, got %d", a.pktBytes)
+	}
+	var mixKind traffic.SizeMixKind
+	switch a.pktMix {
+	case "", "fixed":
+		mixKind = traffic.MixFixed
+	case "imix":
+		mixKind = traffic.MixIMIX
+	default:
+		return fmt.Errorf("unknown pktmix %q (want fixed or imix)", a.pktMix)
+	}
+	// One probe instance sizes the shared payload buffer and prices the
+	// bytes columns; producers draw their own seeded instances.
+	mixProbe, err := traffic.NewSizeMix(traffic.SizeMixConfig{
+		Kind: mixKind, Fixed: a.pktBytes, Seed: a.seed,
+	})
+	if err != nil {
+		return err
 	}
 	if a.burst < 1 {
 		a.burst = 1
@@ -359,7 +378,11 @@ func runEngine(a engineArgs) error {
 		}
 	}
 	perProducer := a.ops / a.parallel
-	pkt := make([]byte, a.pktBytes)
+	// One zeroed max-size payload shared by every producer; each packet is a
+	// per-draw prefix slice of it. The engine copies payloads on enqueue and
+	// nobody mutates the buffer, so sharing it read-only is safe on both
+	// datapaths.
+	payload := make([]byte, mixProbe.Max())
 	var prodWG, consWG sync.WaitGroup
 	var firstErr error
 	var errOnce sync.Once
@@ -392,8 +415,16 @@ func runEngine(a engineArgs) error {
 				errOnce.Do(func() { firstErr = err })
 				return
 			}
+			mix, err := traffic.NewSizeMix(traffic.SizeMixConfig{
+				Kind: mixKind, Fixed: a.pktBytes, Seed: a.seed + uint64(p),
+			})
+			if err != nil {
+				errOnce.Do(func() { firstErr = err })
+				return
+			}
 			for n := 0; n < perProducer; n++ {
 				f := fd.Next()
+				pkt := payload[:mix.Next()]
 				var err error
 				// Both datapaths sample the blocking call's latency on the
 				// same 1-in-compLatEvery schedule, so the measurement
@@ -549,17 +580,20 @@ func runEngine(a engineArgs) error {
 	for _, h := range compLat[1:] {
 		lat.Merge(h)
 	}
+	// Delivered bytes are priced at the mix's mean packet size (exact for
+	// the fixed mix; the IMIX blend converges on its 7:4:1 mean).
+	meanPkt := mixProbe.Mean()
 	mpps := float64(st.DequeuedPackets) / elapsed.Seconds() / 1e6
-	gbps := float64(st.DequeuedPackets) * float64(a.pktBytes) * 8 / elapsed.Seconds() / 1e9
+	gbps := float64(st.DequeuedPackets) * meanPkt * 8 / elapsed.Seconds() / 1e9
 	occPct := 100 * float64(peakResident.Load()) / float64(a.pool)
 	if occPct > 100 {
 		// Stats snapshots shards one critical section at a time, not as an
 		// atomic cut, so a sampled sum can transiently exceed the pool.
 		occPct = 100
 	}
-	fmt.Println("shards,parallel,flows,policy,egress,datapath,pkt_bytes,offered,delivered,dropped,pushed_out,rejected,resident,peak_occupancy_pct,ring_occ_peak,comp_p50_us,comp_p99_us,res_p50_us,res_p99_us,elapsed_s,mpps,gbps")
-	fmt.Printf("%d,%d,%d,%s,%s,%s,%d,%d,%d,%d,%d,%d,%d,%.1f,%d,%.1f,%.1f,%.1f,%.1f,%.3f,%.3f,%.3f\n",
-		e.Shards(), a.parallel, a.flows, kind, egKind, a.datapath, a.pktBytes,
+	fmt.Println("shards,parallel,flows,policy,egress,datapath,pktmix,pkt_bytes,offered,delivered,dropped,pushed_out,rejected,resident,peak_occupancy_pct,ring_occ_peak,comp_p50_us,comp_p99_us,res_p50_us,res_p99_us,elapsed_s,mpps,gbps")
+	fmt.Printf("%d,%d,%d,%s,%s,%s,%s,%.0f,%d,%d,%d,%d,%d,%d,%.1f,%d,%.1f,%.1f,%.1f,%.1f,%.3f,%.3f,%.3f\n",
+		e.Shards(), a.parallel, a.flows, kind, egKind, a.datapath, mixKind, meanPkt,
 		uint64(a.parallel)*uint64(perProducer), st.DequeuedPackets,
 		st.DroppedPackets, st.PushedOutPackets, st.Rejected,
 		residentAtCutoff, occPct, peakRing.Load(),
@@ -595,7 +629,7 @@ func runEngine(a engineArgs) error {
 				weight = classStats[c].Weight
 			}
 			fmt.Printf("%d,%s,%d,%d,%d,%.1f\n",
-				c, classKind, weight, n, n*uint64(a.pktBytes), share)
+				c, classKind, weight, n, uint64(float64(n)*meanPkt), share)
 		}
 	}
 	return nil

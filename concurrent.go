@@ -1,6 +1,10 @@
 package npqm
 
-import "npqm/internal/engine"
+import (
+	"sync"
+
+	"npqm/internal/engine"
+)
 
 // ConcurrentQueueManager is the goroutine-safe, sharded variant of
 // QueueManager: the flow space is hash-partitioned across queue-manager
@@ -32,6 +36,11 @@ import "npqm/internal/engine"
 // configured flow space.
 type ConcurrentQueueManager struct {
 	e *engine.Engine
+
+	// reqPool recycles the []engine.EnqueueReq conversion buffers of
+	// EnqueueBatch so the facade adds no per-burst allocation on top of the
+	// engine's allocation-free batch path.
+	reqPool sync.Pool
 }
 
 // Sentinel errors of the concurrent engine, re-exported for errors.Is.
@@ -120,15 +129,26 @@ func (cm *ConcurrentQueueManager) DequeuePacket(q uint32) ([]byte, error) {
 // Release recycles a buffer returned by DequeuePacket or DequeueBatch.
 func (cm *ConcurrentQueueManager) Release(buf []byte) { cm.e.Release(buf) }
 
-// EnqueueBatch enqueues a burst of packets, locking each shard once.
-// errs[i] reports the outcome of batch[i]; the return value is the total
-// segment count linked.
+// EnqueueBatch enqueues a burst of packets, locking each shard once. A nil
+// errs means every packet was accepted; otherwise errs[i] reports the
+// outcome of batch[i]. The return value is the total segment count linked.
+// The all-accepted path performs no allocation.
 func (cm *ConcurrentQueueManager) EnqueueBatch(batch []PacketEnqueue) (int, []error) {
-	reqs := make([]engine.EnqueueReq, len(batch))
-	for i, p := range batch {
-		reqs[i] = engine.EnqueueReq{Flow: p.Flow, Data: p.Data}
+	var box *[]engine.EnqueueReq
+	if v := cm.reqPool.Get(); v != nil {
+		box = v.(*[]engine.EnqueueReq)
+	} else {
+		box = new([]engine.EnqueueReq)
 	}
-	return cm.e.EnqueueBatch(reqs)
+	reqs := (*box)[:0]
+	for _, p := range batch {
+		reqs = append(reqs, engine.EnqueueReq{Flow: p.Flow, Data: p.Data})
+	}
+	n, errs := cm.e.EnqueueBatch(reqs)
+	clear(reqs) // drop payload references before pooling
+	*box = reqs
+	cm.reqPool.Put(box)
+	return n, errs
 }
 
 // DequeueBatch dequeues the head packet of every listed flow, locking each

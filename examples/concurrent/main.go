@@ -74,6 +74,11 @@ func main() {
 					batch = append(batch, npqm.PacketEnqueue{Flow: f, Data: pkt})
 				}
 				_, errs := cm.EnqueueBatch(batch)
+				if errs == nil { // nil means every packet was accepted
+					produced.Add(uint64(len(batch)))
+					sent += n
+					continue
+				}
 				for _, err := range errs {
 					switch {
 					case err == nil:

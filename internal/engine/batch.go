@@ -29,9 +29,11 @@ type EnqueueReq struct {
 var errRingRetry = errors.New("engine: batch slot deferred to per-packet path")
 
 // buckets groups batch indices by owning shard so each shard is entered
-// once. The bucket slices are recycled between calls through a pool.
+// once. The bucket slices — and the error scratch batch walks record
+// outcomes in — are recycled between calls through a pool.
 type buckets struct {
 	byShard [][]int32
+	errs    []error // all-nil between uses; handed to the caller on failure
 }
 
 func (e *Engine) getBuckets() *buckets {
@@ -51,11 +53,28 @@ func (e *Engine) putBuckets(b *buckets) {
 	e.bucketPool.Put(b)
 }
 
+// errSlots returns the recycled error scratch, grown to n all-nil slots.
+// The scratch stays pooled only while it holds no errors: a batch that
+// fails hands the slice to its caller (see EnqueueBatch), so pooled
+// scratches are all-nil by construction — error slots are never scrubbed on
+// the happy path.
+func (b *buckets) errSlots(n int) []error {
+	if cap(b.errs) < n {
+		b.errs = make([]error, n)
+	}
+	return b.errs[:n]
+}
+
 // EnqueueBatch enqueues every request in batch, bucketing by shard and
-// entering each shard once. Results are aligned with the batch: errs[i]
-// is nil when batch[i] was accepted. Relative order of packets on the same
-// flow is preserved, so per-flow FIFO holds across batches too. It returns
-// the total number of segments linked.
+// entering each shard once. A nil errs means every packet was accepted;
+// otherwise errs is aligned with the batch and errs[i] is nil when batch[i]
+// was accepted. Relative order of packets on the same flow is preserved, so
+// per-flow FIFO holds across batches too. It returns the total number of
+// segments linked.
+//
+// The all-accepted path performs no allocation: outcomes are recorded in a
+// pooled scratch that is recycled when it comes back clean and handed to
+// the caller (replaced lazily) when it does not.
 //
 // When an LQD arrival needs push-out eviction the batch degrades to the
 // per-packet path for the rest of that shard's bucket: eviction must run
@@ -73,8 +92,8 @@ func (e *Engine) EnqueueBatch(batch []EnqueueReq) (segments int, errs []error) {
 		}
 		return 0, errs
 	}
-	errs = make([]error, len(batch))
 	b := e.getBuckets()
+	errs = b.errSlots(len(batch))
 	for i, req := range batch {
 		si := e.ShardOf(req.Flow)
 		b.byShard[si] = append(b.byShard[si], int32(i))
@@ -84,8 +103,17 @@ func (e *Engine) EnqueueBatch(batch []EnqueueReq) (segments int, errs []error) {
 	} else {
 		segments = e.enqueueBatchSync(batch, errs, b)
 	}
+	for _, err := range errs {
+		if err != nil {
+			// The scratch escapes to the caller; drop it from the pool so
+			// the recycled scratch invariant (all slots nil) holds.
+			b.errs = nil
+			e.putBuckets(b)
+			return segments, errs
+		}
+	}
 	e.putBuckets(b)
-	return segments, errs
+	return segments, nil
 }
 
 // enqueueBatchSync is the mutex-datapath bucket walk.

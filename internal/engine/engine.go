@@ -258,11 +258,17 @@ type Engine struct {
 
 	egCursor atomic.Uint32 // rotating start shard for DequeueNextBatch
 
-	bufs       sync.Pool // reassembly scratch buffers, see Release
+	bufs       sync.Pool // reassembly buffers in *bufBox wrappers, see Release
+	boxes      sync.Pool // empty *bufBox wrappers awaiting a buffer
 	bucketPool sync.Pool // per-shard index buckets for the batch paths
 	callPool   sync.Pool // pooled completions for the ring datapath
 	histPool   sync.Pool // residence merge targets for Stats snapshots
 }
+
+// bufBox carries a reassembly buffer through the pool. Pooling the raw
+// []byte would box its slice header into an interface on every Put — one
+// heap allocation per dequeued packet on the delivery hot path.
+type bufBox struct{ b []byte }
 
 // New builds an Engine: one shared segment store, one queue manager per
 // shard drawing from it through a magazine cache. The engine starts on the
@@ -355,7 +361,7 @@ func New(cfg Config) (*Engine, error) {
 			pc: e.pacers[i&(cfg.Shards-1)],
 		}
 	}
-	e.bufs.New = func() any { return make([]byte, 0, 4*queue.SegmentBytes) }
+	e.bufs.New = func() any { return &bufBox{b: make([]byte, 0, 4*queue.SegmentBytes)} }
 	for i := range e.shards {
 		m, err := queue.NewWithStore(queue.Config{NumQueues: cfg.NumFlows}, store.NewCache())
 		if err != nil {
@@ -723,8 +729,15 @@ func (e *Engine) DequeuePacket(flow uint32) ([]byte, error) {
 // the engine's pool. The caller must not use buf afterwards.
 func (e *Engine) Release(buf []byte) { e.putBuf(buf) }
 
-// getBuf takes a reassembly buffer from the pool.
-func (e *Engine) getBuf() []byte { return e.bufs.Get().([]byte)[:0] }
+// getBuf takes a reassembly buffer from the pool; the emptied wrapper goes
+// back to the box pool for the next putBuf.
+func (e *Engine) getBuf() []byte {
+	box := e.bufs.Get().(*bufBox)
+	b := box.b
+	box.b = nil
+	e.boxes.Put(box)
+	return b[:0]
+}
 
 // putBuf recycles a reassembly buffer, unless it grew past
 // maxPooledBufBytes: pooling one giant reassembled packet would pin its
@@ -733,7 +746,14 @@ func (e *Engine) putBuf(buf []byte) {
 	if c := cap(buf); c == 0 || c > maxPooledBufBytes {
 		return
 	}
-	e.bufs.Put(buf[:0])
+	var box *bufBox
+	if v := e.boxes.Get(); v != nil {
+		box = v.(*bufBox)
+	} else {
+		box = new(bufBox)
+	}
+	box.b = buf[:0]
+	e.bufs.Put(box)
 }
 
 // MovePacket relinks the head packet of from onto to — pure pointer surgery

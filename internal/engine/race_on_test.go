@@ -1,0 +1,8 @@
+//go:build race
+
+package engine
+
+// raceEnabled reports whether the race detector is active. Alloc-count
+// pins are skipped under -race: the race-mode sync.Pool intentionally
+// drops a fraction of Puts to expose races, so pooled paths allocate.
+const raceEnabled = true

@@ -4,8 +4,15 @@ import "fmt"
 
 // EnqueuePacket segments data into SegmentBytes chunks and enqueues them on
 // q, marking the last chunk EOP. It returns the number of segments used.
-// On allocation failure the partially enqueued segments are rolled back so
-// the queue never holds a truncated packet.
+//
+// This is the vectorized enqueue: the whole segment run is grabbed from the
+// store in one AllocN, the chain is built off-queue (payload copies and link
+// words written in a single pass, no per-segment accounting), and spliced
+// onto the queue tail with one queue-table and accounting update — the same
+// O(1) splice LinkPacketTail performs for cross-manager moves. Admission is
+// charged for the full run up front, so the queue never holds a truncated
+// packet: on a short allocation the partial run goes straight back to the
+// store and the queue is untouched.
 func (m *Manager) EnqueuePacket(q QueueID, data []byte) (int, error) {
 	if err := m.checkQueue(q); err != nil {
 		return 0, err
@@ -24,84 +31,80 @@ func (m *Manager) EnqueuePacket(q QueueID, data []byte) (int, error) {
 		return 0, fmt.Errorf("%w: need %d segments, have %d",
 			ErrNoFreeSegments, needed, avail)
 	}
-	if done := m.bulkFix(q); done != nil {
-		defer done()
+	run := m.runBuf(needed)
+	if got := m.src.AllocN(run); got < needed {
+		// Another owner drained the depot between the reservation check and
+		// the grab. Nothing touched the queue yet, so there is no chain to
+		// unwind — relink the partial run and hand it back in one FreeN.
+		m.returnRun(run[:got])
+		m.publish()
+		return 0, fmt.Errorf("%w: need %d segments, got %d",
+			ErrNoFreeSegments, needed, got)
 	}
-	defer m.publish()
-	n := 0
-	for off := 0; off < len(data); off += SegmentBytes {
+	last := needed - 1
+	off := 0
+	for i, s := range run {
 		end := off + SegmentBytes
 		if end > len(data) {
 			end = len(data)
 		}
-		eop := end == len(data)
-		if _, err := m.enqueueSeg(q, data[off:end], eop); err != nil {
-			// Roll back so the queue never holds a truncated packet. On a
-			// private pool the reservation check above makes this
-			// unreachable; on a shared store another owner can consume the
-			// depot between the check and the allocation.
-			for i := 0; i < n; i++ {
-				_ = m.deleteTailUnchecked(q)
-			}
-			return 0, err
+		m.segLen[s] = uint16(end - off)
+		m.eop[s] = i == last
+		m.state[s] = stateQueued
+		if m.data != nil {
+			base := int(s) * SegmentBytes
+			copied := copy(m.data[base:base+SegmentBytes], data[off:end])
+			clear(m.data[base+copied : base+SegmentBytes])
 		}
-		n++
+		if i < last {
+			m.next[s] = run[i+1]
+		} else {
+			m.next[s] = nilSeg
+		}
+		off = end
 	}
-	return n, nil
+	head := run[0]
+	if m.qtail[q] == nilSeg {
+		m.qhead[q] = head
+	} else {
+		m.next[m.qtail[q]] = head
+	}
+	m.qtail[q] = run[last]
+	m.linkChainAccounting(q, PacketChain{
+		Head: Seg(head), Tail: Seg(run[last]), Segs: needed, Bytes: len(data),
+	})
+	m.publish()
+	return needed, nil
 }
 
-// deleteTailUnchecked removes the tail segment of q. Single-linked lists
-// have no back pointers, so this walks from the head; it is only used on
-// error-rollback paths.
-func (m *Manager) deleteTailUnchecked(q QueueID) error {
-	h := m.qhead[q]
-	if h == nilSeg {
-		return ErrQueueEmpty
+// runBuf returns the manager's scratch run buffer, grown to hold n segment
+// handles. It is reused across bulk operations, so steady-state packet
+// enqueue performs no heap allocation.
+func (m *Manager) runBuf(n int) []int32 {
+	if cap(m.run) < n {
+		m.run = make([]int32, n+n/2)
 	}
-	if m.next[h] == nilSeg {
-		return m.DeleteSegment(q)
+	return m.run[:n]
+}
+
+// returnRun relinks a partially allocated run into one chain and gives it
+// back to the store in a single FreeN. AllocN left the segments in the free
+// state, so only the link words need rebuilding.
+func (m *Manager) returnRun(run []int32) {
+	if len(run) == 0 {
+		return
 	}
-	prev := h
-	for m.next[m.next[prev]] != nilSeg {
-		prev = m.next[prev]
+	for i := 0; i < len(run)-1; i++ {
+		m.next[run[i]] = run[i+1]
 	}
-	tail := m.next[prev]
-	m.next[prev] = nilSeg
-	m.qtail[q] = prev
-	m.qsegs[q]--
-	m.state[tail] = stateFloating
-	m.floating++
-	m.noteUnlink(q, Seg(tail))
-	return m.freeSeg(Seg(tail))
+	m.src.FreeN(run[0], run[len(run)-1], int32(len(run)))
 }
 
 // DequeuePacket dequeues and reassembles the packet at the head of q.
 // It requires data storage (Config.StoreData); otherwise it returns only
 // the segment count with a nil payload.
 func (m *Manager) DequeuePacket(q QueueID) ([]byte, int, error) {
-	if err := m.checkQueue(q); err != nil {
-		return nil, 0, err
-	}
-	_, n, err := m.findPacketEnd(q)
-	if err != nil {
-		return nil, 0, err
-	}
-	if done := m.bulkFix(q); done != nil {
-		defer done()
-	}
-	defer m.publish()
-	var out []byte
-	for i := 0; i < n; i++ {
-		_, payload, err := m.dequeueSeg(q)
-		if err != nil {
-			return out, i, err
-		}
-		out = append(out, payload...)
-	}
-	if m.data == nil {
-		return nil, n, nil
-	}
-	return out, n, nil
+	return m.DequeuePacketAppend(q, nil)
 }
 
 // DequeuePacketAppend is DequeuePacket appending into buf (which may be
@@ -111,26 +114,52 @@ func (m *Manager) DequeuePacketAppend(q QueueID, buf []byte) ([]byte, int, error
 	if err := m.checkQueue(q); err != nil {
 		return buf, 0, err
 	}
-	_, n, err := m.findPacketEnd(q)
+	end, n, err := m.findPacketEnd(q)
 	if err != nil {
 		return buf, 0, err
 	}
-	if done := m.bulkFix(q); done != nil {
-		defer done()
-	}
-	defer m.publish()
-	for i := 0; i < n; i++ {
-		h := m.qhead[q]
-		if m.data != nil {
-			base := int(h) * SegmentBytes
-			buf = append(buf, m.data[base:base+int(m.segLen[h])]...)
-		}
-		s := m.unlinkHead(q)
-		if err := m.freeSeg(s); err != nil {
-			return buf, i, err
-		}
-	}
+	buf = m.consumeHeadChain(q, int32(end), n, buf, true)
+	m.publish()
 	return buf, n, nil
+}
+
+// consumeHeadChain is the vectorized inverse of EnqueuePacket: it unlinks
+// the chain [qhead..end] (n segments, guaranteed by the caller's
+// findPacketEnd) from q and returns it to the store whole. One pass over the
+// chain copies payloads (when copyData and data storage is on) and scrubs
+// per-segment metadata with the links still intact; then the queue table and
+// accounting update once — mirroring UnlinkHeadPacket — and the chain goes
+// back via a single FreeN instead of one Free per segment.
+func (m *Manager) consumeHeadChain(q QueueID, end int32, n int, buf []byte, copyData bool) []byte {
+	head := m.qhead[q]
+	copyData = copyData && m.data != nil
+	var chainBytes int32
+	for s := head; ; s = m.next[s] {
+		ln := m.segLen[s]
+		chainBytes += int32(ln)
+		if copyData {
+			base := int(s) * SegmentBytes
+			buf = append(buf, m.data[base:base+int(ln)]...)
+		}
+		m.segLen[s] = 0
+		m.eop[s] = false
+		m.state[s] = stateFree
+		if s == end {
+			break
+		}
+	}
+	m.qhead[q] = m.next[end]
+	if m.qhead[q] == nilSeg {
+		m.qtail[q] = nilSeg
+	}
+	m.qsegs[q] -= int32(n)
+	m.qbytes[q] -= chainBytes
+	m.qpkts[q]--
+	m.queuedSegs -= int32(n)
+	m.totalBytes -= int64(chainBytes)
+	m.fixLongest(q)
+	m.src.FreeN(head, end, int32(n))
+	return buf
 }
 
 // PacketLen returns the byte length and segment count of the packet at the

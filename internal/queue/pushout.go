@@ -107,25 +107,10 @@ func (m *Manager) Drops() (packets, segments uint64) {
 	return m.droppedPackets, m.droppedSegments
 }
 
-// bulkFix suspends per-segment heap maintenance for a multi-segment
-// operation on q. The returned function (nil when tracking is off)
-// restores maintenance and reconciles q's heap position once — one
-// O(log n) fix per packet instead of one per segment.
-func (m *Manager) bulkFix(q QueueID) func() {
-	if m.heapPos == nil {
-		return nil
-	}
-	m.heapSuspended = true
-	return func() {
-		m.heapSuspended = false
-		m.fixLongest(q)
-	}
-}
-
 // fixLongest restores the heap after qsegs[q] changed. It is a no-op when
-// tracking is disabled or suspended for a bulk operation.
+// tracking is disabled.
 func (m *Manager) fixLongest(q QueueID) {
-	if m.heapPos == nil || m.heapSuspended {
+	if m.heapPos == nil {
 		return
 	}
 	pos := m.heapPos[q]

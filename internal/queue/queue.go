@@ -116,12 +116,16 @@ type Manager struct {
 	floating   int32 // segments allocated but not yet queued
 
 	// Longest-queue tracking (see pushout.go): an indexed max-heap over
-	// qsegs, maintained only when heapPos is non-nil. heapSuspended defers
-	// per-segment maintenance during multi-segment packet operations,
-	// which reconcile once at the end (see bulkFix).
-	heap          []int32
-	heapPos       []int32
-	heapSuspended bool
+	// qsegs, maintained only when heapPos is non-nil. Multi-segment packet
+	// operations move whole chains with one accounting update, so the heap
+	// reconciles once per packet by construction.
+	heap    []int32
+	heapPos []int32
+
+	// run is the scratch buffer bulk packet operations stage segment runs
+	// in; it grows to the largest packet seen and is reused, so the packet
+	// hot path performs no heap allocation.
+	run []int32
 
 	// Drop accounting: packets removed by push-out or DropHeadPacket.
 	droppedPackets  uint64
@@ -522,17 +526,8 @@ func (m *Manager) DeletePacket(q QueueID) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	_ = end
-	if done := m.bulkFix(q); done != nil {
-		defer done()
-	}
-	defer m.publish()
-	for i := 0; i < n; i++ {
-		s := m.unlinkHead(q)
-		if err := m.freeSeg(s); err != nil {
-			return i, err
-		}
-	}
+	m.consumeHeadChain(q, int32(end), n, nil, false)
+	m.publish()
 	return n, nil
 }
 

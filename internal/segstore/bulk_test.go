@@ -1,0 +1,201 @@
+package segstore
+
+import "testing"
+
+// Tests for the bulk alloc/free path: AllocN runs carved across magazine
+// boundaries, short returns on a dry pool, FreeN spilling whole magazines
+// back to the depot, and FIFO preservation on the private pool.
+
+// relink rebuilds the chain links for a run the way the queue layer does
+// before handing it back, returning head and tail.
+func relink(next []int32, run []int32) (head, tail int32) {
+	for i := 0; i < len(run)-1; i++ {
+		next[run[i]] = run[i+1]
+	}
+	return run[0], run[len(run)-1]
+}
+
+func TestCacheAllocNShortOnDryPool(t *testing.T) {
+	const n = 40
+	st, err := New(Config{NumSegments: n, MagazineSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := st.NewCache()
+	dst := make([]int32, 64)
+	got := c.AllocN(dst)
+	if got != n {
+		t.Fatalf("AllocN on a %d-segment pool delivered %d, want the whole pool", n, got)
+	}
+	seen := make([]bool, n)
+	for _, s := range dst[:got] {
+		if s < 0 || int(s) >= n || seen[s] {
+			t.Fatalf("AllocN delivered invalid or duplicate segment %d", s)
+		}
+		seen[s] = true
+	}
+	if st.Free() != 0 {
+		t.Fatalf("Free = %d after draining the pool, want 0", st.Free())
+	}
+	if extra := c.AllocN(dst[:4]); extra != 0 {
+		t.Fatalf("AllocN on a dry pool delivered %d segments", extra)
+	}
+	head, tail := relink(c.View().Next, dst[:got])
+	c.FreeN(head, tail, int32(got))
+	c.Publish()
+	if st.Free() != n {
+		t.Fatalf("Free = %d after FreeN, want %d", st.Free(), n)
+	}
+	if err := st.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A FreeN longer than two magazines must carve nominal-size magazines off
+// the front and push them to the depot, leaving the active magazine below
+// the spill threshold and the pool count exact.
+func TestCacheFreeNSpillsAcrossMagazines(t *testing.T) {
+	const (
+		n   = 64
+		mag = 8
+	)
+	st, err := New(Config{NumSegments: n, MagazineSize: mag})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := st.NewCache()
+	run := make([]int32, 33) // 4 whole magazines plus one
+	if got := c.AllocN(run); got != len(run) {
+		t.Fatalf("AllocN = %d, want %d", got, len(run))
+	}
+	c.Publish()
+	head, tail := relink(c.View().Next, run)
+	c.FreeN(head, tail, int32(len(run)))
+	c.Publish()
+	if st.Free() != n {
+		t.Fatalf("Free = %d after bulk free, want %d", st.Free(), n)
+	}
+	// The spill loop must have stopped below two magazines' worth.
+	if held := c.count.Load(); held >= 2*mag {
+		t.Fatalf("cache still holds %d segments, spill threshold is %d", held, 2*mag)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Spilled magazines must be allocatable again — drain the whole pool.
+	all := make([]int32, n)
+	if got := c.AllocN(all); got != n {
+		t.Fatalf("re-AllocN = %d, want %d", got, n)
+	}
+	head, tail = relink(c.View().Next, all)
+	c.FreeN(head, tail, int32(n))
+	c.Publish()
+	if err := st.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Randomized alloc-run/free-run churn: a steady mix of run sizes above and
+// below the magazine size must conserve the pool exactly.
+func TestCacheBulkChurnConserves(t *testing.T) {
+	const n = 128
+	st, err := New(Config{NumSegments: n, MagazineSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := st.NewCache()
+	var held [][]int32
+	heldSegs := 0
+	rand := uint32(1)
+	for i := 0; i < 5000; i++ {
+		rand = rand*1664525 + 1013904223
+		if rand&1 == 0 || heldSegs == n {
+			if len(held) == 0 {
+				continue
+			}
+			run := held[len(held)-1]
+			held = held[:len(held)-1]
+			head, tail := relink(c.View().Next, run)
+			c.FreeN(head, tail, int32(len(run)))
+			heldSegs -= len(run)
+		} else {
+			want := 1 + int(rand>>8)%24
+			run := make([]int32, want)
+			got := c.AllocN(run)
+			if free := n - heldSegs; got != min(want, free) {
+				t.Fatalf("iter %d: AllocN(%d) = %d with %d free", i, want, got, free)
+			}
+			if got > 0 {
+				held = append(held, run[:got])
+				heldSegs += got
+			}
+		}
+		c.Publish()
+		if st.Free() != n-heldSegs {
+			t.Fatalf("iter %d: Free = %d, want %d", i, st.Free(), n-heldSegs)
+		}
+	}
+	for _, run := range held {
+		head, tail := relink(c.View().Next, run)
+		c.FreeN(head, tail, int32(len(run)))
+	}
+	c.Publish()
+	if st.Free() != n {
+		t.Fatalf("Free = %d after returning everything, want %d", st.Free(), n)
+	}
+	if err := st.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Private pools promise FIFO reuse (the DDR bank-striping property); the
+// bulk entry points must preserve it exactly.
+func TestPrivateBulkFIFO(t *testing.T) {
+	const n = 16
+	p, err := NewPrivate(Config{NumSegments: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := make([]int32, 10)
+	if got := p.AllocN(run); got != len(run) {
+		t.Fatalf("AllocN = %d, want %d", got, len(run))
+	}
+	for i, s := range run {
+		if s != int32(i) {
+			t.Fatalf("run[%d] = %d, want FIFO order", i, s)
+		}
+	}
+	head, tail := relink(p.View().Next, run)
+	p.FreeN(head, tail, int32(len(run)))
+	// The free list is now 10..15 then the returned 0..9.
+	for want := int32(10); want < 16; want++ {
+		if s, ok := p.Alloc(); !ok || s != want {
+			t.Fatalf("Alloc = (%d, %v), want (%d, true)", s, ok, want)
+		}
+	}
+	got := make([]int32, 10)
+	if k := p.AllocN(got); k != 10 {
+		t.Fatalf("AllocN = %d, want 10", k)
+	}
+	for i, s := range got {
+		if s != int32(i) {
+			t.Fatalf("recycled run[%d] = %d, want %d", i, s, i)
+		}
+	}
+	// Short return drains to exactly nothing and the pool stays coherent.
+	if p.FreeSegments() != 0 {
+		t.Fatalf("FreeSegments = %d, want 0", p.FreeSegments())
+	}
+	if k := p.AllocN(make([]int32, 4)); k != 0 {
+		t.Fatalf("AllocN on empty pool = %d", k)
+	}
+	for s := int32(0); s < n; s++ {
+		p.Free(s)
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -99,6 +99,44 @@ func (c *Cache) Alloc() (int32, bool) {
 	return s, true
 }
 
+// AllocN fills dst with segments and returns how many it delivered — short
+// only when the cache and depot together run dry. Runs are carved a whole
+// magazine at a time: the inner loop walks the magazine chain with plain
+// pointer reads, so a multi-segment packet costs one AllocN instead of one
+// Alloc (function call, dryness check) per segment, and at most one depot
+// CAS per magazine crossed.
+func (c *Cache) AllocN(dst []int32) int {
+	next := c.st.view.Next
+	got := 0
+	for got < len(dst) {
+		m := &c.mag[0]
+		if m.n == 0 {
+			if c.mag[1].n > 0 {
+				c.mag[0], c.mag[1] = c.mag[1], c.mag[0]
+			} else {
+				head, n, ok := c.st.popMagazine()
+				if !ok {
+					return got
+				}
+				m.head, m.n = head, n
+			}
+		}
+		take := int32(len(dst) - got)
+		if take > m.n {
+			take = m.n
+		}
+		s := m.head
+		for i := int32(0); i < take; i++ {
+			dst[got] = s
+			got++
+			s = next[s]
+		}
+		m.head = s
+		m.n -= take
+	}
+	return got
+}
+
 // Free returns one segment to the active magazine. When both magazines are
 // full the spare is pushed to the depot (one CAS), so a sustained
 // free-heavy phase costs one CAS per magazine of frees.
@@ -116,6 +154,39 @@ func (c *Cache) Free(s int32) {
 	c.st.view.Next[s] = m.head
 	m.head = s
 	m.n++
+}
+
+// FreeN splices a pre-linked chain of n segments (head→…→tail through
+// View.Next; Next[tail] is overwritten) onto the active magazine in O(1),
+// the bulk analogue of Free. The active magazine is allowed to grow past the
+// nominal magazine size; once it holds two magazines' worth, nominal-size
+// magazines are carved off its front and pushed to the depot — one chain
+// walk and one CAS per magazine of frees, and a steady alloc-run/free-run
+// cycle (the datapath's dequeue feeding the next enqueue) never touches the
+// depot at all.
+func (c *Cache) FreeN(head, tail, n int32) {
+	if n <= 0 {
+		return
+	}
+	next := c.st.view.Next
+	m := &c.mag[0]
+	next[tail] = m.head
+	m.head = head
+	m.n += n
+	for m.n >= 2*c.st.magSize {
+		s := m.head
+		for i := int32(1); i < c.st.magSize; i++ {
+			s = next[s]
+		}
+		h := m.head
+		m.head = next[s]
+		next[s] = nilSeg
+		m.n -= c.st.magSize
+		// Publish the shrunken population before the push so the departing
+		// magazine is never counted in the cache and the depot at once.
+		c.count.Store(m.n + c.mag[1].n)
+		c.st.pushMagazine(h, c.st.magSize)
+	}
 }
 
 // Publish refreshes the cache's lock-free population mirror. Owners call

@@ -63,6 +63,25 @@ func (p *Private) Alloc() (int32, bool) {
 	return s, true
 }
 
+// AllocN pops up to len(dst) segments off the free-list head in one walk,
+// preserving FIFO reuse order: a run comes out in exactly the order repeated
+// Alloc calls would have produced.
+func (p *Private) AllocN(dst []int32) int {
+	s := p.head
+	got := 0
+	for got < len(dst) && s != nilSeg {
+		dst[got] = s
+		got++
+		s = p.view.Next[s]
+	}
+	p.head = s
+	if s == nilSeg {
+		p.tail = nilSeg
+	}
+	p.count -= int32(got)
+	return got
+}
+
 // Free appends the segment at the free-list tail ("Enqueue Free List").
 func (p *Private) Free(s int32) {
 	p.view.Next[s] = nilSeg
@@ -73,6 +92,24 @@ func (p *Private) Free(s int32) {
 	}
 	p.tail = s
 	p.count++
+}
+
+// FreeN appends a pre-linked chain of n segments (head→…→tail through
+// View.Next) at the free-list tail in O(1). The chain joins the FIFO in its
+// own link order, so reuse still cycles through the whole pool — the
+// property the timed models' DDR bank-striping tables depend on.
+func (p *Private) FreeN(head, tail, n int32) {
+	if n <= 0 {
+		return
+	}
+	p.view.Next[tail] = nilSeg
+	if p.tail == nilSeg {
+		p.head = head
+	} else {
+		p.view.Next[p.tail] = head
+	}
+	p.tail = tail
+	p.count += n
 }
 
 // Flush is a no-op: there is no shared pool to hand segments back to.

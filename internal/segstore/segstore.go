@@ -82,8 +82,17 @@ type Source interface {
 	Avail() int
 	// Alloc takes one segment; ok is false when nothing is reachable.
 	Alloc() (int32, bool)
+	// AllocN fills dst with freshly allocated segments and returns how many
+	// it delivered — short only when the pool runs dry mid-run. The bulk
+	// analogue of Alloc: one call per packet instead of one per segment.
+	// Link words of the returned segments are unspecified.
+	AllocN(dst []int32) int
 	// Free returns one segment.
 	Free(s int32)
+	// FreeN returns a chain of n segments already linked head→…→tail
+	// through View.Next (Next[tail] is overwritten). The whole chain is
+	// spliced into free storage in one operation regardless of n.
+	FreeN(head, tail, n int32)
 	// Flush hands cached segments back to the shared pool so other owners
 	// can allocate them (no-op for a private source).
 	Flush()

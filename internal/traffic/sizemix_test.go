@@ -1,0 +1,82 @@
+package traffic
+
+import "testing"
+
+func TestSizeMixValidation(t *testing.T) {
+	if _, err := NewSizeMix(SizeMixConfig{Kind: MixFixed}); err == nil {
+		t.Error("zero fixed size accepted")
+	}
+	if _, err := NewSizeMix(SizeMixConfig{Kind: SizeMixKind(99)}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := NewSizeMix(SizeMixConfig{Kind: MixIMIX}); err != nil {
+		t.Errorf("IMIX rejected: %v", err)
+	}
+}
+
+func TestSizeMixFixed(t *testing.T) {
+	d, err := NewSizeMix(SizeMixConfig{Kind: MixFixed, Fixed: 320})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if got := d.Next(); got != 320 {
+			t.Fatalf("fixed draw %d = %d, want 320", i, got)
+		}
+	}
+	if d.Max() != 320 || d.Mean() != 320 {
+		t.Errorf("Max=%d Mean=%g, want 320", d.Max(), d.Mean())
+	}
+}
+
+// IMIX draws must hit only the three mix sizes, in 7:4:1 proportions over a
+// long window, and the sequence must be reproducible per seed.
+func TestSizeMixIMIX(t *testing.T) {
+	d, err := NewSizeMix(SizeMixConfig{Kind: MixIMIX, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Max() != 1500 {
+		t.Fatalf("Max = %d, want 1500", d.Max())
+	}
+	const draws = 1 << 20
+	counts := map[int]int{}
+	for i := 0; i < draws; i++ {
+		counts[d.Next()]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("IMIX produced sizes %v, want exactly {64, 576, 1500}", counts)
+	}
+	want := map[int]float64{64: 7.0 / 12, 576: 4.0 / 12, 1500: 1.0 / 12}
+	for size, frac := range want {
+		got := float64(counts[size]) / draws
+		if got < frac-0.01 || got > frac+0.01 {
+			t.Errorf("size %d: %.4f of draws, want %.4f ± 0.01", size, got, frac)
+		}
+	}
+	// Mean matches the weighted table.
+	if m := d.Mean(); m < 354 || m > 355 {
+		t.Errorf("Mean = %g, want ~354.67", m)
+	}
+
+	// Reproducibility: same seed, same sequence; different seed, different.
+	a, _ := NewSizeMix(SizeMixConfig{Kind: MixIMIX, Seed: 7})
+	b, _ := NewSizeMix(SizeMixConfig{Kind: MixIMIX, Seed: 7})
+	c, _ := NewSizeMix(SizeMixConfig{Kind: MixIMIX, Seed: 8})
+	same, diff := true, false
+	for i := 0; i < 1000; i++ {
+		av := a.Next()
+		if av != b.Next() {
+			same = false
+		}
+		if av != c.Next() {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("identical seeds diverged")
+	}
+	if !diff {
+		t.Error("distinct seeds produced identical sequences")
+	}
+}
