@@ -13,11 +13,12 @@ import (
 )
 
 // BenchmarkEngineMTU sweeps packet size — the dimension the original matrix
-// holds fixed at 320 bytes — across the two engine shapes. Small packets
-// measure fixed per-command overhead; 1500-byte packets (24 segments)
-// measure the per-segment path the bulk run allocation amortizes; the IMIX
-// mix (64/576/1500 weighted 7:4:1) is the realistic blend. Shards and
-// datapath stay fixed (4, sync) so the packet-size effect is isolated.
+// holds fixed at 320 bytes — across the two engine shapes and the two
+// delivery modes. Small packets measure fixed per-command overhead;
+// 1500-byte packets (24 segments) measure the per-segment path the bulk run
+// allocation amortizes; the IMIX mix (64/576/1500 weighted 7:4:1) is the
+// realistic blend. Shards and datapath stay fixed (4, sync) so the
+// packet-size effect is isolated.
 //
 //   - shape=sharded is the per-packet round trip of BenchmarkEngineSharded:
 //     each iteration enqueues one packet and dequeues it back.
@@ -25,38 +26,66 @@ import (
 //     BenchmarkEngineShardedPipeline: producers offer with pool-watermark
 //     pacing while two consumers drain, and the headline metric is
 //     Mdeliv/s — packets delivered inside the timed window.
+//   - delivery=copy is the classic datapath: the engine copies the payload
+//     into segments on enqueue and reassembles it into a pooled buffer on
+//     dequeue. delivery=view is the zero-copy pipeline: producers reserve
+//     segment runs and fill them in place, consumers read segment-chain
+//     views and release them — the payload crosses the engine without the
+//     engine ever copying a byte.
 func BenchmarkEngineMTU(b *testing.B) {
 	for _, shape := range []string{"sharded", "pipeline"} {
 		for _, size := range []string{"64", "1500", "imix"} {
-			b.Run(fmt.Sprintf("shape=%s/pkt=%s", shape, size), func(b *testing.B) {
-				mixCfg := traffic.SizeMixConfig{Kind: traffic.MixIMIX}
-				if size != "imix" {
-					mixCfg.Kind = traffic.MixFixed
-					if size == "64" {
-						mixCfg.Fixed = 64
-					} else {
-						mixCfg.Fixed = 1500
+			for _, delivery := range []string{"copy", "view"} {
+				b.Run(fmt.Sprintf("shape=%s/pkt=%s/delivery=%s", shape, size, delivery), func(b *testing.B) {
+					mixCfg := traffic.SizeMixConfig{Kind: traffic.MixIMIX}
+					if size != "imix" {
+						mixCfg.Kind = traffic.MixFixed
+						if size == "64" {
+							mixCfg.Fixed = 64
+						} else {
+							mixCfg.Fixed = 1500
+						}
 					}
-				}
-				probe, err := traffic.NewSizeMix(mixCfg)
-				if err != nil {
-					b.Fatal(err)
-				}
-				payload := make([]byte, probe.Max()) // shared, read-only
-				maxSegs := (probe.Max() + 63) / 64
-				if shape == "sharded" {
-					benchMTUSharded(b, mixCfg, payload)
-					return
-				}
-				benchMTUPipeline(b, mixCfg, payload, maxSegs, probe.Mean())
-			})
+					probe, err := traffic.NewSizeMix(mixCfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					payload := make([]byte, probe.Max()) // shared, read-only
+					maxSegs := (probe.Max() + 63) / 64
+					view := delivery == "view"
+					if shape == "sharded" {
+						benchMTUSharded(b, mixCfg, payload, view)
+						return
+					}
+					benchMTUPipeline(b, mixCfg, payload, maxSegs, probe.Mean(), view)
+				})
+			}
 		}
 	}
 }
 
+// benchIngest offers one packet: the copy path's segmenting enqueue, or the
+// zero-copy path's reserve → fill-in-place → commit.
+func benchIngest(cm *ConcurrentQueueManager, f uint32, pkt []byte, view bool) error {
+	if !view {
+		_, err := cm.EnqueuePacket(f, pkt)
+		return err
+	}
+	r, err := cm.ReservePacket(f, len(pkt))
+	if err != nil {
+		return err
+	}
+	off := 0
+	r.Range(func(seg []byte) bool {
+		off += copy(seg, pkt[off:])
+		return true
+	})
+	return r.Commit()
+}
+
 // benchMTUSharded is the enqueue/dequeue round trip: per-packet cost with
 // no cross-goroutine handoff, the closest measure of the per-segment path.
-func benchMTUSharded(b *testing.B, mixCfg traffic.SizeMixConfig, payload []byte) {
+func benchMTUSharded(b *testing.B, mixCfg traffic.SizeMixConfig, payload []byte, view bool) {
 	cm, err := NewConcurrentEngine(ConcurrentConfig{
 		Flows:    DefaultFlows,
 		Segments: 1 << 17,
@@ -80,16 +109,25 @@ func benchMTUSharded(b *testing.B, mixCfg traffic.SizeMixConfig, payload []byte)
 		for pb.Next() {
 			f := fd.Next()
 			pkt := payload[:mix.Next()]
-			if _, err := cm.EnqueuePacket(f, pkt); err != nil {
+			if err := benchIngest(cm, f, pkt, view); err != nil {
 				b.Error(err)
 				return
+			}
+			if view {
+				v, err := cm.DequeuePacketView(f)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				v.Release()
+				continue
 			}
 			data, err := cm.DequeuePacket(f)
 			if err != nil {
 				b.Error(err)
 				return
 			}
-			cm.Release(data)
+			cm.ReleaseBuffer(data)
 		}
 	})
 }
@@ -97,7 +135,7 @@ func benchMTUSharded(b *testing.B, mixCfg traffic.SizeMixConfig, payload []byte)
 // benchMTUPipeline is the ingress/egress shape: producers offer under
 // watermark flow control, two consumers drain, deliveries are counted only
 // inside the timed window.
-func benchMTUPipeline(b *testing.B, mixCfg traffic.SizeMixConfig, payload []byte, maxSegs int, meanBytes float64) {
+func benchMTUPipeline(b *testing.B, mixCfg traffic.SizeMixConfig, payload []byte, maxSegs int, meanBytes float64, view bool) {
 	cm, err := NewConcurrentEngine(ConcurrentConfig{
 		Flows:    DefaultFlows,
 		Segments: 1 << 17,
@@ -113,11 +151,19 @@ func benchMTUPipeline(b *testing.B, mixCfg traffic.SizeMixConfig, payload []byte
 		go func() {
 			defer consWG.Done()
 			for {
-				out := cm.DequeueNextBatch(64)
-				for _, d := range out {
-					cm.Release(d.Data)
+				var served int
+				if view {
+					out := cm.DequeueNextViewBatch(64)
+					cm.ReleaseViews(out)
+					served = len(out)
+				} else {
+					out := cm.DequeueNextBatch(64)
+					for _, d := range out {
+						cm.ReleaseBuffer(d.Data)
+					}
+					served = len(out)
 				}
-				if len(out) == 0 {
+				if served == 0 {
 					select {
 					case <-stop:
 						return
@@ -157,7 +203,7 @@ func benchMTUPipeline(b *testing.B, mixCfg traffic.SizeMixConfig, payload []byte
 			}
 			pace--
 			for {
-				_, err := cm.EnqueuePacket(f, pkt)
+				err := benchIngest(cm, f, pkt, view)
 				if err == nil {
 					break
 				}
@@ -175,12 +221,20 @@ func benchMTUPipeline(b *testing.B, mixCfg traffic.SizeMixConfig, payload []byte
 	consWG.Wait()
 	window := cm.Stats().DequeuedPackets
 	for {
+		if view {
+			out := cm.DequeueNextViewBatch(256)
+			if len(out) == 0 {
+				break
+			}
+			cm.ReleaseViews(out)
+			continue
+		}
 		out := cm.DequeueNextBatch(256)
 		if len(out) == 0 {
 			break
 		}
 		for _, d := range out {
-			cm.Release(d.Data)
+			cm.ReleaseBuffer(d.Data)
 		}
 	}
 	st := cm.Stats()

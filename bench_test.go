@@ -366,7 +366,7 @@ func BenchmarkEngineSharded(b *testing.B) {
 									b.Error(err)
 									return
 								}
-								cm.Release(data)
+								cm.ReleaseBuffer(data)
 							}
 						})
 						return
@@ -394,7 +394,7 @@ func BenchmarkEngineSharded(b *testing.B) {
 									b.Error(err)
 									return
 								}
-								cm.Release(pkts[j])
+								cm.ReleaseBuffer(pkts[j])
 							}
 						}
 					})
@@ -448,7 +448,7 @@ func BenchmarkEngineShardedPipeline(b *testing.B) {
 							for {
 								out := cm.DequeueNextBatch(drainBatch)
 								for _, d := range out {
-									cm.Release(d.Data)
+									cm.ReleaseBuffer(d.Data)
 								}
 								if len(out) == 0 {
 									select {
@@ -533,7 +533,7 @@ func BenchmarkEngineShardedPipeline(b *testing.B) {
 							break
 						}
 						for _, d := range out {
-							cm.Release(d.Data)
+							cm.ReleaseBuffer(d.Data)
 						}
 					}
 					st := cm.Stats()
@@ -589,7 +589,7 @@ func BenchmarkEnginePorts(b *testing.B) {
 							for {
 								out := cm.DequeueNextBatch(drainBatch)
 								for _, d := range out {
-									cm.Release(d.Data)
+									cm.ReleaseBuffer(d.Data)
 								}
 								if len(out) == 0 {
 									select {
@@ -605,7 +605,7 @@ func BenchmarkEnginePorts(b *testing.B) {
 				} else {
 					for p := 0; p < ports; p++ {
 						if err := cm.Serve(p, SinkFunc(func(d DequeuedPacket) error {
-							cm.Release(d.Data)
+							cm.ReleaseBuffer(d.Data)
 							return nil
 						})); err != nil {
 							b.Fatal(err)
@@ -656,7 +656,7 @@ func BenchmarkEnginePorts(b *testing.B) {
 					if mode == "pull" {
 						out := cm.DequeueNextBatch(256)
 						for _, d := range out {
-							cm.Release(d.Data)
+							cm.ReleaseBuffer(d.Data)
 						}
 					} else {
 						time.Sleep(time.Millisecond)
@@ -733,7 +733,7 @@ func BenchmarkEngineHierarchy(b *testing.B) {
 				}
 				for p := 0; p < tc.ports; p++ {
 					if err := cm.Serve(p, SinkFunc(func(d DequeuedPacket) error {
-						cm.Release(d.Data)
+						cm.ReleaseBuffer(d.Data)
 						return nil
 					})); err != nil {
 						b.Fatal(err)
@@ -823,7 +823,7 @@ func BenchmarkEngineShardedBatch(b *testing.B) {
 							b.Error(err)
 							return
 						}
-						cm.Release(pkts[j])
+						cm.ReleaseBuffer(pkts[j])
 					}
 				}
 			})
@@ -874,7 +874,7 @@ func BenchmarkEnginePolicy(b *testing.B) {
 						b.Error(err)
 						return
 					}
-					cm.Release(data)
+					cm.ReleaseBuffer(data)
 				}
 			})
 		})
@@ -911,7 +911,7 @@ func BenchmarkEngineEgress(b *testing.B) {
 				if !ok {
 					b.Fatal("scheduler idle with backlog")
 				}
-				cm.Release(out.Data)
+				cm.ReleaseBuffer(out.Data)
 				if _, err := cm.EnqueuePacket(out.Flow, pkt); err != nil {
 					b.Fatal(err)
 				}

@@ -11,6 +11,7 @@
 //	qmsim -model engine -policy lqd -pool 4096 -egress drr -ops 500000
 //	qmsim -model engine -policy lqd -pool 8192 -zipf 1.2 -ops 500000
 //	qmsim -model engine -datapath ring -shards 16 -parallel 8 -residence 64
+//	qmsim -delivery view -pkt 1500 -ops 2000000
 //	qmsim -ports 4 -rate 125000000 -egress drr
 //	qmsim -classes 8 -class-egress wrr -class-weights 4,4,2,2,1,1,1,1
 //
@@ -30,6 +31,14 @@
 // -class-weights sets the per-class WRR/DRR weights. The CSV grows a
 // per-class block mirroring the per-port one: deliveries, bytes, and the
 // achieved share per class. Any class flag implies -model engine.
+//
+// -delivery selects how packets cross the engine boundary: "copy"
+// reassembles each packet into a pooled buffer on dequeue and copies the
+// payload on enqueue; "view" runs the zero-copy pipeline — producers
+// reserve segment runs and fill them in place (ReservePacket), consumers
+// and port sinks read segment-chain views released back to the pool in
+// bulk. The copied_bytes CSV column prices the difference: it is exactly
+// 0 in a pure view run. Setting -delivery implies -model engine.
 //
 // The engine's segment pool is one shared buffer: -limit, -minth/-maxth and
 // LQD eviction are pool-wide, and a skewed workload (-zipf > 1 concentrates
@@ -100,6 +109,7 @@ func main() {
 		burst     = flag.Int("burst", 1, "engine: packets per flow burst (bursty arrivals)")
 		zipf      = flag.Float64("zipf", 0, "engine: Zipf skew exponent for flow selection (0 = uniform stride, >1 = skewed)")
 		datapath  = flag.String("datapath", "sync", "engine: datapath (sync = lock per call, ring = async command rings)")
+		delivery  = flag.String("delivery", "copy", "engine: delivery mode (copy = reassembled pooled buffers, view = zero-copy segment views with write-in-place ingest)")
 		ringCap   = flag.Int("ringcap", 0, "engine: per-shard command-ring capacity (0 = default 1024)")
 		residence = flag.Int("residence", 0, "engine: sample every Nth packet's enqueue→dequeue residence time (0 = off)")
 		ports     = flag.Int("ports", 1, "engine: output ports (flows spread flow %% N; >1 or -rate switches egress to push-mode port workers)")
@@ -116,7 +126,8 @@ func main() {
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	if !explicit["model"] && (explicit["ports"] || explicit["rate"] ||
-		explicit["classes"] || explicit["class-egress"] || explicit["class-weights"]) {
+		explicit["classes"] || explicit["class-egress"] || explicit["class-weights"] ||
+		explicit["delivery"]) {
 		*model = "engine"
 	}
 
@@ -138,7 +149,7 @@ func main() {
 			minth: *minth, maxth: *maxth, maxp: *maxp, wq: *wq,
 			egress: *egName, quantum: *quantum, burst: *burst,
 			zipf:     *zipf,
-			datapath: *datapath, ringCap: *ringCap, residence: *residence,
+			datapath: *datapath, delivery: *delivery, ringCap: *ringCap, residence: *residence,
 			ports: *ports, rate: *rate, burstBytes: *burstB,
 			classes: *classes, classEgress: *classEg, classWeights: *classW,
 		})
@@ -218,6 +229,7 @@ type engineArgs struct {
 	burst                                        int
 	zipf                                         float64
 	datapath                                     string
+	delivery                                     string
 	ringCap                                      int
 	residence                                    int
 	ports                                        int
@@ -299,6 +311,19 @@ func runEngine(a engineArgs) error {
 		ringMode = true
 	default:
 		return fmt.Errorf("unknown datapath %q (want sync or ring)", a.datapath)
+	}
+	// -delivery view swaps both ends of the datapath for the zero-copy
+	// pipeline: producers reserve segment runs and fill them in place
+	// (never handing the engine a buffer to copy), consumers take packet
+	// views over the segment chains and release them after reading. In a
+	// pure view run the copied_bytes CSV column is exactly 0.
+	var viewMode bool
+	switch a.delivery {
+	case "", "copy":
+	case "view":
+		viewMode = true
+	default:
+		return fmt.Errorf("unknown delivery %q (want copy or view)", a.delivery)
 	}
 	if a.ports < 1 {
 		return fmt.Errorf("ports must be >= 1, got %d", a.ports)
@@ -422,6 +447,22 @@ func runEngine(a engineArgs) error {
 				errOnce.Do(func() { firstErr = err })
 				return
 			}
+			// Write-in-place ingest for -delivery view: reserve the run,
+			// scatter the payload into the reserved segment slices (the
+			// copy here stands in for a NIC writing segments as they
+			// arrive — the engine itself never copies), splice.
+			reserve := func(f uint32, pkt []byte) error {
+				r, err := e.ReservePacket(f, len(pkt))
+				if err != nil {
+					return err
+				}
+				off := 0
+				r.Range(func(seg []byte) bool {
+					off += copy(seg, pkt[off:])
+					return true
+				})
+				return r.Commit()
+			}
 			for n := 0; n < perProducer; n++ {
 				f := fd.Next()
 				pkt := payload[:mix.Next()]
@@ -431,6 +472,14 @@ func runEngine(a engineArgs) error {
 				// overhead (two clock reads and a histogram add) is charged
 				// identically and the mpps columns stay comparable.
 				switch sample := n%compLatEvery == 0; {
+				case viewMode && sample:
+					// Reserve+commit is always blocking; on the ring
+					// datapath the sample times both command round trips.
+					t0 := time.Now()
+					err = reserve(f, pkt)
+					compLat[p].Add(float64(time.Since(t0).Nanoseconds()))
+				case viewMode:
+					err = reserve(f, pkt)
 				case ringMode && !sample:
 					// Fire and forget; outcomes land in the counters.
 					err = e.EnqueueAsync(f, pkt)
@@ -460,30 +509,53 @@ func runEngine(a engineArgs) error {
 		}(p)
 	}
 
-	if pushMode {
-		// Push-mode egress: one engine-owned worker per port delivers into
-		// a releasing sink, paced by the per-port shaper.
+	switch {
+	case pushMode && viewMode:
+		// Push-mode zero-copy egress: the port workers hand the sink a
+		// view per packet; the engine releases it when SendView returns.
 		for p := 0; p < a.ports; p++ {
-			if err := e.Serve(p, engine.SinkFunc(func(d engine.Dequeued) error {
+			if err := e.ServeViews(p, engine.SinkVFunc(func(_ int, d engine.DequeuedView) error {
 				countClass(d.Flow)
-				e.Release(d.Data)
 				return nil
 			})); err != nil {
 				return err
 			}
 		}
-	} else {
+	case pushMode:
+		// Push-mode egress: one engine-owned worker per port delivers into
+		// a releasing sink, paced by the per-port shaper.
+		for p := 0; p < a.ports; p++ {
+			if err := e.Serve(p, engine.SinkFunc(func(d engine.Dequeued) error {
+				countClass(d.Flow)
+				e.ReleaseBuffer(d.Data)
+				return nil
+			})); err != nil {
+				return err
+			}
+		}
+	default:
 		for c := 0; c < a.parallel; c++ {
 			consWG.Add(1)
 			go func() {
 				defer consWG.Done()
 				for {
-					batch := e.DequeueNextBatch(64)
-					for _, d := range batch {
-						countClass(d.Flow)
-						e.Release(d.Data)
+					var served int
+					if viewMode {
+						batch := e.DequeueNextViewBatch(64)
+						for _, d := range batch {
+							countClass(d.Flow)
+						}
+						e.ReleaseViews(batch)
+						served = len(batch)
+					} else {
+						batch := e.DequeueNextBatch(64)
+						for _, d := range batch {
+							countClass(d.Flow)
+							e.ReleaseBuffer(d.Data)
+						}
+						served = len(batch)
 					}
-					if len(batch) == 0 {
+					if served == 0 {
 						select {
 						case <-done:
 							return
@@ -557,13 +629,24 @@ func runEngine(a engineArgs) error {
 	}
 	// Drain whatever the consumers left at the cutoff.
 	for {
+		if viewMode {
+			batch := e.DequeueNextViewBatch(256)
+			if len(batch) == 0 {
+				break
+			}
+			for _, d := range batch {
+				countClass(d.Flow)
+			}
+			e.ReleaseViews(batch)
+			continue
+		}
 		batch := e.DequeueNextBatch(256)
 		if len(batch) == 0 {
 			break
 		}
 		for _, d := range batch {
 			countClass(d.Flow)
-			e.Release(d.Data)
+			e.ReleaseBuffer(d.Data)
 		}
 	}
 	elapsed := time.Since(start)
@@ -591,15 +674,19 @@ func runEngine(a engineArgs) error {
 		// atomic cut, so a sampled sum can transiently exceed the pool.
 		occPct = 100
 	}
-	fmt.Println("shards,parallel,flows,policy,egress,datapath,pktmix,pkt_bytes,offered,delivered,dropped,pushed_out,rejected,resident,peak_occupancy_pct,ring_occ_peak,comp_p50_us,comp_p99_us,res_p50_us,res_p99_us,elapsed_s,mpps,gbps")
-	fmt.Printf("%d,%d,%d,%s,%s,%s,%s,%.0f,%d,%d,%d,%d,%d,%d,%.1f,%d,%.1f,%.1f,%.1f,%.1f,%.3f,%.3f,%.3f\n",
-		e.Shards(), a.parallel, a.flows, kind, egKind, a.datapath, mixKind, meanPkt,
+	delivMode := "copy"
+	if viewMode {
+		delivMode = "view"
+	}
+	fmt.Println("shards,parallel,flows,policy,egress,datapath,delivery,pktmix,pkt_bytes,offered,delivered,dropped,pushed_out,rejected,resident,peak_occupancy_pct,ring_occ_peak,comp_p50_us,comp_p99_us,res_p50_us,res_p99_us,copied_bytes,elapsed_s,mpps,gbps")
+	fmt.Printf("%d,%d,%d,%s,%s,%s,%s,%s,%.0f,%d,%d,%d,%d,%d,%d,%.1f,%d,%.1f,%.1f,%.1f,%.1f,%d,%.3f,%.3f,%.3f\n",
+		e.Shards(), a.parallel, a.flows, kind, egKind, a.datapath, delivMode, mixKind, meanPkt,
 		uint64(a.parallel)*uint64(perProducer), st.DequeuedPackets,
 		st.DroppedPackets, st.PushedOutPackets, st.Rejected,
 		residentAtCutoff, occPct, peakRing.Load(),
 		lat.Quantile(0.50)/1e3, lat.Quantile(0.99)/1e3,
 		st.ResidenceP50Ns/1e3, st.ResidenceP99Ns/1e3,
-		elapsed.Seconds(), mpps, gbps)
+		st.CopiedBytes, elapsed.Seconds(), mpps, gbps)
 	if pushMode {
 		// Per-port block: what each shaped output port actually carried.
 		fmt.Println("port,rate_bps,tx_packets,tx_bytes,throttled,shaper_tokens,port_gbps")

@@ -126,8 +126,73 @@ func (cm *ConcurrentQueueManager) DequeuePacket(q uint32) ([]byte, error) {
 	return cm.e.DequeuePacket(q)
 }
 
+// ReleaseBuffer recycles a buffer returned by DequeuePacket, DequeueBatch,
+// DequeueNext or DequeueNextBatch.
+func (cm *ConcurrentQueueManager) ReleaseBuffer(buf []byte) { cm.e.ReleaseBuffer(buf) }
+
 // Release recycles a buffer returned by DequeuePacket or DequeueBatch.
-func (cm *ConcurrentQueueManager) Release(buf []byte) { cm.e.Release(buf) }
+//
+// Deprecated: use ReleaseBuffer, which names the copy-path buffer
+// explicitly now that zero-copy PacketViews have their own Release.
+func (cm *ConcurrentQueueManager) Release(buf []byte) { cm.e.ReleaseBuffer(buf) }
+
+// DequeuePacketView removes the packet at the head of flow q as a
+// zero-copy view over its segment chain — no reassembly buffer, no copy.
+// The caller owns the view and must Release it exactly once; its segments
+// stay checked out of the shared pool (lent) until then.
+func (cm *ConcurrentQueueManager) DequeuePacketView(q uint32) (PacketView, error) {
+	return cm.e.DequeuePacketView(q)
+}
+
+// DequeueNextView serves one packet chosen by the configured egress
+// discipline as a zero-copy view. ok is false when the manager holds no
+// packets. Release the view when done.
+func (cm *ConcurrentQueueManager) DequeueNextView() (DequeuedView, bool) {
+	return cm.e.DequeueNextView()
+}
+
+// DequeueNextViewBatch serves up to max packets chosen by the configured
+// egress discipline as zero-copy views, rotating the starting shard per
+// call. Release every view exactly once.
+func (cm *ConcurrentQueueManager) DequeueNextViewBatch(max int) []DequeuedView {
+	return cm.e.DequeueNextViewBatch(max)
+}
+
+// ReleaseViews releases every view in ds in one pool transaction per
+// shard — the efficient settlement for a DequeueNextViewBatch. Retained
+// views are skipped, and each entry's view is cleared so re-running the
+// slice cannot double-release.
+func (cm *ConcurrentQueueManager) ReleaseViews(ds []DequeuedView) {
+	cm.e.ReleaseViews(ds)
+}
+
+// DequeueViewBatch dequeues the head packet of every listed flow as a
+// zero-copy view, locking each shard once. views[i] is valid exactly when
+// errs[i] is nil; Release each valid view exactly once.
+func (cm *ConcurrentQueueManager) DequeueViewBatch(flows []uint32) ([]PacketView, []error) {
+	return cm.e.DequeueViewBatch(flows)
+}
+
+// ReservePacket opens an n-byte write-in-place reservation on flow q: the
+// segment run is allocated and charged against admission now, the caller
+// fills the per-segment slices via Reservation.Range (readv-style), and
+// Commit splices the packet onto the queue without the payload ever being
+// copied. Abort returns the segments untouched.
+func (cm *ConcurrentQueueManager) ReservePacket(q uint32, n int) (Reservation, error) {
+	return cm.e.ReservePacket(q, n)
+}
+
+// ServeViews registers sink as port's zero-copy transmitter — Serve with
+// packet views instead of reassembled buffers. The manager drops its
+// reference to each view when SendView returns; a sink that completes
+// transmission asynchronously must Retain the view first.
+func (cm *ConcurrentQueueManager) ServeViews(port int, sink SinkV) error {
+	return cm.e.ServeViews(port, sink)
+}
+
+// LentSegments returns the number of segments currently checked out in
+// packet views and open reservations.
+func (cm *ConcurrentQueueManager) LentSegments() int { return cm.e.LentSegments() }
 
 // EnqueueBatch enqueues a burst of packets, locking each shard once. A nil
 // errs means every packet was accepted; otherwise errs[i] reports the

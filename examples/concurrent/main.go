@@ -115,7 +115,7 @@ func main() {
 				batch := cm.DequeueNextBatch(64)
 				for _, pkt := range batch {
 					consumed.Add(1)
-					cm.Release(pkt.Data)
+					cm.ReleaseBuffer(pkt.Data)
 				}
 				if len(batch) == 0 {
 					select {
@@ -143,7 +143,7 @@ func main() {
 		}
 		for _, pkt := range batch {
 			consumed.Add(1)
-			cm.Release(pkt.Data)
+			cm.ReleaseBuffer(pkt.Data)
 		}
 	}
 

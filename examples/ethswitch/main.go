@@ -81,12 +81,16 @@ func run(policy string) error {
 		}
 	}
 
-	// Push-mode egress: the engine's port worker transmits into this sink
-	// at the shaped line rate; no caller drain loop.
+	// Push-mode egress on the zero-copy path: the engine's port worker
+	// hands this sink a view over each frame's segment chain — read in
+	// place, never reassembled into a buffer. The engine releases the view
+	// when SendView returns (a NIC-style sink finishing transmission
+	// asynchronously would Retain it first).
 	var delivered [classes]atomic.Uint64
-	if err := cm.Serve(0, npqm.SinkFunc(func(d npqm.DequeuedPacket) error {
+	var txBytes atomic.Uint64
+	if err := cm.ServeViews(0, npqm.SinkVFunc(func(_ int, d npqm.DequeuedView) error {
 		delivered[d.Flow].Add(1)
-		cm.Release(d.Data)
+		txBytes.Add(uint64(d.View.Len()))
 		return nil
 	})); err != nil {
 		return err
@@ -148,13 +152,26 @@ func run(policy string) error {
 		class := int(7 - parsed.PCP)
 		offered[class]++
 
-		// Enqueue the new frame; the admission policy tail-drops beyond
-		// each class's segment cap while the port lags the offered load.
-		if _, err := cm.EnqueuePacket(uint32(class), frame[:64]); err != nil {
+		// Write-in-place ingest: reserve the frame's segment run (admission
+		// tail-drops beyond each class's cap while the port lags the
+		// offered load), scatter the frame into the reserved slices as a
+		// readv-style receiver would, then splice it onto the queue. The
+		// engine never copies the payload — CopiedBytes stays zero.
+		r, err := cm.ReservePacket(uint32(class), 64)
+		if err != nil {
 			if !errors.Is(err, npqm.ErrAdmissionDrop) {
 				return err
 			}
 			dropped[class]++
+			continue
+		}
+		off := 0
+		r.Range(func(seg []byte) bool {
+			off += copy(seg, frame[off:64])
+			return true
+		})
+		if err := r.Commit(); err != nil {
+			return err
 		}
 	}
 	if paused {
@@ -195,7 +212,9 @@ func run(policy string) error {
 	}
 	fmt.Printf("port: %d frames (%d bytes) transmitted, %d shaper waits; pause window added %d drops\n",
 		pst.TransmittedPackets, pst.TransmittedBytes, pst.Throttled, dropsAtPause[1]-dropsAtPause[0])
-	fmt.Printf("engine: %d admission drops counted, %d flows still active\n\n",
+	fmt.Printf("engine: %d admission drops counted, %d flows still active\n",
 		st.DroppedPackets, st.ActiveFlows)
+	fmt.Printf("zero-copy: %d bytes read in place by the sink, %d bytes copied by the engine, %d segments lent\n\n",
+		txBytes.Load(), st.CopiedBytes, st.LentSegments)
 	return nil
 }

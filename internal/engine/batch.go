@@ -275,6 +275,7 @@ func (e *Engine) dequeueBatchSync(flows []uint32, pkts [][]byte, errs []error, b
 				errs[i] = err
 				continue
 			}
+			s.noteCopied(len(out))
 			s.syncActive(flows[i])
 			s.noteRemoveRes(flows[i], true)
 			pkts[i] = out
@@ -311,6 +312,7 @@ func (e *Engine) dequeueBatchRing(flows []uint32, pkts [][]byte, errs []error, b
 					errs[i] = err
 					continue
 				}
+				s.noteCopied(len(out))
 				s.syncActive(flows[i])
 				s.noteRemoveRes(flows[i], true)
 				pkts[i] = out

@@ -49,7 +49,7 @@ func TestEnqueueBatchNoAllocs(t *testing.T) {
 		for _, p := range pkts {
 			if p != nil {
 				got = true
-				e.Release(p)
+				e.ReleaseBuffer(p)
 			}
 		}
 		if !got {

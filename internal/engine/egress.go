@@ -451,6 +451,7 @@ func (e *Engine) dequeuePicked(s *shard, port int) (Dequeued, bool) {
 			s.clearActive(flow)
 			continue
 		}
+		s.noteCopied(len(data))
 		bytes := len(data)
 		if !e.cfg.StoreData {
 			bytes = segs * queue.SegmentBytes

@@ -69,7 +69,7 @@ func TestDRRFallbackChargesDeficit(t *testing.T) {
 	if len(d.Data) != pktBytes {
 		t.Fatalf("served %d bytes, want %d", len(d.Data), pktBytes)
 	}
-	e.Release(d.Data)
+	e.ReleaseBuffer(d.Data)
 	s := e.shards[0]
 	var deficit int64
 	e.run(s, func() { deficit = s.Deficit(int32(d.Flow)) })
@@ -118,7 +118,7 @@ func TestWRRVisitEndsWhenFlowDrains(t *testing.T) {
 		if !ok || d.Flow != 1 {
 			t.Fatalf("pick %d served flow %d (ok=%v), want flow 1", i, d.Flow, ok)
 		}
-		e.Release(d.Data)
+		e.ReleaseBuffer(d.Data)
 	}
 	// Refill flow 1 before the next pick. A correctly ended visit moves
 	// on to flow 2; the stale visit would serve flow 1 again on leftover
@@ -132,7 +132,7 @@ func TestWRRVisitEndsWhenFlowDrains(t *testing.T) {
 	if !ok {
 		t.Fatal("scheduler idle with backlog")
 	}
-	e.Release(d.Data)
+	e.ReleaseBuffer(d.Data)
 	if d.Flow != 2 {
 		t.Fatalf("pick after mid-visit drain served flow %d, want flow 2 (stale WRR credit resumed)", d.Flow)
 	}
@@ -285,7 +285,7 @@ func TestEgressConservationProperty(t *testing.T) {
 				cls := int(s.flows[d.Flow].class)
 				classBytes[e.ShardOf(d.Flow)][cls] += int64(len(d.Data))
 				classPkts[e.ShardOf(d.Flow)][cls]++
-				e.Release(d.Data)
+				e.ReleaseBuffer(d.Data)
 			}
 			for i := 0; i < 20000; i++ {
 				f := uint32(rng.Intn(flows))
@@ -303,7 +303,7 @@ func TestEgressConservationProperty(t *testing.T) {
 					// that used to leak WRR credit and must forfeit
 					// banked (positive) DRR deficit.
 					if data, err := e.DequeuePacket(f); err == nil {
-						e.Release(data)
+						e.ReleaseBuffer(data)
 					}
 				case op < 11:
 					_, _ = e.DeletePacket(f)
@@ -339,7 +339,7 @@ func TestEgressConservationProperty(t *testing.T) {
 				cls := int(s.flows[d.Flow].class)
 				classBytes[e.ShardOf(d.Flow)][cls] += int64(len(d.Data))
 				classPkts[e.ShardOf(d.Flow)][cls]++
-				e.Release(d.Data)
+				e.ReleaseBuffer(d.Data)
 			}
 			check("after drain")
 			if st := e.Stats(); st.ActiveFlows != 0 || st.QueuedSegments != 0 {

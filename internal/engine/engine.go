@@ -180,6 +180,11 @@ type shard struct {
 	deqPackets  uint64
 	deqSegments uint64
 	rejected    uint64 // enqueues refused (pool exhausted or flow capped)
+	copiedBytes uint64 // payload bytes that crossed a copying enqueue or dequeue
+
+	// storeData mirrors Config.StoreData so the copy accounting can run
+	// inside shard methods without reaching for the engine.
+	storeData bool
 
 	// Policy counters. Dropped arrivals never entered the buffer;
 	// pushed-out packets were resident and were evicted, so the
@@ -378,6 +383,7 @@ func New(cfg Config) (*Engine, error) {
 		// portSched), so a wide port space costs nothing up front.
 		s := &shard{
 			m:          m,
+			storeData:  cfg.StoreData,
 			ps:         make([]portSched, cfg.NumPorts),
 			flows:      e.flows,
 			numClasses: numClasses,
@@ -565,35 +571,59 @@ func (e *Engine) flushCaches() {
 func (s *shard) enqueueLocked(flow uint32, data []byte) (int, error) {
 	if s.adm != nil && len(data) > 0 {
 		need := (len(data) + queue.SegmentBytes - 1) / queue.SegmentBytes
-		if s.admKind == policy.KindTailDrop {
-			// Inline fast path: one pool-wide free-count read (an atomic
-			// load per cache) and a per-queue cap compare, with no
-			// interface dispatch.
-			segs, err := s.m.Len(queue.QueueID(flow))
-			if err == nil && (need > s.m.FreeSegments() ||
-				(s.admLimit > 0 && segs+need > s.admLimit)) {
-				s.dropPackets++
-				s.dropSegments += uint64(need)
-				return 0, ErrAdmissionDrop
-			}
-		} else {
-			switch s.admitLocked(flow, need) {
-			case admitDrop:
-				s.dropPackets++
-				s.dropSegments += uint64(need)
-				return 0, ErrAdmissionDrop
-			case admitPushOut:
-				return 0, errWantPushOut
-			}
+		if err := s.admitNeedLocked(flow, need); err != nil {
+			return 0, err
 		}
 	}
 	n, err := s.m.EnqueuePacket(queue.QueueID(flow), data)
 	s.noteEnqueue(n, err)
 	if err == nil {
+		s.noteCopied(len(data))
 		s.setActive(flow)
 		s.noteEnqueueRes(flow)
 	}
 	return n, err
+}
+
+// admitNeedLocked runs the admission decision for a packet of need segments
+// arriving on flow, inside s's critical section, counting drops. It is the
+// policy half shared by enqueueLocked and reserveLocked: nil admits,
+// ErrAdmissionDrop refuses (counted), and errWantPushOut asks the caller to
+// evict globally outside the critical section and retry.
+func (s *shard) admitNeedLocked(flow uint32, need int) error {
+	if s.admKind == policy.KindTailDrop {
+		// Inline fast path: one pool-wide free-count read (an atomic
+		// load per cache) and a per-queue cap compare, with no
+		// interface dispatch.
+		segs, err := s.m.Len(queue.QueueID(flow))
+		if err == nil && (need > s.m.FreeSegments() ||
+			(s.admLimit > 0 && segs+need > s.admLimit)) {
+			s.dropPackets++
+			s.dropSegments += uint64(need)
+			return ErrAdmissionDrop
+		}
+		return nil
+	}
+	switch s.admitLocked(flow, need) {
+	case admitDrop:
+		s.dropPackets++
+		s.dropSegments += uint64(need)
+		return ErrAdmissionDrop
+	case admitPushOut:
+		return errWantPushOut
+	}
+	return nil
+}
+
+// noteCopied charges n payload bytes to the shard's copy counter, inside
+// the shard's critical section. Only the copying datapaths call it — the
+// view and write-in-place paths never do, which is how Stats.CopiedBytes
+// proves a deployment's copy path has gone quiet. No payload memory means
+// nothing was copied, so the charge is skipped.
+func (s *shard) noteCopied(n int) {
+	if s.storeData {
+		s.copiedBytes += uint64(n)
+	}
 }
 
 // admitResult is the outcome of consulting the admission policy.
@@ -713,6 +743,7 @@ func (e *Engine) DequeuePacket(flow uint32) ([]byte, error) {
 		out, n, err := s.m.DequeuePacketAppend(queue.QueueID(flow), buf)
 		s.noteDequeue(n, err)
 		if err == nil {
+			s.noteCopied(len(out))
 			s.syncActive(flow)
 			s.noteRemoveRes(flow, true)
 		}
@@ -725,8 +756,18 @@ func (e *Engine) DequeuePacket(flow uint32) ([]byte, error) {
 	}
 }
 
-// Release returns a buffer obtained from DequeuePacket or DequeueBatch to
-// the engine's pool. The caller must not use buf afterwards.
+// ReleaseBuffer returns a reassembly buffer obtained from DequeuePacket,
+// DequeueBatch or the copy-mode egress paths to the engine's pool. The
+// caller must not use buf afterwards. Packet views have their own release
+// surface (PacketView.Release), which returns segments rather than buffers.
+func (e *Engine) ReleaseBuffer(buf []byte) { e.putBuf(buf) }
+
+// Release returns a reassembly buffer to the engine's pool.
+//
+// Deprecated: use ReleaseBuffer. "Release" now names two different
+// operations — recycling a copied buffer versus returning a zero-copy
+// view's segment chain (PacketView.Release) — and this alias keeps old
+// callers building while the names disambiguate.
 func (e *Engine) Release(buf []byte) { e.putBuf(buf) }
 
 // getBuf takes a reassembly buffer from the pool; the emptied wrapper goes

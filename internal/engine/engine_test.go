@@ -109,7 +109,7 @@ func TestRoundTrip(t *testing.T) {
 	if !bytes.Equal(got, pkt) {
 		t.Errorf("payload mismatch: %d bytes", len(got))
 	}
-	e.Release(got)
+	e.ReleaseBuffer(got)
 	if _, err := e.DequeuePacket(7); !errors.Is(err, queue.ErrQueueEmpty) {
 		t.Errorf("dequeue of empty flow: %v", err)
 	}
@@ -149,7 +149,7 @@ func TestMovePacketSameAndCrossShard(t *testing.T) {
 	if err != nil || !bytes.Equal(got, pkt) {
 		t.Fatalf("same-shard move lost data: %v", err)
 	}
-	e.Release(got)
+	e.ReleaseBuffer(got)
 
 	if _, err := e.EnqueuePacket(0, pkt); err != nil {
 		t.Fatal(err)
@@ -170,7 +170,7 @@ func TestMovePacketSameAndCrossShard(t *testing.T) {
 	if err != nil || !bytes.Equal(got, pkt) {
 		t.Fatalf("cross-shard move lost data: %v", err)
 	}
-	e.Release(got)
+	e.ReleaseBuffer(got)
 	if err := e.CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}
@@ -280,7 +280,7 @@ func TestBatchRoundTrip(t *testing.T) {
 			if got != uint32(i) {
 				t.Errorf("flow %d: got packet %d, want %d", f, got, i)
 			}
-			e.Release(pkts[k])
+			e.ReleaseBuffer(pkts[k])
 			k++
 		}
 	}
@@ -353,7 +353,7 @@ func TestConcurrentConservation(t *testing.T) {
 				flow := uint32((c*1000 + i) % flows)
 				data, err := e.DequeuePacket(flow)
 				if err == nil {
-					e.Release(data)
+					e.ReleaseBuffer(data)
 				} else if !errors.Is(err, queue.ErrQueueEmpty) && !errors.Is(err, queue.ErrNoPacket) {
 					t.Errorf("consumer %d: %v", c, err)
 					return
@@ -372,7 +372,7 @@ func TestConcurrentConservation(t *testing.T) {
 			if err != nil {
 				break
 			}
-			e.Release(data)
+			e.ReleaseBuffer(data)
 		}
 	}
 	if err := e.CheckInvariants(); err != nil {
@@ -440,7 +440,7 @@ func TestConcurrentPerFlowFIFO(t *testing.T) {
 						return
 					}
 					seq := binary.LittleEndian.Uint32(data)
-					e.Release(data)
+					e.ReleaseBuffer(data)
 					if seq != next[f] {
 						t.Errorf("flow %d: got seq %d, want %d", f, seq, next[f])
 						return
@@ -489,7 +489,7 @@ func TestConcurrentBatches(t *testing.T) {
 				pkts, errs := e.DequeueBatch(flows)
 				for i, err := range errs {
 					if err == nil {
-						e.Release(pkts[i])
+						e.ReleaseBuffer(pkts[i])
 					} else if !errors.Is(err, queue.ErrQueueEmpty) && !errors.Is(err, queue.ErrNoPacket) {
 						t.Errorf("worker %d dequeue: %v", w, err)
 						return
@@ -506,7 +506,7 @@ func TestConcurrentBatches(t *testing.T) {
 			if err != nil {
 				break
 			}
-			e.Release(data)
+			e.ReleaseBuffer(data)
 		}
 	}
 	if err := e.CheckInvariants(); err != nil {
@@ -565,7 +565,7 @@ func BenchmarkEngineEnqueueDequeue(b *testing.B) {
 						continue
 					}
 					if data, err := e.DequeuePacket(f); err == nil {
-						e.Release(data)
+						e.ReleaseBuffer(data)
 					}
 				}
 			})
@@ -605,7 +605,7 @@ func TestHotFlowConsumesSharedPool(t *testing.T) {
 		if err != nil {
 			break
 		}
-		e.Release(data)
+		e.ReleaseBuffer(data)
 	}
 	if free := e.FreeSegments(); free != segments {
 		t.Fatalf("FreeSegments = %d, want %d after drain", free, segments)
@@ -681,11 +681,11 @@ func TestConcurrentCrossShardMoves(t *testing.T) {
 					for _, b := range data {
 						if b != data[0] {
 							t.Errorf("corrupt packet: stamp %d vs %d", data[0], b)
-							e.Release(data)
+							e.ReleaseBuffer(data)
 							return
 						}
 					}
-					e.Release(data)
+					e.ReleaseBuffer(data)
 				} else if !errors.Is(err, queue.ErrQueueEmpty) && !errors.Is(err, queue.ErrNoPacket) {
 					t.Errorf("consumer: %v", err)
 					return
@@ -702,7 +702,7 @@ func TestConcurrentCrossShardMoves(t *testing.T) {
 			if err != nil {
 				break
 			}
-			e.Release(data)
+			e.ReleaseBuffer(data)
 		}
 	}
 	if moved.Load() == 0 {
@@ -736,7 +736,7 @@ func TestReleaseBoundsPool(t *testing.T) {
 	if len(data) != len(big) {
 		t.Fatalf("reassembled %d bytes, want %d", len(data), len(big))
 	}
-	e.Release(data) // must not be pooled
+	e.ReleaseBuffer(data) // must not be pooled
 	if buf := e.getBuf(); cap(buf) > maxPooledBufBytes {
 		t.Fatalf("pool returned a %d-byte buffer, cap is %d", cap(buf), maxPooledBufBytes)
 	}

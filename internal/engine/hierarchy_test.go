@@ -63,7 +63,7 @@ func TestClassPrioServesLowestClassFirst(t *testing.T) {
 			t.Fatalf("served class %d after class %d (strict priority violated)", c, lastClass)
 		}
 		lastClass = c
-		e.Release(d.Data)
+		e.ReleaseBuffer(d.Data)
 	}
 	if err := e.CheckInvariants(); err != nil {
 		t.Fatal(err)
@@ -107,7 +107,7 @@ func TestClassWRRVisitPattern(t *testing.T) {
 		}
 		c, _ := e.FlowClass(d.Flow)
 		counts[c]++
-		e.Release(d.Data)
+		e.ReleaseBuffer(d.Data)
 		// At every cycle boundary the ratio is exact.
 		if (i+1)%4 == 0 {
 			if counts[0] != 3*counts[1] {
@@ -256,7 +256,7 @@ func TestClassRehomingChurnRing(t *testing.T) {
 			}
 			lastSeq[f] = seq
 			served++
-			e.Release(d.Data)
+			e.ReleaseBuffer(d.Data)
 		}
 	}
 	done := make(chan struct{})
@@ -334,7 +334,7 @@ func TestPacerOneGoroutinePerShard(t *testing.T) {
 	var delivered atomic.Int64
 	sink := SinkFunc(func(d Dequeued) error {
 		delivered.Add(1)
-		e.Release(d.Data)
+		e.ReleaseBuffer(d.Data)
 		return nil
 	})
 	for p := 0; p < ports; p++ {

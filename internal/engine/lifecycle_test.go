@@ -51,7 +51,7 @@ func TestRingBlockingWrappers(t *testing.T) {
 	if !bytes.Equal(got, pkt) {
 		t.Fatalf("payload mismatch: got %q", got)
 	}
-	e.Release(got)
+	e.ReleaseBuffer(got)
 	if _, err := e.DequeuePacket(7); !errors.Is(err, queue.ErrQueueEmpty) {
 		t.Fatalf("DequeuePacket on empty flow: %v, want ErrQueueEmpty", err)
 	}
@@ -80,7 +80,7 @@ func TestRingPerFlowFIFO(t *testing.T) {
 		if want := fmt.Sprintf("flow5-packet-%02d", i); string(got) != want {
 			t.Fatalf("packet %d = %q, want %q", i, got, want)
 		}
-		e.Release(got)
+		e.ReleaseBuffer(got)
 	}
 }
 
@@ -113,7 +113,7 @@ func TestRingBatchPaths(t *testing.T) {
 		if len(pkts[i]) != len(pkt) {
 			t.Fatalf("DequeueBatch[%d] returned %d bytes, want %d", i, len(pkts[i]), len(pkt))
 		}
-		e.Release(pkts[i])
+		e.ReleaseBuffer(pkts[i])
 	}
 	if err := e.CheckInvariants(); err != nil {
 		t.Fatal(err)
@@ -146,7 +146,7 @@ func TestRingEgressAndMove(t *testing.T) {
 			break
 		}
 		for _, d := range out {
-			e.Release(d.Data)
+			e.ReleaseBuffer(d.Data)
 			served++
 		}
 	}
@@ -218,7 +218,7 @@ func TestStartWhileTrafficFlows(t *testing.T) {
 					posted.Add(1)
 				}
 				if data, err := e.DequeuePacket(f); err == nil {
-					e.Release(data)
+					e.ReleaseBuffer(data)
 				}
 			}
 		}(w)
@@ -278,7 +278,7 @@ func TestCloseDrainsInFlightWithoutLoss(t *testing.T) {
 			for {
 				out := e.DequeueNextBatch(32)
 				for _, d := range out {
-					e.Release(d.Data)
+					e.ReleaseBuffer(d.Data)
 					drained.Add(1)
 				}
 				if len(out) == 0 {
@@ -451,7 +451,7 @@ func TestResidenceSampling(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				e.Release(data)
+				e.ReleaseBuffer(data)
 			}
 			st := e.Stats()
 			if st.ResidenceSamples != n {
@@ -499,6 +499,6 @@ func TestRingDequeueNextSmallBudgetFindsBacklog(t *testing.T) {
 		if out[0].Flow != f {
 			t.Fatalf("trial %d: served flow %d, want %d", trial, out[0].Flow, f)
 		}
-		e.Release(out[0].Data)
+		e.ReleaseBuffer(out[0].Data)
 	}
 }

@@ -33,6 +33,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"npqm/internal/queue"
 )
 
 // pacerTick is the wheel granularity. Shaped ports wake at tick
@@ -99,6 +101,7 @@ type pacer struct {
 	nextRun  []int32
 	pendBuf  []int32
 	out      []Dequeued
+	outv     []DequeuedView
 	timer    *time.Timer
 }
 
@@ -398,6 +401,10 @@ func (pc *pacer) servePortOnce(pi int32) {
 	if box == nil {
 		return
 	}
+	if box.sinkV != nil {
+		pc.servePortViews(pi, p, box)
+		return
+	}
 	shaped := p.sh.enabled()
 	budget := int64(1) << 62
 	if shaped {
@@ -473,5 +480,92 @@ func (pc *pacer) servePortOnce(pi int32) {
 	}
 	// The burst filled (or the bucket still has credit): more backlog is
 	// likely — stay runnable and let the next empty scan park the port.
+	pc.makeRunnable(pi)
+}
+
+// servePortViews is servePortOnce's burst loop for a port served through
+// ServeViews: packets cross as zero-copy views instead of reassembled
+// buffers. Pacing, idle parking and error handling mirror the copy loop
+// exactly; the only delivery difference is the reference discipline — the
+// engine's reference is dropped as soon as SendView returns (success or
+// error), so a sink that completes transmission asynchronously must
+// Retain the view before returning.
+func (pc *pacer) servePortViews(pi int32, p *port, box *sinkBox) {
+	e := pc.e
+	shaped := p.sh.enabled()
+	budget := int64(1) << 62
+	if shaped {
+		b, wait := p.sh.budget(time.Now(), pacerTick)
+		if b <= 0 {
+			p.throttled.Add(1)
+			pc.schedule(pi, pc.tickAfter(wait))
+			return
+		}
+		budget = b
+	}
+	sent := int64(0)
+	pkts := 0
+	// One pool transaction per burst: the engine's references are dropped
+	// per packet as SendView returns, but the chains ride the accumulator
+	// back to the store in bulk.
+	var rel queue.ViewReleaser
+	defer rel.Flush()
+	for pkts < unshapedBatch {
+		max := unshapedBatch - pkts
+		if shaped {
+			// Packet-at-a-time under shaping, exactly as the copy loop:
+			// the bucket overdraws by at most one packet.
+			max = 1
+		}
+		pc.outv = e.dequeuePortViews(p, pc.outv[:0], max)
+		if len(pc.outv) == 0 {
+			// Park intent plus one more scan — the same idle handshake as
+			// the copy loop; see servePortOnce for why the double scan
+			// cannot strand a producer's notify.
+			p.idle.Store(true)
+			pc.outv = e.dequeuePortViews(p, pc.outv[:0], max)
+			if len(pc.outv) == 0 {
+				return // parked; notify will bring the port back
+			}
+			p.idle.Store(false)
+		}
+		for i := range pc.outv {
+			d := pc.outv[i]
+			pc.outv[i] = DequeuedView{}
+			err := box.sinkV.SendView(p.idx, d)
+			// Drop the engine's reference whether the sink succeeded or
+			// not; an erroring sink that kept the view retained it first.
+			rel.Add(d.View)
+			if err != nil {
+				// The link died mid-burst: the rest of the batch — already
+				// dequeued — is released so the lent segments return to the
+				// pool. Those packets count as dequeued but not
+				// transmitted, like frames lost on a failing link.
+				for j := i + 1; j < len(pc.outv); j++ {
+					rel.Add(pc.outv[j].View)
+					pc.outv[j] = DequeuedView{}
+				}
+				p.serving.Store(false)
+				return
+			}
+			p.txPackets.Add(1)
+			p.txBytes.Add(uint64(d.Bytes))
+			if shaped {
+				p.sh.charge(d.Bytes)
+			}
+			sent += int64(d.Bytes)
+			pkts++
+		}
+		if shaped && sent >= budget {
+			break
+		}
+	}
+	if shaped {
+		if _, wait := p.sh.budget(time.Now(), pacerTick); wait > 0 {
+			p.throttled.Add(1)
+			pc.schedule(pi, pc.tickAfter(wait))
+			return
+		}
+	}
 	pc.makeRunnable(pi)
 }

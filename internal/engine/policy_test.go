@@ -214,7 +214,7 @@ func TestEgressPriority(t *testing.T) {
 			break
 		}
 		got = append(got, p.Flow)
-		e.Release(p.Data)
+		e.ReleaseBuffer(p.Data)
 	}
 	want := []uint32{0, 2, 2, 5, 5, 7}
 	if len(got) != len(want) {
@@ -255,7 +255,7 @@ func TestEgressRoundRobin(t *testing.T) {
 		}
 	}
 	for _, p := range batch {
-		e.Release(p.Data)
+		e.ReleaseBuffer(p.Data)
 	}
 }
 
@@ -279,7 +279,7 @@ func TestEgressWRRRatios(t *testing.T) {
 			t.Fatal("scheduler went idle with backlog")
 		}
 		counts[p.Flow]++
-		e.Release(p.Data)
+		e.ReleaseBuffer(p.Data)
 	}
 	// Weight 3:1 over 200 picks → 150/50.
 	if counts[1] != 150 || counts[2] != 50 {
@@ -309,7 +309,7 @@ func TestEgressDRRByteFairness(t *testing.T) {
 			t.Fatal("scheduler went idle with backlog")
 		}
 		bytes[p.Flow] += len(p.Data)
-		e.Release(p.Data)
+		e.ReleaseBuffer(p.Data)
 	}
 	ratio := float64(bytes[1]) / float64(bytes[2])
 	if ratio < 0.8 || ratio > 1.25 {
@@ -341,7 +341,7 @@ func TestEgressWorkConservingAcrossShards(t *testing.T) {
 			}
 			for _, p := range batch {
 				served++
-				e.Release(p.Data)
+				e.ReleaseBuffer(p.Data)
 			}
 		}
 		if served != total {
@@ -398,7 +398,7 @@ func TestConcurrentPolicyReconfiguration(t *testing.T) {
 			for {
 				batch := e.DequeueNextBatch(16)
 				for _, p := range batch {
-					e.Release(p.Data)
+					e.ReleaseBuffer(p.Data)
 				}
 				if len(batch) == 0 {
 					select {
@@ -453,7 +453,7 @@ func TestConcurrentPolicyReconfiguration(t *testing.T) {
 			break
 		}
 		for _, p := range batch {
-			e.Release(p.Data)
+			e.ReleaseBuffer(p.Data)
 		}
 	}
 	st := e.Stats()
@@ -653,13 +653,13 @@ func TestDRRDeficitForfeitedOnDirectDrain(t *testing.T) {
 		if p.Flow != 2 {
 			t.Fatalf("flow 1 served with insufficient deficit (pick %d)", i)
 		}
-		e.Release(p.Data)
+		e.ReleaseBuffer(p.Data)
 	}
 	// Drain flow 1 through the direct path: its banked deficit must go.
 	if data, err := e.DequeuePacket(1); err != nil {
 		t.Fatal(err)
 	} else {
-		e.Release(data)
+		e.ReleaseBuffer(data)
 	}
 	// Refill both flows with equal small packets: flow 1 must not burst
 	// ahead on stale credit — successive picks alternate.
@@ -678,7 +678,7 @@ func TestDRRDeficitForfeitedOnDirectDrain(t *testing.T) {
 			t.Fatal("idle with backlog")
 		}
 		counts[p.Flow]++
-		e.Release(p.Data)
+		e.ReleaseBuffer(p.Data)
 	}
 	if counts[1] != 4 || counts[2] != 4 {
 		t.Fatalf("post-drain DRR split %v, want 4/4 (stale deficit detected)", counts)

@@ -49,9 +49,14 @@ type SinkFunc func(d Dequeued) error
 // Transmit implements Sink.
 func (f SinkFunc) Transmit(d Dequeued) error { return f(d) }
 
-// sinkBox wraps a Sink for atomic publication (atomic.Pointer needs a
-// concrete pointed-to type; the interface itself is two words).
-type sinkBox struct{ sink Sink }
+// sinkBox wraps a port's consumer for atomic publication (atomic.Pointer
+// needs a concrete pointed-to type; the interfaces themselves are two
+// words). Exactly one of the two fields is set — sink by Serve, sinkV by
+// ServeViews — and the pacer's service loop branches on which.
+type sinkBox struct {
+	sink  Sink
+	sinkV SinkV
+}
 
 // port is one output port: shaper, pacer handoff state, and transmit
 // counters. The scheduling state lives in the shards (one portSched per

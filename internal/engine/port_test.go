@@ -44,7 +44,7 @@ func (c *countingSink) Transmit(d Dequeued) error {
 	c.n++
 	c.by[d.Flow]++
 	c.mu.Unlock()
-	c.e.Release(d.Data)
+	c.e.ReleaseBuffer(d.Data)
 	return nil
 }
 
@@ -343,7 +343,7 @@ func TestServeErrorsAndSinkStop(t *testing.T) {
 	}
 	var stopped atomic.Bool
 	failing := SinkFunc(func(d Dequeued) error {
-		e.Release(d.Data)
+		e.ReleaseBuffer(d.Data)
 		stopped.Store(true)
 		return errors.New("link down")
 	})
@@ -397,7 +397,7 @@ func TestPullAPIDrainsAllPorts(t *testing.T) {
 		}
 		for _, d := range batch {
 			served++
-			e.Release(d.Data)
+			e.ReleaseBuffer(d.Data)
 		}
 	}
 	if served != 32 {

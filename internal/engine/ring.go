@@ -50,12 +50,16 @@ type cmdRing = ring.Ring[command]
 type opKind uint8
 
 const (
-	opEnqueue     opKind = iota // fire-and-forget enqueue
-	opEnqueueWait               // enqueue with completion + result
-	opDequeueWait               // dequeue with completion + result
-	opDequeueNext               // egress-picked dequeue of up to arg packets
-	opCall                      // run fn inside the shard's critical section
-	opBarrier                   // completion only: drain marker
+	opEnqueue         opKind = iota // fire-and-forget enqueue
+	opEnqueueWait                   // enqueue with completion + result
+	opDequeueWait                   // dequeue with completion + result
+	opDequeueNext                   // egress-picked dequeue of up to arg packets
+	opDequeueViewWait               // zero-copy dequeue with completion + view result
+	opDequeueNextView               // egress-picked zero-copy dequeue of up to arg packets
+	opReserve                       // open an arg-byte write-in-place reservation
+	opCommit                        // splice a filled reservation onto its queue
+	opCall                          // run fn inside the shard's critical section
+	opBarrier                       // completion only: drain marker
 )
 
 // command is one ring entry.
@@ -63,9 +67,10 @@ type command struct {
 	kind opKind
 	flow uint32
 	arg  int
-	port int32 // opDequeueNext: scheduling unit to pick from (anyPort = all)
+	port int32 // opDequeueNext[View]: scheduling unit to pick from (anyPort = all)
 	slot int32 // result slot in the completion's per-shard slices
 	data []byte
+	w    queue.PacketWriter // opCommit: the filled reservation to splice
 	fn   func()
 	co   *call
 }
@@ -83,12 +88,16 @@ type call struct {
 	done    chan struct{}
 
 	// Result slots for dedicated command kinds (single-writer per slot).
-	n    int
-	err  error
-	data []byte
-	deq  []Dequeued   // single-shard opDequeueNext results
-	deqs [][]Dequeued // fan-out opDequeueNext results, one slice per shard
-	segs atomic.Int64 // batch enqueue: total segments linked
+	n     int
+	err   error
+	data  []byte
+	view  PacketView         // opDequeueViewWait result
+	w     queue.PacketWriter // opReserve result
+	deq   []Dequeued         // single-shard opDequeueNext results
+	deqs  [][]Dequeued       // fan-out opDequeueNext results, one slice per shard
+	deqv  []DequeuedView     // single-shard opDequeueNextView results
+	deqvs [][]DequeuedView   // fan-out opDequeueNextView results, one slice per shard
+	segs  atomic.Int64       // batch enqueue: total segments linked
 }
 
 // finishN retires n of c's commands in one countdown decrement. Workers
@@ -133,6 +142,8 @@ func (e *Engine) getCall() *call {
 	if v := e.callPool.Get(); v != nil {
 		c := v.(*call)
 		c.n, c.err, c.data = 0, nil, nil
+		c.view = PacketView{}
+		c.w = queue.PacketWriter{}
 		c.segs.Store(0)
 		return c
 	}
@@ -151,6 +162,17 @@ func (e *Engine) putCall(c *call) {
 		c.deqs[i] = c.deqs[i][:0]
 	}
 	c.deqs = c.deqs[:0]
+	for i := range c.deqv {
+		c.deqv[i] = DequeuedView{}
+	}
+	c.deqv = c.deqv[:0]
+	for i := range c.deqvs {
+		for j := range c.deqvs[i] {
+			c.deqvs[i][j] = DequeuedView{}
+		}
+		c.deqvs[i] = c.deqvs[i][:0]
+	}
+	c.deqvs = c.deqvs[:0]
 	c.data = nil
 	e.callPool.Put(c)
 }
@@ -520,11 +542,35 @@ func (e *Engine) exec(s *shard, c *command) {
 			e.putBuf(buf)
 			c.co.err = err
 		} else {
+			s.noteCopied(len(out))
 			s.syncActive(c.flow)
 			s.noteRemoveRes(c.flow, true)
 			c.co.data = out
 			c.co.n = n
 		}
+	case opDequeueViewWait:
+		v, err := s.dequeueViewLocked(c.flow)
+		if err != nil {
+			c.co.err = err
+		} else {
+			c.co.view = v
+		}
+	case opDequeueNextView:
+		dst := &c.co.deqv
+		if len(c.co.deqvs) > 0 {
+			dst = &c.co.deqvs[c.slot]
+		}
+		for len(*dst) < c.arg {
+			d, ok := e.dequeuePickedView(s, int(c.port))
+			if !ok {
+				break
+			}
+			*dst = append(*dst, d)
+		}
+	case opReserve:
+		c.co.w, c.co.err = s.reserveLocked(c.flow, c.arg)
+	case opCommit:
+		c.co.err = s.commitLocked(c.flow, &c.w)
 	case opDequeueNext:
 		dst := &c.co.deq
 		if len(c.co.deqs) > 0 {

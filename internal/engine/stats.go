@@ -37,6 +37,14 @@ type Stats struct {
 	TransmittedBytes   uint64
 	Throttled          uint64 // pacer parks waiting for shaper tokens
 
+	// CopiedBytes counts payload bytes that crossed a copying datapath:
+	// buffer-based enqueues copy in, buffer-based dequeues copy out, and
+	// each charges the bytes it copied. The zero-copy paths — view
+	// delivery and write-in-place ingest — never add to it, so a
+	// deployment that has fully converted sees this counter stand still
+	// while traffic flows. Always zero when data storage is off.
+	CopiedBytes uint64
+
 	// CoalescedWakes counts wakeups merged away instead of delivered: ring
 	// completion decrements folded into one per-drain flush (see
 	// execBatch) plus pacer notifies absorbed by an already-pending wake.
@@ -47,6 +55,7 @@ type Stats struct {
 	// Occupancy.
 	FreeSegments   int   // shared-pool free population (depot + caches)
 	QueuedSegments int   // segments currently linked into flow queues
+	LentSegments   int   // segments checked out in views and open reservations
 	BufferedBytes  int64 // payload bytes across all queued segments
 	ActiveFlows    int   // flows with at least one queued segment
 
@@ -120,6 +129,7 @@ func (e *Engine) Stats() Stats {
 			st.DequeuedPackets += s.deqPackets
 			st.DequeuedSegments += s.deqSegments
 			st.Rejected += s.rejected
+			st.CopiedBytes += s.copiedBytes
 			st.DroppedPackets += s.dropPackets
 			st.DroppedSegments += s.dropSegments
 			st.PushedOutPackets += s.poPackets
@@ -152,6 +162,7 @@ func (e *Engine) Stats() Stats {
 		}
 	}
 	st.FreeSegments = e.store.Free()
+	st.LentSegments = e.store.Lent()
 	return st
 }
 
@@ -222,12 +233,17 @@ func (e *Engine) ClassStats() []ClassStat {
 
 // CheckInvariants validates every shard's queue discipline, the
 // two-level active lists, the shared store's free structures, and the engine-wide
-// conservation laws: free + queued + floating equals the configured pool,
-// and every enqueued segment was either dequeued, pushed out by the
-// admission policy, or is still resident (enqueued = dequeued + pushed-out
-// + resident). Shards are checked one critical section at a time, so it is
-// only a consistent global check when the engine is quiescent (drained
-// rings included — call Drain first on the ring datapath).
+// conservation laws: free + queued + floating + lent equals the configured
+// pool (lent counts segments checked out in packet views and open
+// write-in-place reservations), and every enqueued segment was either
+// dequeued, pushed out by the admission policy, or is still resident
+// (enqueued = dequeued + pushed-out + resident; a view's segments count as
+// dequeued from the moment the view is produced, and a reservation's count
+// as enqueued only at Commit). Shards are checked one critical section at
+// a time, so it is only a consistent global check when the engine is
+// quiescent (drained rings included — call Drain first on the ring
+// datapath; views released on other goroutines included — their release
+// must happen-before the check).
 func (e *Engine) CheckInvariants() error {
 	var enq, deq, pushed uint64
 	queued, floating := 0, 0
@@ -253,9 +269,10 @@ func (e *Engine) CheckInvariants() error {
 	if err := e.store.CheckInvariants(); err != nil {
 		return err
 	}
-	if free := e.store.Free(); free+queued+floating != e.cfg.NumSegments {
-		return fmt.Errorf("engine: conservation violated: %d free + %d queued + %d floating != %d",
-			free, queued, floating, e.cfg.NumSegments)
+	lent := e.store.Lent()
+	if free := e.store.Free(); free+queued+floating+lent != e.cfg.NumSegments {
+		return fmt.Errorf("engine: conservation violated: %d free + %d queued + %d floating + %d lent != %d",
+			free, queued, floating, lent, e.cfg.NumSegments)
 	}
 	if enq != deq+pushed+uint64(queued) {
 		return fmt.Errorf("engine: segment conservation violated: enqueued %d != dequeued %d + pushed-out %d + resident %d",

@@ -70,7 +70,7 @@ func runSkewed(t *testing.T, steal bool) (maxShare float64, stolen uint64) {
 			batch := e.DequeueNextBatch(64)
 			for _, d := range batch {
 				audit(d.Flow, d.Data)
-				e.Release(d.Data)
+				e.ReleaseBuffer(d.Data)
 			}
 			select {
 			case <-stop:
@@ -278,12 +278,12 @@ func TestPacerNotifyBurstNoStrand(t *testing.T) {
 	slow := SinkFunc(func(d Dequeued) error {
 		time.Sleep(500 * time.Microsecond) // keep the pacer mid-drain
 		txA.Add(1)
-		e.Release(d.Data)
+		e.ReleaseBuffer(d.Data)
 		return nil
 	})
 	fast := SinkFunc(func(d Dequeued) error {
 		txB.Add(1)
-		e.Release(d.Data)
+		e.ReleaseBuffer(d.Data)
 		return nil
 	})
 	if err := e.Serve(0, slow); err != nil {
@@ -346,7 +346,7 @@ func TestWorkStealSyncFallback(t *testing.T) {
 	if string(data) != "pre-start" {
 		t.Fatalf("payload %q, want %q", data, "pre-start")
 	}
-	e.Release(data)
+	e.ReleaseBuffer(data)
 	if err := e.Close(); err != nil {
 		t.Fatal(err)
 	}

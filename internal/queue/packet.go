@@ -192,7 +192,7 @@ func (m *Manager) PacketLen(q QueueID) (bytes, segments int, err error) {
 //     walked lists;
 //   - on a private pool it additionally walks the free list (via the
 //     store), scans for floating segments, and checks segment
-//     conservation: free + queued + floating == pool size.
+//     conservation: free + queued + floating + lent == pool size.
 //
 // With a shared store the free list and conservation span every manager on
 // the slab, so those checks live on segstore.Store.CheckInvariants and the
@@ -265,9 +265,10 @@ func (m *Manager) CheckInvariants() error {
 		if floating != m.floating {
 			return fmt.Errorf("queue: %d floating segments, counter says %d", floating, m.floating)
 		}
-		if int32(m.src.FreeSegments())+queued+floating != int32(m.cfg.NumSegments) {
-			return fmt.Errorf("queue: conservation violated: %d free + %d queued + %d floating != %d",
-				m.src.FreeSegments(), queued, floating, m.cfg.NumSegments)
+		lent := int32(m.src.Lent())
+		if int32(m.src.FreeSegments())+queued+floating+lent != int32(m.cfg.NumSegments) {
+			return fmt.Errorf("queue: conservation violated: %d free + %d queued + %d floating + %d lent != %d",
+				m.src.FreeSegments(), queued, floating, lent, m.cfg.NumSegments)
 		}
 	}
 

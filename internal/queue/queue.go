@@ -58,6 +58,7 @@ var (
 	ErrSegmentState   = errors.New("queue: segment in wrong state for operation")
 	ErrNoPacket       = errors.New("queue: no complete packet at queue head")
 	ErrQueueLimit     = errors.New("queue: per-queue segment limit exceeded")
+	ErrWriterDone     = errors.New("queue: packet writer already committed or aborted")
 )
 
 // Segment lifecycle states are tracked per segment in the store's State
@@ -67,6 +68,7 @@ const (
 	stateFree     = segstore.StateFree
 	stateQueued   = segstore.StateQueued
 	stateFloating = segstore.StateFloating // allocated, not yet linked into a queue
+	stateLent     = segstore.StateLent     // checked out as a zero-copy view or reservation
 )
 
 // Config sizes a Manager.
@@ -100,6 +102,7 @@ type Manager struct {
 	segLen []uint16
 	eop    []bool
 	state  []uint8
+	refs   []int32 // per-chain-head view refcounts (atomic access only)
 
 	// Queue table.
 	qhead []int32
@@ -179,6 +182,7 @@ func NewWithStore(cfg Config, src segstore.Source) (*Manager, error) {
 		segLen: view.Len,
 		eop:    view.EOP,
 		state:  view.State,
+		refs:   view.Refs,
 		data:   view.Data,
 		qhead:  make([]int32, cfg.NumQueues),
 		qtail:  make([]int32, cfg.NumQueues),

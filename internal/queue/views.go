@@ -1,0 +1,395 @@
+package queue
+
+// Zero-copy packet lifecycle. The paper's queue manager never reassembles
+// a packet: transmission is a DMA gather over the 64-byte buffer chain, and
+// reception writes segments into data memory as they arrive. This file is
+// that datapath in software, in both directions:
+//
+//   - DequeuePacketView unlinks the head packet exactly like
+//     consumeHeadChain but defers the scrub and the FreeN: the chain leaves
+//     the queue table and is handed to the consumer as a PacketView whose
+//     iterator yields per-segment slices aliasing the slab. Releasing the
+//     view scrubs and returns the chain in one FreeN-equivalent operation.
+//   - ReservePacket is the write-in-place inverse: the segment run is
+//     allocated and pre-linked up front, the producer fills the slices a
+//     PacketWriter exposes (a readv target), then Commit splices the chain
+//     onto the queue tail in O(1) — or Abort hands the untouched run back.
+//
+// While checked out, segments are in the lent state and counted by the
+// store's lent population, so pool stats and CheckInvariants stay exact:
+// free + queued + floating + lent == pool size at every quiescent point.
+//
+// Ownership and thread-safety: DequeuePacketView, ReservePacket, and
+// Commit are owner-context operations like every other Manager method (the
+// engine calls them under the shard lock). Release, Retain, Range, and
+// Abort are safe from any goroutine when the manager draws from a shared
+// store (segstore.Store via a Cache — the engine's configuration): the
+// chain is exclusively owned by the view holder and the return path goes
+// straight to the store's thread-safe depot (segstore.ReturnLent). A
+// self-contained manager over a private pool has no concurrent return
+// path, so there — as for every other operation on such a manager — the
+// caller provides the serialization.
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// PacketView is a dequeued packet still living in the slab: a lent chain of
+// segments [head..end] whose payload the consumer reads in place. The zero
+// value is invalid. Views are small value types (no heap allocation on the
+// dequeue path); copies share one reference count, so exactly one Release
+// must be called per DequeuePacketView plus one per Retain.
+type PacketView struct {
+	m     *Manager
+	head  int32
+	end   int32
+	segs  int32
+	bytes int32
+}
+
+// Valid reports whether the view refers to a packet (the zero view does
+// not).
+func (v PacketView) Valid() bool { return v.m != nil }
+
+// Len returns the packet's payload length in bytes.
+func (v PacketView) Len() int { return int(v.bytes) }
+
+// Segments returns the number of segments in the chain.
+func (v PacketView) Segments() int { return int(v.segs) }
+
+// Head returns the first segment of the chain.
+func (v PacketView) Head() Seg { return Seg(v.head) }
+
+// End returns the last (EOP) segment of the chain.
+func (v PacketView) End() Seg { return Seg(v.end) }
+
+// Range calls fn with each segment's payload slice in packet order,
+// stopping early if fn returns false. The slices alias the slab: they are
+// valid only until the view's final Release and must not be retained past
+// it. With data storage disabled the view has no payload and Range returns
+// immediately.
+func (v PacketView) Range(fn func(seg []byte) bool) {
+	m := v.m
+	if m == nil || m.data == nil {
+		return
+	}
+	for s := v.head; s != nilSeg; s = m.next[s] {
+		base := int(s) * SegmentBytes
+		if !fn(m.data[base : base+int(m.segLen[s])]) {
+			return
+		}
+	}
+}
+
+// AppendTo appends the packet's payload to buf — the copy fallback for
+// consumers that need a contiguous packet after all.
+func (v PacketView) AppendTo(buf []byte) []byte {
+	v.Range(func(seg []byte) bool {
+		buf = append(buf, seg...)
+		return true
+	})
+	return buf
+}
+
+// Retain adds a reference, for handing the view to an asynchronous
+// consumer (a NIC-style transmit ring) that completes after the original
+// holder returns. Every Retain needs a matching Release.
+func (v PacketView) Retain() {
+	atomic.AddInt32(&v.m.refs[v.head], 1)
+}
+
+// Release drops a reference; the final one scrubs the chain and returns it
+// to the store in one bulk operation. Safe from any goroutine. Releasing
+// more times than Retain+1 panics — a double release means some consumer
+// may still be reading segments that are back in the free pool, the
+// use-after-free this accounting exists to catch. (Like sync.WaitGroup,
+// the panic is best-effort: it detects the imbalance while the refcount
+// slot has not been recycled by a later packet chain headed at the same
+// segment.)
+func (v PacketView) Release() {
+	m := v.m
+	n := atomic.AddInt32(&m.refs[v.head], -1)
+	if n > 0 {
+		return
+	}
+	if n < 0 {
+		panic("queue: PacketView released more times than retained")
+	}
+	for s := v.head; ; s = m.next[s] {
+		m.segLen[s] = 0
+		m.eop[s] = false
+		m.state[s] = stateFree
+		if s == v.end {
+			break
+		}
+	}
+	m.src.ReturnLent(v.head, v.end, v.segs)
+}
+
+// ViewReleaser accumulates view releases and returns the chains to the
+// store in one bulk transaction per manager instead of one per packet. A
+// consumer that drains views in batches (the engine's DequeueNextViewBatch
+// loop) releases each packet into the accumulator and flushes once: the
+// scrub still happens per segment, but the depot push — the one CAS the
+// cross-goroutine return path costs — and the lent-counter update are paid
+// once per batch. The zero value is ready to use. Like a single Release,
+// an accumulator is one goroutine's tool; the flush itself is safe from
+// any goroutine under the same shared-store condition as Release.
+type ViewReleaser struct {
+	m    *Manager
+	head int32
+	tail int32
+	n    int32
+}
+
+// Add releases one view into the accumulator. Views whose reference count
+// has not reached zero (outstanding Retains) are skipped, exactly as
+// Release would; over-release panics identically.
+func (r *ViewReleaser) Add(v PacketView) {
+	m := v.m
+	if m == nil {
+		return
+	}
+	c := atomic.AddInt32(&m.refs[v.head], -1)
+	if c > 0 {
+		return
+	}
+	if c < 0 {
+		panic("queue: PacketView released more times than retained")
+	}
+	for s := v.head; ; s = m.next[s] {
+		m.segLen[s] = 0
+		m.eop[s] = false
+		m.state[s] = stateFree
+		if s == v.end {
+			break
+		}
+	}
+	if r.m != m {
+		r.Flush()
+		r.m = m
+	}
+	if r.n == 0 {
+		r.head = v.head
+	} else {
+		m.next[r.tail] = v.head
+	}
+	r.tail = v.end
+	r.n += v.segs
+}
+
+// Flush returns every accumulated chain to its store. The accumulator is
+// reusable afterwards.
+func (r *ViewReleaser) Flush() {
+	if r.n > 0 {
+		r.m.src.ReturnLent(r.head, r.tail, r.n)
+		r.n = 0
+	}
+}
+
+// DequeuePacketView unlinks the packet at the head of q and returns it as
+// a zero-copy view instead of reassembling it. The queue table and
+// accounting update exactly as DequeuePacket's would; the segments move to
+// the lent state and stay in the slab until the view's final Release. One
+// pass over the chain does the EOP walk, the byte accumulation, and the
+// lent marking together — one chain traversal where the copy path needs
+// two.
+func (m *Manager) DequeuePacketView(q QueueID) (PacketView, error) {
+	if err := m.checkQueue(q); err != nil {
+		return PacketView{}, err
+	}
+	head := m.qhead[q]
+	if head == nilSeg {
+		return PacketView{}, fmt.Errorf("%w: queue %d", ErrQueueEmpty, q)
+	}
+	var chainBytes int32
+	n := int32(0)
+	end := nilSeg
+	for s := head; s != nilSeg; s = m.next[s] {
+		chainBytes += int32(m.segLen[s])
+		m.state[s] = stateLent
+		n++
+		if m.eop[s] {
+			end = s
+			break
+		}
+	}
+	if end == nilSeg {
+		// No complete packet: restore the marked states (the whole queue is
+		// stateQueued again; re-marking untouched members is harmless) and
+		// leave the queue untouched. Rare path — only partially assembled
+		// ingress can hit it.
+		for s := head; s != nilSeg; s = m.next[s] {
+			m.state[s] = stateQueued
+		}
+		return PacketView{}, fmt.Errorf("%w: queue %d", ErrNoPacket, q)
+	}
+	m.qhead[q] = m.next[end]
+	if m.qhead[q] == nilSeg {
+		m.qtail[q] = nilSeg
+	}
+	m.next[end] = nilSeg
+	m.qsegs[q] -= n
+	m.qbytes[q] -= chainBytes
+	m.qpkts[q]--
+	m.queuedSegs -= n
+	m.totalBytes -= int64(chainBytes)
+	m.fixLongest(q)
+	m.src.Lend(n)
+	atomic.StoreInt32(&m.refs[head], 1)
+	m.publish()
+	return PacketView{m: m, head: head, end: end, segs: n, bytes: chainBytes}, nil
+}
+
+// PacketWriter is an in-flight write-in-place enqueue: a pre-linked,
+// pre-sized segment run the producer fills through Range before Commit
+// splices it onto the queue. The zero value is terminal. A writer must end
+// in exactly one Commit or Abort; later terminal calls return
+// ErrWriterDone.
+type PacketWriter struct {
+	m     *Manager
+	q     QueueID
+	head  int32
+	tail  int32
+	segs  int32
+	bytes int32
+}
+
+// Valid reports whether the writer holds a live reservation.
+func (w *PacketWriter) Valid() bool { return w.m != nil }
+
+// Len returns the reserved payload length in bytes.
+func (w *PacketWriter) Len() int { return int(w.bytes) }
+
+// Segments returns the number of reserved segments.
+func (w *PacketWriter) Segments() int { return int(w.segs) }
+
+// Queue returns the destination queue.
+func (w *PacketWriter) Queue() QueueID { return w.q }
+
+// Range calls fn with each reserved segment's payload slice in packet
+// order — writable, sized to the segment's share of the reservation (full
+// segments, then the remainder) — stopping early if fn returns false.
+// These are the iovecs a socket reader hands to readv. With data storage
+// disabled the writer has no payload memory and Range returns immediately.
+func (w *PacketWriter) Range(fn func(seg []byte) bool) {
+	m := w.m
+	if m == nil || m.data == nil {
+		return
+	}
+	for s := w.head; s != nilSeg; s = m.next[s] {
+		base := int(s) * SegmentBytes
+		if !fn(m.data[base : base+int(m.segLen[s])]) {
+			return
+		}
+	}
+}
+
+// ReservePacket allocates and links the segment run for an n-byte packet
+// destined for q, returning a PacketWriter exposing the run's payload
+// slices for the producer to fill in place. Admission (the per-queue cap)
+// is charged up front against q's current occupancy; the packet joins the
+// queue — and its bytes join the queue's accounting — when Commit splices
+// it, so packets land in Commit order, not Reserve order. On any error the
+// pool and queue are untouched.
+func (m *Manager) ReservePacket(q QueueID, n int) (PacketWriter, error) {
+	if err := m.checkQueue(q); err != nil {
+		return PacketWriter{}, err
+	}
+	if n <= 0 {
+		return PacketWriter{}, fmt.Errorf("%w: empty packet", ErrBadLength)
+	}
+	needed := (n + SegmentBytes - 1) / SegmentBytes
+	if !m.admissible(q, needed) {
+		return PacketWriter{}, fmt.Errorf("%w: queue %d cannot accept %d segments", ErrQueueLimit, q, needed)
+	}
+	if avail := m.src.Avail(); needed > avail {
+		return PacketWriter{}, fmt.Errorf("%w: need %d segments, have %d",
+			ErrNoFreeSegments, needed, avail)
+	}
+	run := m.runBuf(needed)
+	if got := m.src.AllocN(run); got < needed {
+		m.returnRun(run[:got])
+		m.publish()
+		return PacketWriter{}, fmt.Errorf("%w: need %d segments, got %d",
+			ErrNoFreeSegments, needed, got)
+	}
+	last := needed - 1
+	left := n
+	for i, s := range run {
+		ln := left
+		if ln > SegmentBytes {
+			ln = SegmentBytes
+		}
+		left -= ln
+		m.segLen[s] = uint16(ln)
+		m.eop[s] = i == last
+		m.state[s] = stateLent
+		if i < last {
+			m.next[s] = run[i+1]
+		} else {
+			m.next[s] = nilSeg
+		}
+	}
+	m.src.Lend(int32(needed))
+	m.publish()
+	return PacketWriter{m: m, q: q, head: run[0], tail: run[last], segs: int32(needed), bytes: int32(n)}, nil
+}
+
+// Commit splices the filled run onto the queue tail — one queue-table and
+// accounting update, no data copy — and takes the segments back off the
+// lent books. Owner context only, like the ReservePacket that opened the
+// writer. The writer becomes terminal.
+func (w *PacketWriter) Commit() error {
+	m := w.m
+	if m == nil {
+		return ErrWriterDone
+	}
+	for s := w.head; ; s = m.next[s] {
+		m.state[s] = stateQueued
+		if s == w.tail {
+			break
+		}
+	}
+	q := w.q
+	if m.qtail[q] == nilSeg {
+		m.qhead[q] = w.head
+	} else {
+		m.next[m.qtail[q]] = w.head
+	}
+	m.qtail[q] = w.tail
+	m.linkChainAccounting(q, PacketChain{
+		Head: Seg(w.head), Tail: Seg(w.tail), Segs: int(w.segs), Bytes: int(w.bytes),
+	})
+	m.src.Lend(-w.segs)
+	m.publish()
+	*w = PacketWriter{}
+	return nil
+}
+
+// Abort scrubs the reserved run and hands it back to the store in one bulk
+// return without ever touching the queue. Safe from any goroutine, like a
+// view release — a producer that reserved, failed its read, and aborts
+// does not need the owner context. The writer becomes terminal.
+func (w *PacketWriter) Abort() error {
+	m := w.m
+	if m == nil {
+		return ErrWriterDone
+	}
+	for s := w.head; ; s = m.next[s] {
+		m.segLen[s] = 0
+		m.eop[s] = false
+		m.state[s] = stateFree
+		if s == w.tail {
+			break
+		}
+	}
+	m.src.ReturnLent(w.head, w.tail, w.segs)
+	*w = PacketWriter{}
+	return nil
+}
+
+// LentSegments returns the pool-wide lent population: segments checked out
+// in views or open reservations.
+func (m *Manager) LentSegments() int { return m.src.Lent() }

@@ -1,0 +1,404 @@
+package queue
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"npqm/internal/segstore"
+)
+
+// newSharedManager builds a manager over a shared store, the configuration
+// under which view releases and writer aborts are safe from any goroutine.
+func newSharedManager(t *testing.T, segs int) *Manager {
+	t.Helper()
+	st, err := segstore.New(segstore.Config{
+		NumSegments: segs, SegmentBytes: SegmentBytes, StoreData: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewWithStore(Config{NumQueues: 8}, st.NewCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestDequeuePacketViewRoundTrip(t *testing.T) {
+	m := newTestManager(t, 64)
+	payload := make([]byte, 3*SegmentBytes+17)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	segs, err := m.EnqueuePacket(1, payload)
+	if err != nil {
+		t.Fatalf("enqueue: %v", err)
+	}
+	v, err := m.DequeuePacketView(1)
+	if err != nil {
+		t.Fatalf("view dequeue: %v", err)
+	}
+	if !v.Valid() {
+		t.Fatal("view not valid")
+	}
+	if v.Len() != len(payload) || v.Segments() != segs {
+		t.Fatalf("view shape = (%d bytes, %d segs), want (%d, %d)",
+			v.Len(), v.Segments(), len(payload), segs)
+	}
+	if got := v.AppendTo(nil); !bytes.Equal(got, payload) {
+		t.Fatalf("payload mismatch: got %d bytes", len(got))
+	}
+	// The chain is out of the queue but not yet back in the pool.
+	if m.LentSegments() != segs {
+		t.Fatalf("lent = %d, want %d", m.LentSegments(), segs)
+	}
+	if free := m.FreeSegments(); free != 64-segs {
+		t.Fatalf("free = %d while view held, want %d", free, 64-segs)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("invariants with view outstanding: %v", err)
+	}
+	v.Release()
+	if m.LentSegments() != 0 {
+		t.Fatalf("lent = %d after release, want 0", m.LentSegments())
+	}
+	if free := m.FreeSegments(); free != 64 {
+		t.Fatalf("free = %d after release, want 64", free)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after release: %v", err)
+	}
+}
+
+func TestPacketViewErrors(t *testing.T) {
+	m := newTestManager(t, 16)
+	if _, err := m.DequeuePacketView(0); !errors.Is(err, ErrQueueEmpty) {
+		t.Fatalf("empty queue: %v", err)
+	}
+	// Raw segments without an EOP are not a packet.
+	if _, err := m.Enqueue(2, make([]byte, 8), false); err != nil {
+		t.Fatalf("raw enqueue: %v", err)
+	}
+	if _, err := m.DequeuePacketView(2); !errors.Is(err, ErrNoPacket) {
+		t.Fatalf("no EOP: %v", err)
+	}
+	// The failed view dequeue must leave the queue servable by the view path
+	// once the packet completes.
+	if _, err := m.Enqueue(2, make([]byte, 8), true); err != nil {
+		t.Fatalf("raw enqueue 2: %v", err)
+	}
+	v, err := m.DequeuePacketView(2)
+	if err != nil {
+		t.Fatalf("view after completion: %v", err)
+	}
+	if v.Segments() != 2 {
+		t.Fatalf("segments = %d, want 2", v.Segments())
+	}
+	v.Release()
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPacketViewRetainCrossGoroutine(t *testing.T) {
+	m := newSharedManager(t, 64)
+	payload := make([]byte, 2*SegmentBytes)
+	if _, err := m.EnqueuePacket(0, payload); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.DequeuePacketView(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand extra references to concurrent readers; the chain must survive
+	// until the last reference anywhere drops.
+	const readers = 8
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		v.Retain()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := 0
+			v.Range(func(seg []byte) bool { n += len(seg); return true })
+			if n != v.Len() {
+				t.Errorf("read %d bytes, want %d", n, v.Len())
+			}
+			v.Release()
+		}()
+	}
+	v.Release() // the dequeue's own reference
+	wg.Wait()
+	if m.LentSegments() != 0 {
+		t.Fatalf("lent = %d after all releases, want 0", m.LentSegments())
+	}
+	if m.FreeSegments() != 64 {
+		t.Fatalf("free = %d, want 64", m.FreeSegments())
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPacketViewDoubleReleasePanics(t *testing.T) {
+	m := newTestManager(t, 16)
+	if _, err := m.EnqueuePacket(0, make([]byte, 10)); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.DequeuePacketView(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Release did not panic")
+		}
+	}()
+	v.Release()
+}
+
+func TestViewReleaserBatch(t *testing.T) {
+	m := newSharedManager(t, 256)
+	payload := make([]byte, 3*SegmentBytes)
+	var views []PacketView
+	for i := 0; i < 10; i++ {
+		if _, err := m.EnqueuePacket(QueueID(i%4), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for q := QueueID(0); q < 4; q++ {
+		for {
+			v, err := m.DequeuePacketView(q)
+			if err != nil {
+				break
+			}
+			views = append(views, v)
+		}
+	}
+	if len(views) != 10 {
+		t.Fatalf("dequeued %d views, want 10", len(views))
+	}
+	// A retained view must survive the batch release.
+	views[3].Retain()
+	var r ViewReleaser
+	for _, v := range views {
+		r.Add(v)
+	}
+	r.Flush()
+	if lent := m.LentSegments(); lent != 3 {
+		t.Fatalf("lent = %d after batch release, want 3 (the retained view)", lent)
+	}
+	views[3].Release()
+	if lent := m.LentSegments(); lent != 0 {
+		t.Fatalf("lent = %d after final release, want 0", lent)
+	}
+	if free := m.FreeSegments(); free != 256 {
+		t.Fatalf("free = %d, want 256", free)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// A drained accumulator flushes as a no-op, and over-release through
+	// the accumulator panics like a direct Release.
+	r.Flush()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add after final release did not panic")
+		}
+	}()
+	r.Add(views[3])
+}
+
+func TestReserveCommitRoundTrip(t *testing.T) {
+	m := newTestManager(t, 64)
+	payload := make([]byte, 2*SegmentBytes+5)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	w, err := m.ReservePacket(3, len(payload))
+	if err != nil {
+		t.Fatalf("reserve: %v", err)
+	}
+	if !w.Valid() || w.Len() != len(payload) || w.Segments() != 3 || w.Queue() != 3 {
+		t.Fatalf("writer shape = (%v, %d, %d, %d)", w.Valid(), w.Len(), w.Segments(), w.Queue())
+	}
+	// Reserved segments are lent, and the packet is not yet in the queue.
+	if m.LentSegments() != 3 {
+		t.Fatalf("lent = %d during reservation, want 3", m.LentSegments())
+	}
+	if n, _ := m.Len(3); n != 0 {
+		t.Fatalf("queue len = %d before commit, want 0", n)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("invariants with reservation open: %v", err)
+	}
+	off := 0
+	w.Range(func(seg []byte) bool {
+		off += copy(seg, payload[off:])
+		return true
+	})
+	if off != len(payload) {
+		t.Fatalf("writer exposed %d bytes, want %d", off, len(payload))
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	if err := w.Commit(); !errors.Is(err, ErrWriterDone) {
+		t.Fatalf("second commit: %v, want ErrWriterDone", err)
+	}
+	if m.LentSegments() != 0 {
+		t.Fatalf("lent = %d after commit, want 0", m.LentSegments())
+	}
+	got, _, err := m.DequeuePacket(3)
+	if err != nil {
+		t.Fatalf("dequeue: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("committed payload mismatch")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReserveAbort(t *testing.T) {
+	m := newSharedManager(t, 16)
+	w, err := m.ReservePacket(0, 3*SegmentBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error)
+	go func() { done <- w.Abort() }() // any-goroutine, like a failed readv
+	if err := <-done; err != nil {
+		t.Fatalf("abort: %v", err)
+	}
+	if err := w.Abort(); !errors.Is(err, ErrWriterDone) {
+		t.Fatalf("second abort: %v, want ErrWriterDone", err)
+	}
+	if m.LentSegments() != 0 || m.FreeSegments() != 16 {
+		t.Fatalf("lent=%d free=%d after abort, want 0/16", m.LentSegments(), m.FreeSegments())
+	}
+	if n, _ := m.Len(0); n != 0 {
+		t.Fatalf("queue len = %d after abort, want 0", n)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReserveErrors(t *testing.T) {
+	m := newTestManager(t, 4)
+	if _, err := m.ReservePacket(0, 0); !errors.Is(err, ErrBadLength) {
+		t.Fatalf("zero length: %v", err)
+	}
+	if _, err := m.ReservePacket(0, 5*SegmentBytes); !errors.Is(err, ErrNoFreeSegments) {
+		t.Fatalf("oversized: %v", err)
+	}
+	if err := m.SetSegmentLimit(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ReservePacket(0, 2*SegmentBytes); !errors.Is(err, ErrQueueLimit) {
+		t.Fatalf("over limit: %v", err)
+	}
+	if m.LentSegments() != 0 || m.FreeSegments() != 4 {
+		t.Fatalf("lent=%d free=%d after failed reserves", m.LentSegments(), m.FreeSegments())
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestViewLifecycleProperty mixes copy enqueues, reservations (committed
+// and aborted), copy dequeues and view dequeues with cross-goroutine
+// releases, then checks conservation: everything lent comes back, and the
+// pool refills exactly.
+func TestViewLifecycleProperty(t *testing.T) {
+	const pool = 256
+	m := newSharedManager(t, pool)
+	rng := rand.New(rand.NewSource(7))
+	var wg sync.WaitGroup
+	release := func(v PacketView) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v.Release()
+		}()
+	}
+	payload := make([]byte, 4*SegmentBytes)
+	for i := range payload {
+		payload[i] = byte(i * 3)
+	}
+	for step := 0; step < 4000; step++ {
+		q := QueueID(rng.Intn(8))
+		n := 1 + rng.Intn(len(payload)-1)
+		switch rng.Intn(5) {
+		case 0:
+			_, _ = m.EnqueuePacket(q, payload[:n])
+		case 1:
+			w, err := m.ReservePacket(q, n)
+			if err != nil {
+				continue
+			}
+			off := 0
+			w.Range(func(seg []byte) bool {
+				off += copy(seg, payload[off:n])
+				return true
+			})
+			if rng.Intn(4) == 0 {
+				if err := w.Abort(); err != nil {
+					t.Fatalf("abort: %v", err)
+				}
+			} else if err := w.Commit(); err != nil {
+				t.Fatalf("commit: %v", err)
+			}
+		case 2:
+			if data, _, err := m.DequeuePacket(q); err == nil {
+				if len(data) == 0 {
+					t.Fatal("empty copy dequeue")
+				}
+			}
+		default:
+			v, err := m.DequeuePacketView(q)
+			if err != nil {
+				continue
+			}
+			if got := v.AppendTo(nil); !bytes.Equal(got, payload[:v.Len()]) {
+				t.Fatalf("step %d: view payload mismatch (%d bytes)", step, v.Len())
+			}
+			if rng.Intn(3) == 0 {
+				release(v)
+			} else {
+				v.Release()
+			}
+		}
+		if step%256 == 0 {
+			if err := m.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	// Drain the queues through the view path and wait out the releasers.
+	for q := QueueID(0); q < 8; q++ {
+		for {
+			v, err := m.DequeuePacketView(q)
+			if err != nil {
+				break
+			}
+			release(v)
+		}
+	}
+	wg.Wait()
+	if m.LentSegments() != 0 {
+		t.Fatalf("lent = %d after drain, want 0", m.LentSegments())
+	}
+	if m.FreeSegments() != pool {
+		t.Fatalf("free = %d after drain, want %d", m.FreeSegments(), pool)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

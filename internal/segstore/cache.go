@@ -78,6 +78,16 @@ func (c *Cache) Avail() int {
 // Shared reports that other caches draw from the same pool.
 func (c *Cache) Shared() bool { return true }
 
+// Lend adjusts the shared pool's lent population (owner context).
+func (c *Cache) Lend(n int32) { c.st.Lend(n) }
+
+// ReturnLent hands a lent chain straight to the shared depot — safe from
+// any goroutine, bypassing this single-owner cache entirely.
+func (c *Cache) ReturnLent(head, tail, n int32) { c.st.ReturnLent(head, tail, n) }
+
+// Lent returns the pool-wide lent population.
+func (c *Cache) Lent() int { return c.st.Lent() }
+
 // Alloc takes one segment from the active magazine, swapping in the spare
 // or pulling a fresh magazine from the depot (one CAS) when it runs dry.
 func (c *Cache) Alloc() (int32, bool) {

@@ -14,6 +14,7 @@ type Private struct {
 	head  int32
 	tail  int32
 	count int32
+	lent  int32
 }
 
 // NewPrivate builds a private pool with every segment on the free list in
@@ -112,6 +113,24 @@ func (p *Private) FreeN(head, tail, n int32) {
 	p.count += n
 }
 
+// Lend adjusts the lent population.
+func (p *Private) Lend(n int32) { p.lent += n }
+
+// ReturnLent returns a lent chain to the FIFO free list. A private pool is
+// single-owner by contract, so unlike the shared store this is not safe
+// from arbitrary goroutines — but a private Manager has no concurrent
+// consumers to begin with.
+func (p *Private) ReturnLent(head, tail, n int32) {
+	if n <= 0 {
+		return
+	}
+	p.FreeN(head, tail, n)
+	p.lent -= n
+}
+
+// Lent returns the lent population.
+func (p *Private) Lent() int { return int(p.lent) }
+
 // Flush is a no-op: there is no shared pool to hand segments back to.
 func (p *Private) Flush() {}
 
@@ -147,6 +166,15 @@ func (p *Private) CheckInvariants() error {
 	}
 	if (p.head == nilSeg) != (p.tail == nilSeg) {
 		return fmt.Errorf("segstore: free head/tail nil mismatch")
+	}
+	stateLent := int32(0)
+	for _, st := range p.view.State {
+		if st == StateLent {
+			stateLent++
+		}
+	}
+	if stateLent != p.lent {
+		return fmt.Errorf("segstore: %d segments in StateLent, lent counter says %d", stateLent, p.lent)
 	}
 	return nil
 }

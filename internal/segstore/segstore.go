@@ -46,6 +46,7 @@ const (
 	StateFree     uint8 = iota // on a free list or in a magazine
 	StateQueued                // linked into a flow queue
 	StateFloating              // allocated, not yet linked (or in transit)
+	StateLent                  // checked out to a consumer as a zero-copy view
 )
 
 // MagazineSegments is the default magazine size: the number of segments
@@ -63,6 +64,7 @@ type View struct {
 	Len   []uint16 // payload length per segment
 	EOP   []bool   // end-of-packet marker per segment
 	State []uint8  // lifecycle state per segment
+	Refs  []int32  // view refcount per lent chain head (atomic access only)
 	Data  []byte   // payload slab (nil when storage is disabled)
 }
 
@@ -100,6 +102,24 @@ type Source interface {
 	// callers invoke it once per queue operation (no-op for a private
 	// source).
 	Publish()
+	// Lend moves segments between the owner's books and the lent
+	// population: a positive delta marks segments as checked out to a
+	// zero-copy view or reservation, a negative delta takes them back onto
+	// the owner's books (a writer committing its reserved run). Owner
+	// context only, like Alloc — the lent chains themselves are handed back
+	// through ReturnLent.
+	Lend(n int32)
+	// ReturnLent returns a lent chain of n segments (head→…→tail through
+	// View.Next; Next[tail] is overwritten) to free storage and debits the
+	// lent population. Unlike every other method, ReturnLent is safe to
+	// call from any goroutine for a shared source — view releases happen
+	// wherever the consumer finishes, not in the owning shard — so shared
+	// sources route the chain straight to the global depot. Private
+	// sources remain single-owner. Segments must be scrubbed (StateFree,
+	// zero length) by the caller before the chain is handed back.
+	ReturnLent(head, tail, n int32)
+	// Lent is the pool-wide lent population.
+	Lent() int
 	// Shared reports whether other sources draw from the same pool.
 	Shared() bool
 	// CheckInvariants validates this source's free-storage structures.
@@ -144,6 +164,7 @@ func newView(cfg Config) View {
 		Len:   make([]uint16, cfg.NumSegments),
 		EOP:   make([]bool, cfg.NumSegments),
 		State: make([]uint8, cfg.NumSegments),
+		Refs:  make([]int32, cfg.NumSegments),
 	}
 	if cfg.StoreData {
 		v.Data = make([]byte, cfg.NumSegments*cfg.SegmentBytes)
@@ -164,6 +185,7 @@ type Store struct {
 	// successful push or pop, making the CAS ABA-safe.
 	depotHead atomic.Uint64
 	depotFree atomic.Int64 // segments currently in depot magazines
+	lentSegs  atomic.Int64 // segments checked out as views or reservations
 
 	// dnext[h] links magazine head h to the next magazine head below it.
 	// Accessed only with atomics: a popper that loaded a stale top still
@@ -232,6 +254,30 @@ func (st *Store) Free() int {
 		total += int64(c.count.Load())
 	}
 	return int(total)
+}
+
+// Lent returns the pool-wide lent population (segments checked out as
+// zero-copy views or in-flight write reservations).
+func (st *Store) Lent() int { return int(st.lentSegs.Load()) }
+
+// Lend adjusts the lent population by delta segments. Callers move
+// segments onto the lent books when a view or reservation checks a chain
+// out, and off them when a writer commits its run back into a queue.
+func (st *Store) Lend(n int32) { st.lentSegs.Add(int64(n)) }
+
+// ReturnLent returns a lent chain to the depot as one magazine and debits
+// the lent population. Safe from any goroutine: the single publishing CAS
+// in pushMagazine is the depot's normal concurrency discipline, and the
+// caller owns the chain exclusively until that CAS, so its scrub writes
+// happen-before any later allocation. The chain may be any length —
+// popMagazine handles non-nominal counts.
+func (st *Store) ReturnLent(head, tail, n int32) {
+	if n <= 0 {
+		return
+	}
+	st.view.Next[tail] = nilSeg
+	st.pushMagazine(head, n)
+	st.lentSegs.Add(-int64(n))
 }
 
 // pushMagazine publishes the chain headed by head (count segments linked
@@ -327,14 +373,20 @@ func (st *Store) CheckInvariants() error {
 		}
 		free += cached
 	}
-	stateFree := int64(0)
+	stateFree, stateLent := int64(0), int64(0)
 	for _, s := range st.view.State {
-		if s == StateFree {
+		switch s {
+		case StateFree:
 			stateFree++
+		case StateLent:
+			stateLent++
 		}
 	}
 	if stateFree != free {
 		return fmt.Errorf("segstore: %d segments in StateFree, free storage holds %d", stateFree, free)
+	}
+	if got := st.lentSegs.Load(); got != stateLent {
+		return fmt.Errorf("segstore: %d segments in StateLent, lent counter says %d", stateLent, got)
 	}
 	return nil
 }

@@ -42,7 +42,22 @@ var (
 	ErrNoFreeSegments = queue.ErrNoFreeSegments
 	ErrQueueLimit     = queue.ErrQueueLimit
 	ErrNoPacket       = queue.ErrNoPacket
+	ErrWriterDone     = queue.ErrWriterDone
 )
+
+// PacketView is a dequeued packet exposed as a zero-copy view over its
+// 64-byte segment chain: iterate the payload in place with Range or
+// Segments, then Release to return the whole chain to the pool in one
+// bulk operation. Views are reference counted (Retain/Release) and safe
+// to release from any goroutine. See DESIGN.md's zero-copy section for
+// the lifetime rules.
+type PacketView = queue.PacketView
+
+// PacketWriter is an open write-in-place reservation on the functional
+// queue engine: fill the reserved per-segment slices through Range (the
+// iovecs a readv-style receiver scatters into), then Commit to splice the
+// packet onto its queue or Abort to return the segments.
+type PacketWriter = queue.PacketWriter
 
 // DefaultFlows is the MMS per-flow queue count (32K).
 const DefaultFlows = queue.DefaultNumQueues
@@ -72,6 +87,23 @@ func (qm *QueueManager) EnqueuePacket(q uint32, data []byte) (int, error) {
 func (qm *QueueManager) DequeuePacket(q uint32) ([]byte, error) {
 	data, _, err := qm.m.DequeuePacket(queue.QueueID(q))
 	return data, err
+}
+
+// DequeuePacketView removes the packet at the head of flow q as a
+// zero-copy view over its segment chain — no reassembly buffer, no copy.
+// The caller must Release the view exactly once; its segments stay
+// checked out of the pool (lent, visible in CheckInvariants' conservation
+// law) until then.
+func (qm *QueueManager) DequeuePacketView(q uint32) (PacketView, error) {
+	return qm.m.DequeuePacketView(queue.QueueID(q))
+}
+
+// ReservePacket opens an n-byte write-in-place reservation on flow q:
+// the segment run is allocated and linked now, the caller fills it
+// through PacketWriter.Range, and Commit makes the packet visible in
+// O(1) without the payload ever being copied.
+func (qm *QueueManager) ReservePacket(q uint32, n int) (PacketWriter, error) {
+	return qm.m.ReservePacket(queue.QueueID(q), n)
 }
 
 // MovePacket relinks the head packet of one flow onto another without

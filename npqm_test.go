@@ -158,7 +158,7 @@ func TestConcurrentQueueManager(t *testing.T) {
 	if !bytes.Equal(got, pkt) {
 		t.Fatalf("round trip lost data: %d bytes", len(got))
 	}
-	cm.Release(got)
+	cm.ReleaseBuffer(got)
 
 	batch := make([]PacketEnqueue, 50)
 	for i := range batch {
@@ -186,7 +186,7 @@ func TestConcurrentQueueManager(t *testing.T) {
 		if err != nil {
 			t.Fatalf("dequeue[%d]: %v", i, err)
 		}
-		cm.Release(pkts[i])
+		cm.ReleaseBuffer(pkts[i])
 	}
 	if err := cm.CheckInvariants(); err != nil {
 		t.Fatal(err)

@@ -46,6 +46,15 @@ const (
 // DequeuedPacket is one packet served by the integrated egress scheduler.
 type DequeuedPacket = engine.Dequeued
 
+// DequeuedView is one packet served by the zero-copy egress paths: flow,
+// exact byte count, and a PacketView over the segment chain.
+type DequeuedView = engine.DequeuedView
+
+// Reservation is an open write-in-place ingest: fill the reserved segment
+// slices through Range, then Commit (splice onto the queue) or Abort
+// (return the segments). See ConcurrentQueueManager.ReservePacket.
+type Reservation = engine.Reservation
+
 // ShaperConfig parameterizes a port's token-bucket shaper; build one with
 // PortShaper (the zero value is unshaped). The bucket earns
 // RateBytesPerSec of credit per second up to BurstBytes and transmits
@@ -60,6 +69,14 @@ type Sink = engine.Sink
 
 // SinkFunc adapts a function to the Sink interface.
 type SinkFunc = engine.SinkFunc
+
+// SinkV consumes the packet views a port served through ServeViews
+// transmits — the zero-copy counterpart of Sink. The engine releases its
+// reference when SendView returns; asynchronous sinks Retain first.
+type SinkV = engine.SinkV
+
+// SinkVFunc adapts a function to the SinkV interface.
+type SinkVFunc = engine.SinkVFunc
 
 // PortStat is one output port's transmit statistics (see PortStats).
 type PortStat = engine.PortStat
