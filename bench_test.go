@@ -677,20 +677,22 @@ func BenchmarkEnginePorts(b *testing.B) {
 	}
 }
 
-// BenchmarkEngineHierarchy measures the two-level scheduler on the
-// push-mode transmit path: "flat" is the single-class baseline (the class
-// layer's fast path — class pick skipped entirely), "classes8" layers
-// eight WRR classes over the same single port, and "wide" spreads the
-// flows over 1024 shaped ports in eight classes — the configuration the
-// per-shard timing-wheel pacer exists for (one pacer goroutine per shard,
-// not one worker per port). The shaped rate sits far above the offered
-// load so the benchmark measures scheduling and pacing bookkeeping, not
-// throttling. The headline metric is Mdeliv/s — packets delivered inside
-// the timed window; benchstat gates the ns/op of all three cases in CI.
-// (The ~10% hierarchy acceptance bar is measured in the drain-dominated
-// qmsim scenario recorded in EXPERIMENTS.md, not here: under this
-// benchmark's pool-full lockstep every delivery admits one packet, which
-// taxes the sparse-port wakeup path hardest on few-core hosts.)
+// BenchmarkEngineHierarchy measures the level-stack scheduler on the
+// push-mode transmit path: "flat" is the single-list baseline (depth-0
+// stack — no per-level cost at all), "classes8" layers eight WRR classes
+// over the same single port, "tenants8" layers eight WRR tenants outside
+// those classes (the full three-level tenant → class → flow stack), and
+// "wide" spreads the flows over 1024 shaped ports in eight classes — the
+// configuration the per-shard timing-wheel pacer exists for (one pacer
+// goroutine per shard, not one worker per port). The shaped rate sits far
+// above the offered load so the benchmark measures scheduling and pacing
+// bookkeeping, not throttling. The headline metric is Mdeliv/s — packets
+// delivered inside the timed window; benchstat gates the ns/op of all
+// cases in CI. (The ~10% hierarchy acceptance bar is measured in the
+// drain-dominated qmsim scenario recorded in EXPERIMENTS.md, not here:
+// under this benchmark's pool-full lockstep every delivery admits one
+// packet, which taxes the sparse-port wakeup path hardest on few-core
+// hosts.)
 func BenchmarkEngineHierarchy(b *testing.B) {
 	cases := []struct {
 		name   string
@@ -700,6 +702,9 @@ func BenchmarkEngineHierarchy(b *testing.B) {
 	}{
 		{"flat", 1, false, RoundRobinEgress()},
 		{"classes8", 1, false, ClassLayer(RoundRobinEgress(), 8, EgressWRR, 4, 4, 2, 2, 1, 1, 1, 1)},
+		{"tenants8", 1, false, TenantLayer(
+			ClassLayer(RoundRobinEgress(), 8, EgressWRR, 4, 4, 2, 2, 1, 1, 1, 1),
+			8, EgressWRR, 4, 4, 2, 2, 1, 1, 1, 1)},
 		{"wide", 1024, true, ClassLayer(RoundRobinEgress(), 8, EgressWRR, 4, 4, 2, 2, 1, 1, 1, 1)},
 	}
 	for _, dist := range []string{"uniform", "zipf"} {
@@ -727,6 +732,13 @@ func BenchmarkEngineHierarchy(b *testing.B) {
 					}
 					if nc := cm.NumClasses(); nc > 1 {
 						if err := cm.SetFlowClass(uint32(f), f%nc); err != nil {
+							b.Fatal(err)
+						}
+					}
+					// Tenants cut across classes ((f/8)%8) so both levels
+					// actually rotate instead of collapsing onto one axis.
+					if nt := cm.NumTenants(); nt > 1 {
+						if err := cm.SetFlowTenant(uint32(f), (f/8)%nt); err != nil {
 							b.Fatal(err)
 						}
 					}

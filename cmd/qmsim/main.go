@@ -14,6 +14,7 @@
 //	qmsim -delivery view -pkt 1500 -ops 2000000
 //	qmsim -ports 4 -rate 125000000 -egress drr
 //	qmsim -classes 8 -class-egress wrr -class-weights 4,4,2,2,1,1,1,1
+//	qmsim -tenants 4 -tenant-egress wrr -tenant-weights 3,1,1,1 -classes 8
 //
 // -ports and -rate select the push-mode transmit path: flows are spread
 // across N output ports (flow % N), each port is served push-mode
@@ -24,13 +25,23 @@
 // transmissions, throttle waits, shaper credit, and achieved Gbps per
 // port. Setting -ports or -rate implies -model engine.
 //
-// -classes layers the two-level scheduling hierarchy over the flow level:
-// flows are spread across N classes (flow % N), -class-egress picks the
-// discipline arbitrating among a port's backlogged classes (the -egress
-// discipline then arbitrates within the winning class), and
-// -class-weights sets the per-class WRR/DRR weights. The CSV grows a
-// per-class block mirroring the per-port one: deliveries, bytes, and the
-// achieved share per class. Any class flag implies -model engine.
+// -classes layers a class scheduling level over the flow level: flows are
+// spread across N classes (flow % N), -class-egress picks the discipline
+// arbitrating among a port's backlogged classes (the -egress discipline
+// then arbitrates within the winning class), and -class-weights sets the
+// per-class WRR/DRR weights. The CSV grows a per-class block mirroring
+// the per-port one: deliveries, bytes, and the achieved share per class
+// — full-run (which converges to the admission mix once the end-of-run
+// drain completes) and at the end-of-offer cutoff, where the level
+// discipline's weighted shares are visible. Any class flag implies
+// -model engine.
+//
+// -tenants layers a tenant level outside the class level, completing the
+// three-deep tenant → class → flow hierarchy: flows are spread across N
+// tenants ((flow / classes) % N, so tenants cut across classes),
+// -tenant-egress picks the tenant-level discipline and -tenant-weights
+// the per-tenant WRR/DRR weights. The CSV grows a per-tenant block
+// mirroring the per-class one. Any tenant flag implies -model engine.
 //
 // -delivery selects how packets cross the engine boundary: "copy"
 // reassembles each packet into a pooled buffer on dequeue and copies the
@@ -118,6 +129,9 @@ func main() {
 		classes   = flag.Int("classes", 0, "engine: scheduling classes layered over the flow level (0/1 = flat; flows spread flow %% N)")
 		classEg   = flag.String("class-egress", "rr", "engine: class-level discipline (rr, prio, wrr, drr)")
 		classW    = flag.String("class-weights", "", "engine: comma-separated per-class WRR/DRR weights (missing entries = 1)")
+		tenants   = flag.Int("tenants", 0, "engine: scheduling tenants layered outside the class level (0/1 = flat; flows spread (flow / classes) %% N)")
+		tenantEg  = flag.String("tenant-egress", "rr", "engine: tenant-level discipline (rr, prio, wrr, drr)")
+		tenantW   = flag.String("tenant-weights", "", "engine: comma-separated per-tenant WRR/DRR weights (missing entries = 1)")
 	)
 	flag.Parse()
 	// -ports / -rate / the class layer only make sense on the engine model;
@@ -127,6 +141,7 @@ func main() {
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	if !explicit["model"] && (explicit["ports"] || explicit["rate"] ||
 		explicit["classes"] || explicit["class-egress"] || explicit["class-weights"] ||
+		explicit["tenants"] || explicit["tenant-egress"] || explicit["tenant-weights"] ||
 		explicit["delivery"]) {
 		*model = "engine"
 	}
@@ -152,6 +167,7 @@ func main() {
 			datapath: *datapath, delivery: *delivery, ringCap: *ringCap, residence: *residence,
 			ports: *ports, rate: *rate, burstBytes: *burstB,
 			classes: *classes, classEgress: *classEg, classWeights: *classW,
+			tenants: *tenants, tenantEgress: *tenantEg, tenantWeights: *tenantW,
 		})
 	default:
 		err = fmt.Errorf("unknown model %q (want ddr, mms, ixp, npu, engine)", *model)
@@ -236,23 +252,26 @@ type engineArgs struct {
 	rate, burstBytes                             int64
 	classes                                      int
 	classEgress, classWeights                    string
+	tenants                                      int
+	tenantEgress, tenantWeights                  string
 }
 
-// parseClassWeights turns "-class-weights 4,4,2,2" into the per-class
-// weight slice the egress config takes (class index order).
-func parseClassWeights(s string, classes int) ([]int, error) {
+// parseLevelWeights turns "-class-weights 4,4,2,2" (or the tenant
+// equivalent) into the per-unit weight slice the egress config takes
+// (unit index order).
+func parseLevelWeights(s, tier string, units int) ([]int, error) {
 	if s == "" {
 		return nil, nil
 	}
 	parts := strings.Split(s, ",")
-	if len(parts) > classes {
-		return nil, fmt.Errorf("%d class weights for %d classes", len(parts), classes)
+	if len(parts) > units {
+		return nil, fmt.Errorf("%d %s weights for %d %ss", len(parts), tier, units, tier)
 	}
 	out := make([]int, len(parts))
 	for i, p := range parts {
 		w, err := strconv.Atoi(strings.TrimSpace(p))
 		if err != nil {
-			return nil, fmt.Errorf("class weight %q: %w", p, err)
+			return nil, fmt.Errorf("%s weight %q: %w", tier, p, err)
 		}
 		out[i] = w
 	}
@@ -346,9 +365,33 @@ func runEngine(a engineArgs) error {
 	if a.classes < 0 {
 		return fmt.Errorf("classes must be >= 0, got %d", a.classes)
 	}
-	classWeights, err := parseClassWeights(a.classWeights, a.classes)
+	classWeights, err := parseLevelWeights(a.classWeights, "class", a.classes)
 	if err != nil {
 		return err
+	}
+	tenantKind, err := policy.ParseEgressKind(a.tenantEgress)
+	if err != nil {
+		return err
+	}
+	if a.tenants < 0 {
+		return fmt.Errorf("tenants must be >= 0, got %d", a.tenants)
+	}
+	tenantWeights, err := parseLevelWeights(a.tenantWeights, "tenant", a.tenants)
+	if err != nil {
+		return err
+	}
+	egCfg := policy.EgressConfig{Kind: egKind, QuantumBytes: a.quantum}
+	if a.classes > 1 {
+		egCfg = egCfg.WithLevel(policy.LevelSpec{
+			Tier: policy.TierClass, Kind: classKind,
+			Units: a.classes, Weights: classWeights,
+		})
+	}
+	if a.tenants > 1 {
+		egCfg = egCfg.WithLevel(policy.LevelSpec{
+			Tier: policy.TierTenant, Kind: tenantKind,
+			Units: a.tenants, Weights: tenantWeights,
+		})
 	}
 	e, err := engine.New(engine.Config{
 		Shards:      a.shards,
@@ -360,10 +403,7 @@ func runEngine(a engineArgs) error {
 			MinTh: a.minth, MaxTh: a.maxth, MaxP: a.maxp, Weight: a.wq,
 			Seed: a.seed,
 		},
-		Egress: policy.EgressConfig{
-			Kind: egKind, QuantumBytes: a.quantum,
-			NumClasses: a.classes, ClassKind: classKind, ClassWeights: classWeights,
-		},
+		Egress:          egCfg,
 		NumPorts:        a.ports,
 		PortRate:        policy.ShaperConfig{RateBytesPerSec: a.rate, BurstBytes: a.burstBytes},
 		RingCapacity:    a.ringCap,
@@ -386,15 +426,39 @@ func runEngine(a engineArgs) error {
 			}
 		}
 	}
-	// Per-class delivery tallies for the class CSV block; the flow→class
-	// map is the f %% classes spread above, so the tally indexes directly.
-	var classPkts []atomic.Uint64
+	// Tenants cut across classes: (flow / classes) % tenants, so every
+	// tenant holds flows of every class and the two levels arbitrate
+	// independently.
+	tenantOf := func(f uint32) int {
+		cdiv := a.classes
+		if cdiv < 1 {
+			cdiv = 1
+		}
+		return (int(f) / cdiv) % a.tenants
+	}
+	if a.tenants > 1 {
+		for f := 0; f < a.flows; f++ {
+			if err := e.SetFlowTenant(uint32(f), tenantOf(uint32(f))); err != nil {
+				return err
+			}
+		}
+	}
+	// Per-class and per-tenant delivery tallies for the CSV blocks; the
+	// flow→unit maps are the static spreads above, so the tallies index
+	// directly.
+	var classPkts, tenantPkts []atomic.Uint64
 	if a.classes > 1 {
 		classPkts = make([]atomic.Uint64, a.classes)
+	}
+	if a.tenants > 1 {
+		tenantPkts = make([]atomic.Uint64, a.tenants)
 	}
 	countClass := func(f uint32) {
 		if classPkts != nil {
 			classPkts[int(f)%a.classes].Add(1)
+		}
+		if tenantPkts != nil {
+			tenantPkts[tenantOf(f)].Add(1)
 		}
 	}
 	if ringMode {
@@ -612,6 +676,19 @@ func runEngine(a engineArgs) error {
 	if int64(residentAtCutoff) > peakResident.Load() {
 		peakResident.Store(int64(residentAtCutoff))
 	}
+	// Snapshot per-class/per-tenant deliveries at the same cutoff: while
+	// the backlog persisted, the level disciplines governed who was
+	// served, so the cutoff shares show the scheduler. The full-run
+	// totals converge to the admission mix once the drain below delivers
+	// everything that was ever admitted.
+	cutClass := make([]uint64, len(classPkts))
+	for c := range classPkts {
+		cutClass[c] = classPkts[c].Load()
+	}
+	cutTenant := make([]uint64, len(tenantPkts))
+	for t := range tenantPkts {
+		cutTenant[t] = tenantPkts[t].Load()
+	}
 	close(done)
 	consWG.Wait()
 	close(sampler)
@@ -653,6 +730,7 @@ func runEngine(a engineArgs) error {
 	st := e.Stats()
 	portStats := e.PortStats()
 	classStats := e.ClassStats()
+	tenantStats := e.TenantStats()
 	if err := e.CheckInvariants(); err != nil {
 		return err
 	}
@@ -688,35 +766,70 @@ func runEngine(a engineArgs) error {
 		st.ResidenceP50Ns/1e3, st.ResidenceP99Ns/1e3,
 		st.CopiedBytes, elapsed.Seconds(), mpps, gbps)
 	if pushMode {
-		// Per-port block: what each shaped output port actually carried.
-		fmt.Println("port,rate_bps,tx_packets,tx_bytes,throttled,shaper_tokens,port_gbps")
+		// Per-port block: what each shaped output port actually carried,
+		// and (for shaped ports) how tightly the pacer tracked the rate —
+		// mean and p99 inter-departure gap in µs, zeros when unshaped.
+		fmt.Println("port,rate_bps,tx_packets,tx_bytes,throttled,shaper_tokens,gap_samples,mean_gap_us,p99_gap_us,port_gbps")
 		for _, p := range portStats {
-			fmt.Printf("%d,%d,%d,%d,%d,%d,%.3f\n",
+			fmt.Printf("%d,%d,%d,%d,%d,%d,%d,%.1f,%.1f,%.3f\n",
 				p.Port, p.RateBytesPerSec*8, p.TransmittedPackets, p.TransmittedBytes,
 				p.Throttled, p.ShaperTokens,
+				p.GapSamples, float64(p.MeanGapNs)/1e3, float64(p.P99GapNs)/1e3,
 				float64(p.TransmittedBytes)*8/elapsed.Seconds()/1e9)
 		}
 	}
 	if a.classes > 1 {
 		// Per-class block, mirroring the per-port one: what each scheduling
 		// class was actually granted under the class-level discipline.
-		var total uint64
+		var total, cutTotal uint64
 		for c := range classPkts {
 			total += classPkts[c].Load()
+			cutTotal += cutClass[c]
 		}
-		fmt.Println("class,class_kind,weight,delivered,delivered_bytes,share_pct")
+		fmt.Println("class,class_kind,weight,delivered,delivered_bytes,share_pct,cutoff_delivered,cutoff_share_pct")
 		for c := 0; c < a.classes; c++ {
 			n := classPkts[c].Load()
 			share := 0.0
 			if total > 0 {
 				share = 100 * float64(n) / float64(total)
 			}
+			cutShare := 0.0
+			if cutTotal > 0 {
+				cutShare = 100 * float64(cutClass[c]) / float64(cutTotal)
+			}
 			weight := 1
 			if c < len(classStats) {
 				weight = classStats[c].Weight
 			}
-			fmt.Printf("%d,%s,%d,%d,%d,%.1f\n",
-				c, classKind, weight, n, uint64(float64(n)*meanPkt), share)
+			fmt.Printf("%d,%s,%d,%d,%d,%.1f,%d,%.1f\n",
+				c, classKind, weight, n, uint64(float64(n)*meanPkt), share, cutClass[c], cutShare)
+		}
+	}
+	if a.tenants > 1 {
+		// Per-tenant block: what each tenant was granted under the
+		// outermost level of the hierarchy.
+		var total, cutTotal uint64
+		for t := range tenantPkts {
+			total += tenantPkts[t].Load()
+			cutTotal += cutTenant[t]
+		}
+		fmt.Println("tenant,tenant_kind,weight,delivered,delivered_bytes,share_pct,cutoff_delivered,cutoff_share_pct")
+		for t := 0; t < a.tenants; t++ {
+			n := tenantPkts[t].Load()
+			share := 0.0
+			if total > 0 {
+				share = 100 * float64(n) / float64(total)
+			}
+			cutShare := 0.0
+			if cutTotal > 0 {
+				cutShare = 100 * float64(cutTenant[t]) / float64(cutTotal)
+			}
+			weight := 1
+			if t < len(tenantStats) {
+				weight = tenantStats[t].Weight
+			}
+			fmt.Printf("%d,%s,%d,%d,%d,%.1f,%d,%.1f\n",
+				t, tenantKind, weight, n, uint64(float64(n)*meanPkt), share, cutTenant[t], cutShare)
 		}
 	}
 	return nil

@@ -303,6 +303,30 @@ func (cm *ConcurrentQueueManager) SetClassWeight(class, weight int) error {
 // ClassStats returns per-class backlog occupancy and weights.
 func (cm *ConcurrentQueueManager) ClassStats() []ClassStat { return cm.e.ClassStats() }
 
+// NumTenants returns the per-port scheduling tenant count (1 = flat).
+func (cm *ConcurrentQueueManager) NumTenants() int { return cm.e.NumTenants() }
+
+// SetFlowTenant moves flow q into a scheduling tenant (all flows start in
+// tenant 0; see TenantLayer for configuring the tenant level). A
+// backlogged flow moves with its queue and per-flow FIFO order is
+// unaffected. Safe while traffic flows.
+func (cm *ConcurrentQueueManager) SetFlowTenant(q uint32, tenant int) error {
+	return cm.e.SetFlowTenant(q, tenant)
+}
+
+// FlowTenant returns the scheduling tenant flow q is currently mapped to.
+func (cm *ConcurrentQueueManager) FlowTenant(q uint32) (int, error) { return cm.e.FlowTenant(q) }
+
+// SetTenantWeight sets a tenant's weight for tenant-level WRR (packets
+// per visit) and DRR (quantum multiplier). Weights must be positive. Safe
+// while traffic flows.
+func (cm *ConcurrentQueueManager) SetTenantWeight(tenant, weight int) error {
+	return cm.e.SetTenantWeight(tenant, weight)
+}
+
+// TenantStats returns per-tenant backlog occupancy and weights.
+func (cm *ConcurrentQueueManager) TenantStats() []TenantStat { return cm.e.TenantStats() }
+
 // NumPorts returns the configured output-port count.
 func (cm *ConcurrentQueueManager) NumPorts() int { return cm.e.NumPorts() }
 

@@ -17,6 +17,14 @@
 // on the port models link-level flow control: transmission stops, the
 // backlog holds, drops spike at the caps, and service resumes where it
 // left off.
+//
+// The third run adds the tenant level: two customers share the port
+// under 3:1 weighted round robin (TenantLayer outside ClassLayer — the
+// full tenant → class → flow stack), each with its own eight 802.1p
+// class queues. While both tenants stay backlogged, the premium tenant's
+// share of the transmitted frames must track its 3:1 weight — the run
+// checks that parity at the congestion cutoff and fails if the
+// hierarchy's outer level drifts from its configuration.
 package main
 
 import (
@@ -43,7 +51,7 @@ const (
 )
 
 func main() {
-	for _, policy := range []string{"strict", "wrr"} {
+	for _, policy := range []string{"strict", "wrr", "tenant"} {
 		if err := run(policy); err != nil {
 			log.Fatal(err)
 		}
@@ -53,17 +61,27 @@ func main() {
 func run(policy string) error {
 	// The whole 802.1p policy is the class layer: eight classes over a
 	// round-robin flow level, arbitrated strict-priority or 4:4:2:2:1:1:1:1
-	// weighted round robin.
+	// weighted round robin. The tenant run wraps that in a third level —
+	// two customers arbitrated 3:1 outside the class priorities.
 	egress := npqm.ClassLayer(npqm.RoundRobinEgress(), classes, npqm.EgressPrio)
-	if policy == "wrr" {
+	tenants := 1
+	tenantWeights := []int{1}
+	switch policy {
+	case "wrr":
 		egress = npqm.ClassLayer(npqm.RoundRobinEgress(), classes, npqm.EgressWRR,
 			4, 4, 2, 2, 1, 1, 1, 1)
+	case "tenant":
+		tenants = 2
+		tenantWeights = []int{3, 1}
+		egress = npqm.TenantLayer(egress, tenants, npqm.EgressWRR, tenantWeights...)
 	}
-	// One shard: eight class queues share one pool, one scheduler and one
+	flows := classes * tenants
+	// One shard: the class queues share one pool, one scheduler and one
 	// shaped output port, like a single line card. Class 0 is the highest
-	// priority (PCP 7).
+	// priority (PCP 7); queue q belongs to tenant q/classes, class
+	// q%classes.
 	cm, err := npqm.NewConcurrentEngine(npqm.ConcurrentConfig{
-		Flows:     classes,
+		Flows:     flows,
 		Segments:  2048,
 		Shards:    1,
 		Admission: npqm.TailDrop(perClass),
@@ -74,10 +92,16 @@ func run(policy string) error {
 	if err != nil {
 		return err
 	}
-	// Home each class queue in its scheduling class (flows start in class 0).
-	for c := 0; c < classes; c++ {
-		if err := cm.SetFlowClass(uint32(c), c); err != nil {
+	// Home each queue in its scheduling class and tenant (flows start in
+	// class 0, tenant 0).
+	for q := 0; q < flows; q++ {
+		if err := cm.SetFlowClass(uint32(q), q%classes); err != nil {
 			return err
+		}
+		if tenants > 1 {
+			if err := cm.SetFlowTenant(uint32(q), q/classes); err != nil {
+				return err
+			}
 		}
 	}
 
@@ -86,7 +110,7 @@ func run(policy string) error {
 	// place, never reassembled into a buffer. The engine releases the view
 	// when SendView returns (a NIC-style sink finishing transmission
 	// asynchronously would Retain it first).
-	var delivered [classes]atomic.Uint64
+	delivered := make([]atomic.Uint64, flows)
 	var txBytes atomic.Uint64
 	if err := cm.ServeViews(0, npqm.SinkVFunc(func(_ int, d npqm.DequeuedView) error {
 		delivered[d.Flow].Add(1)
@@ -97,7 +121,7 @@ func run(policy string) error {
 	}
 
 	gen, err := traffic.NewGenerator(traffic.Config{
-		RateGbps: 2.0, Flows: classes, Sizes: traffic.Min64,
+		RateGbps: 2.0, Flows: flows, Sizes: traffic.Min64,
 		Proc: traffic.OnOff, Seed: 99,
 	})
 	if err != nil {
@@ -105,8 +129,8 @@ func run(policy string) error {
 	}
 
 	var (
-		offered      [classes]int
-		dropped      [classes]int
+		offered      = make([]int, flows)
+		dropped      = make([]int, flows)
 		dropsAtPause [2]uint64 // drops before/after the pause window
 	)
 	src := packet.MAC{0x02, 0, 0, 0, 0, 1}
@@ -139,17 +163,19 @@ func run(policy string) error {
 			paused = false
 		}
 		a := gen.Next()
-		// Build and parse a tagged frame: PCP = flow index (class).
+		// Build and parse a tagged frame: PCP = flow index (class); the
+		// generator's flow also selects the arriving tenant.
 		pcp := uint8(a.Flow % classes)
+		tenant := int(a.Flow) / classes % tenants
 		frame := packet.BuildEth(packet.MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, src, 1, pcp,
 			packet.EtherTypeIPv4, make([]byte, 46))
 		parsed, err := packet.ParseEth(frame)
 		if err != nil {
 			return err
 		}
-		// 802.1p: higher PCP = higher priority; queue 0 is served first by
-		// the priority egress, so PCP 7 maps to queue 0.
-		class := int(7 - parsed.PCP)
+		// 802.1p: higher PCP = higher priority; class queue 0 is served
+		// first by the priority egress, so PCP 7 maps to class 0.
+		class := tenant*classes + int(7-parsed.PCP)
 		offered[class]++
 
 		// Write-in-place ingest: reserve the frame's segment run (admission
@@ -181,15 +207,17 @@ func run(policy string) error {
 		dropsAtPause[1] = cm.Stats().DroppedPackets
 	}
 
-	// End of offer: snapshot the standing backlog, then let the shaped
-	// port drain it.
-	var queued [classes]int
-	for c := 0; c < classes; c++ {
-		n, err := cm.Len(uint32(c))
+	// End of offer: snapshot the standing backlog and what each queue
+	// had delivered under congestion, then let the shaped port drain.
+	queued := make([]int, flows)
+	deliveredAtCutoff := make([]uint64, flows)
+	for q := 0; q < flows; q++ {
+		n, err := cm.Len(uint32(q))
 		if err != nil {
 			return err
 		}
-		queued[c] = n
+		queued[q] = n
+		deliveredAtCutoff[q] = delivered[q].Load()
 	}
 	deadline := time.Now().Add(10 * time.Second)
 	for cm.Stats().QueuedSegments > 0 && time.Now().Before(deadline) {
@@ -206,9 +234,32 @@ func run(policy string) error {
 	}
 	fmt.Printf("== %s scheduler: %d frames offered at 2:1 over a %d B/s shaped port ==\n",
 		policy, frames, lineRate)
-	fmt.Printf("%5s %5s %9s %9s %9s %12s\n", "queue", "pcp", "offered", "sent", "dropped", "queued@cutoff")
-	for c := 0; c < classes; c++ {
-		fmt.Printf("%5d %5d %9d %9d %9d %12d\n", c, 7-c, offered[c], delivered[c].Load(), dropped[c], queued[c])
+	fmt.Printf("%5s %6s %5s %9s %9s %9s %12s\n", "queue", "tenant", "pcp", "offered", "sent", "dropped", "queued@cutoff")
+	for q := 0; q < flows; q++ {
+		fmt.Printf("%5d %6d %5d %9d %9d %9d %12d\n",
+			q, q/classes, 7-q%classes, offered[q], delivered[q].Load(), dropped[q], queued[q])
+	}
+	if tenants > 1 {
+		// Tenant parity: while both tenants stayed backlogged the WRR
+		// level granted service 3:1, so the cutoff shares must track the
+		// weights (the post-cutoff drain no longer competes).
+		var cut [2]uint64
+		for q := 0; q < flows; q++ {
+			cut[q/classes] += deliveredAtCutoff[q]
+		}
+		total := cut[0] + cut[1]
+		if total == 0 || cut[1] == 0 {
+			return fmt.Errorf("tenant parity: no congested service to compare (%d/%d)", cut[0], cut[1])
+		}
+		ratio := float64(cut[0]) / float64(cut[1])
+		fmt.Printf("tenants@cutoff: premium %d (%.0f%%), best-effort %d (%.0f%%) — served ratio %.2f vs %d:%d configured\n",
+			cut[0], 100*float64(cut[0])/float64(total),
+			cut[1], 100*float64(cut[1])/float64(total),
+			ratio, tenantWeights[0], tenantWeights[1])
+		want := float64(tenantWeights[0]) / float64(tenantWeights[1])
+		if ratio < want*0.7 || ratio > want*1.5 {
+			return fmt.Errorf("tenant parity check failed: served ratio %.2f drifted from the configured %.0f:1", ratio, want)
+		}
 	}
 	fmt.Printf("port: %d frames (%d bytes) transmitted, %d shaper waits; pause window added %d drops\n",
 		pst.TransmittedPackets, pst.TransmittedBytes, pst.Throttled, dropsAtPause[1]-dropsAtPause[0])

@@ -1,21 +1,24 @@
 package engine
 
-// The integrated egress scheduler — a two-level hierarchy. Each shard
-// keeps one scheduling unit per output port; a unit arbitrates first
-// among the port's backlogged *classes* (SetFlowClass groups flows into
-// policy.EgressConfig.NumClasses classes) and then among the backlogged
-// flows of the winning class. Both levels run the same four disciplines
-// (see policy.EgressKind) through one implementation, sched.Level, so
-// class-level WRR cannot drift from flow-level WRR.
+// The integrated egress scheduler — an N-level hierarchy. Each shard
+// keeps one scheduling unit per output port; a unit is a sched.Stack
+// composing one sched.Level per configured tier (tenant, class) above
+// the flow level, so the same code path runs the flat, two-level and
+// three-level configurations. SetFlowTenant/SetFlowClass group flows
+// into the tiers' units; all levels run the same four disciplines (see
+// policy.EgressKind) through one implementation, sched.Level, so
+// tenant-level WRR cannot drift from class- or flow-level WRR.
 //
 // Scheduler state is dense and index-based: every flow owns one
 // flowState entry in an engine-wide table (intrusive list links, port,
-// class, weight, DRR deficit — no per-flow maps, no per-port bitmaps),
-// so a million flows cost a million small structs rather than
+// tenant, class, weight, DRR deficit — no per-flow maps, no per-port
+// bitmaps), so a million flows cost a million small structs rather than
 // ports×flows bits, and activation/deactivation/picking are O(1) list
-// splices. Entries are only ever touched inside the owning shard's
-// critical section; the table is engine-wide only so the facade can
-// size it once.
+// splices. Intermediate nodes (a tenant, a (tenant, class) pair) are
+// dense composite indices into per-level slices inside the Stack.
+// Entries are only ever touched inside the owning shard's critical
+// section; the table is engine-wide only so the facade can size it
+// once.
 //
 // All egress state lives per shard under the shard lock: a flow always
 // hashes to the same shard, so per-flow cursor/credit/deficit state
@@ -41,6 +44,23 @@ import (
 // — the legacy pull API (DequeueNext[Batch]) serves all ports, rotating.
 const anyPort = -1
 
+// The intermediate tiers, outermost first. A tier with one unit is
+// flat — it contributes no scheduling level — so the active levels of
+// an engine are the tiers whose unit count exceeds one.
+const (
+	tierTenant = iota
+	tierClass
+	numTiers
+)
+
+// tierName returns the tier's policy-layer spelling for error messages.
+func tierName(tier int) string {
+	if tier == tierTenant {
+		return policy.TierTenant
+	}
+	return policy.TierClass
+}
+
 // Dequeued is one packet returned by the egress paths: the flow it was
 // queued on, its reassembled payload (from the engine's buffer pool —
 // Release it when done; empty when data storage is off), and its payload
@@ -53,54 +73,67 @@ type Dequeued struct {
 }
 
 // flowState is one flow's dense scheduler state: the intrusive links of
-// its (port, class) active list, its home port and class, its WRR/DRR
-// weight, and its DRR deficit. One entry per flow, engine-wide, touched
-// only inside the owning shard's critical section. next == sched.None
-// means the flow is not active (no backlog).
+// its innermost active list, its home port, tenant and class, its
+// WRR/DRR weight, and its DRR deficit. One entry per flow, engine-wide,
+// touched only inside the owning shard's critical section. next ==
+// sched.None means the flow is not active (no backlog).
 type flowState struct {
 	next, prev int32
 	port       int32
+	tenant     int32
 	class      int32
 	weight     int32  // 0 = discipline default
 	defEpoch   uint32 // deficit is valid only when this matches eg.epoch
 	deficit    int64
 }
 
-// classUnit is one class's state within a (shard, port) scheduling
-// unit: the flow-level rotation over the class's active flows, the
-// class's own links on the port's class-level list, and its class-level
-// DRR deficit.
-type classUnit struct {
-	fl           sched.Level
-	cnext, cprev int32
-	deficit      int64
+// portSched is one (shard, port) scheduling unit: a sched.Stack over
+// the shard's configured levels, built on the port's first active flow
+// — the port space can be large (MaxPorts) while only a few ports ever
+// own flows, and an unused port must not cost per-level state on every
+// shard. Guarded by the shard's critical section. activeFlows > 0
+// implies st.Ready().
+type portSched struct {
+	s           *shard      // back-pointer for the Hierarchy methods
+	st          sched.Stack // the level stack (flat when no tier is active)
+	audits      [][]int64   // test-only per-level entitlement (see egressState.audit)
+	activeFlows int
 }
 
-// portSched is one (shard, port) scheduling unit: the class-level
-// rotation plus one classUnit per class, allocated on the port's first
-// active flow — the port space can be large (MaxPorts) while only a few
-// ports ever own flows, and an unused port must not cost per-class
-// state on every shard. Guarded by the shard's critical section.
-// activeFlows > 0 implies classes != nil.
-type portSched struct {
-	s           *shard // back-pointer for the class-level Entity methods
-	cls         sched.Level
-	classes     []classUnit
-	classAudit  []int64 // test-only class-level entitlement (see egressState.audit)
-	activeFlows int
+// levelCfg is one active intermediate level's shard-local
+// configuration: which tier it is, its discipline, its unit count
+// (mod), and the composite node count of the level (the product of the
+// unit counts through it — a node at the class level under 8 tenants ×
+// 8 classes is tenant*8+class, one of 64).
+type levelCfg struct {
+	tier    int8
+	kind    policy.EgressKind
+	quantum int64
+	mod     int32
+	count   int32
+	weights []int32 // aliases egressState.tierWeights[tier]; 0 = weight 1
 }
 
 // egressState is one shard's scheduler configuration, guarded by the
 // shard's critical section. Per-flow state lives in the dense flowState
-// table; per-class rotation state lives in the per-port portSched units.
+// table; per-node rotation state lives in the per-port Stack units.
 type egressState struct {
 	kind          policy.EgressKind // flow-level discipline
 	defaultWeight int
 	quantum       int // flow-level DRR bytes per weight unit per visit
 
-	classKind    policy.EgressKind // class-level discipline
-	classQuantum int
-	classWeights []int32 // per-shard copy, len numClasses; 0 = weight 1
+	// levels are the active intermediate levels, outermost first —
+	// built once at construction (the unit counts are fixed);
+	// SetEgress replaces kinds, quanta and weights in place.
+	levels []levelCfg
+	// tierWeights holds every tier's per-unit weights (len = the
+	// tier's unit count, ≥ 1), whether or not the tier is active, so
+	// SetClassWeight/SetTenantWeight always have a place to write.
+	// Active levels alias their tier's slice.
+	tierWeights [numTiers][]int32
+	// hasLevelDRR caches whether any intermediate level runs DRR, so
+	// the per-packet charge check is one bool load.
+	hasLevelDRR bool
 
 	// epoch versions the flowState deficits: SetEgress bumps it instead
 	// of zeroing a million entries, and stale deficits read as 0.
@@ -110,13 +143,13 @@ type egressState struct {
 	// entitlement granted to each flow — quantum bytes for DRR, visit
 	// packets for WRR — with forfeited credit subtracted back out, so a
 	// conservation property can hold the pickers to served == granted −
-	// outstanding, exactly. auditClasses mirrors it at the class level
-	// (per-port classAudit slices, allocated with the classUnits).
-	audit        []int64
-	auditClasses bool
+	// outstanding, exactly. auditLevels mirrors it at the intermediate
+	// levels (per-port audits slices, allocated with the Stack).
+	audit       []int64
+	auditLevels bool
 }
 
-// --- sched.Entity implementations ---
+// --- sched.Entity / sched.Hierarchy implementations ---
 
 // The shard itself is the flow-level Entity: member ids are flow IDs
 // indexing the dense flowState table. Pointer-shaped, so the interface
@@ -162,41 +195,29 @@ func (s *shard) Audit(id int32, delta int64) {
 	}
 }
 
-// The portSched is the class-level Entity: member ids are class indices
-// into its classUnit array.
+// The portSched is the Stack's Hierarchy: level parameters and node
+// weights come from the shard's level configuration, the leaf
+// population is the shard's flow table. Pointer-shaped.
 
-func (ps *portSched) Next(id int32) int32    { return ps.classes[id].cnext }
-func (ps *portSched) SetNext(id, next int32) { ps.classes[id].cnext = next }
-func (ps *portSched) Prev(id int32) int32    { return ps.classes[id].cprev }
-func (ps *portSched) SetPrev(id, prev int32) { ps.classes[id].cprev = prev }
+func (ps *portSched) Params(level int) sched.Params {
+	lv := &ps.s.eg.levels[level]
+	return sched.Params{Kind: lv.kind, Quantum: lv.quantum}
+}
 
-func (ps *portSched) Weight(id int32) int64 {
-	if w := ps.s.eg.classWeights[id]; w > 0 {
+func (ps *portSched) Weight(level int, id int32) int64 {
+	lv := &ps.s.eg.levels[level]
+	if w := lv.weights[id%lv.mod]; w > 0 {
 		return int64(w)
 	}
 	return 1
 }
 
-func (ps *portSched) Deficit(id int32) int64       { return ps.classes[id].deficit }
-func (ps *portSched) SetDeficit(id int32, d int64) { ps.classes[id].deficit = d }
+func (ps *portSched) LeafParams() sched.Params { return ps.s.flowParams() }
+func (ps *portSched) Leaf() sched.Entity       { return ps.s }
 
-// HeadBytes prices a class for the class-level DRR fit check: the head
-// packet of the flow the class's flow level would serve next. Exact for
-// RR/Prio/WRR flow levels; best-effort under flow-level DRR (the
-// banking loop may advance past the peeked flow) — accounting stays
-// exact regardless, because the class deficit is charged with the bytes
-// actually served (see dequeuePicked), never with this estimate.
-func (ps *portSched) HeadBytes(id int32) (int64, bool) {
-	f, ok := ps.classes[id].fl.Peek(ps.s.flowParams(), ps.s)
-	if !ok {
-		return 0, false
-	}
-	return ps.s.HeadBytes(f)
-}
-
-func (ps *portSched) Audit(id int32, delta int64) {
-	if ps.classAudit != nil {
-		ps.classAudit[id] += delta
+func (ps *portSched) AuditNode(level int, id int32, delta int64) {
+	if ps.audits != nil {
+		ps.audits[level][id] += delta
 	}
 }
 
@@ -204,29 +225,128 @@ func (s *shard) flowParams() sched.Params {
 	return sched.Params{Kind: s.eg.kind, Quantum: int64(s.eg.quantum)}
 }
 
-func (s *shard) classParams() sched.Params {
-	return sched.Params{Kind: s.eg.classKind, Quantum: int64(s.eg.classQuantum)}
+// pathOf appends flow's composite node index at every active level to
+// buf (outermost first): the node at level k is the level-(k−1) node's
+// index times the tier's unit count plus the flow's unit in that tier.
+// Callers pass a stack-allocated buffer of numTiers capacity.
+func (s *shard) pathOf(flow uint32, buf []int32) []int32 {
+	fs := &s.flows[flow]
+	idx := int32(0)
+	for k := range s.eg.levels {
+		lv := &s.eg.levels[k]
+		u := fs.class
+		if lv.tier == tierTenant {
+			u = fs.tenant
+		}
+		idx = idx*lv.mod + u
+		buf = append(buf, idx)
+	}
+	return buf
 }
 
 // --- configuration ---
 
-// SetEgress replaces the egress discipline (both levels) on every
-// shard, resetting rotation, visit and deficit state. The class count
-// is fixed at construction: a zero NumClasses keeps the configured
-// count, any other value must match it. Per-flow weights set with
-// SetWeight survive a discipline change; class weights are replaced
-// when ClassWeights is non-nil. Safe while traffic flows.
-func (e *Engine) SetEgress(cfg policy.EgressConfig) error {
-	if cfg.NumClasses == 0 {
-		cfg.NumClasses = e.numClasses
+// buildLevels constructs a shard's active-level skeleton from the
+// engine's fixed tier unit counts: one levelCfg per tier with more than
+// one unit, outermost first, with composite node counts accumulated
+// through the nesting. Disciplines and quanta are filled by SetEgress.
+func buildLevels(units [numTiers]int32, tw *[numTiers][]int32) []levelCfg {
+	var levels []levelCfg
+	count := int32(1)
+	for t := 0; t < numTiers; t++ {
+		if units[t] <= 1 {
+			continue
+		}
+		count *= units[t]
+		levels = append(levels, levelCfg{
+			tier:    int8(t),
+			mod:     units[t],
+			count:   count,
+			weights: tw[t],
+		})
 	}
+	return levels
+}
+
+// resolveTierUnits derives the fixed tier unit counts from the egress
+// configuration plus the engine-level NumTenants: each tier's unit
+// count comes from its LevelSpec (tenant Units 0 defers to NumTenants;
+// class Units 0 means flat), and NumTenants without a tenant spec
+// synthesizes a round-robin tenant level. The returned config is the
+// normalized one — every active tier has an explicit spec with its
+// resolved unit count — so SetEgress's level matching is uniform.
+func resolveTierUnits(cfg policy.EgressConfig, numTenants int) (policy.EgressConfig, [numTiers]int32, error) {
+	units := [numTiers]int32{1, 1}
+	if numTenants < 0 || numTenants > policy.MaxLevelUnits {
+		return cfg, units, fmt.Errorf("engine: NumTenants %d out of range [0, %d]", numTenants, policy.MaxLevelUnits)
+	}
+	if ls := cfg.Level(policy.TierClass); ls != nil && ls.Units > 1 {
+		units[tierClass] = int32(ls.Units)
+	}
+	tu := numTenants
+	if ls := cfg.Level(policy.TierTenant); ls != nil {
+		if ls.Units > 0 {
+			if numTenants > 0 && ls.Units != numTenants {
+				return cfg, units, fmt.Errorf("engine: tenant level Units %d does not match NumTenants %d", ls.Units, numTenants)
+			}
+			tu = ls.Units
+		}
+		if tu <= 0 {
+			tu = 1
+		}
+		if tu > 1 {
+			units[tierTenant] = int32(tu)
+		}
+		// Normalize: the spec carries its resolved unit count.
+		spec := *ls
+		spec.Units = tu
+		cfg = cfg.WithLevel(spec)
+	} else if tu > 1 {
+		units[tierTenant] = int32(tu)
+		cfg = cfg.WithLevel(policy.LevelSpec{Tier: policy.TierTenant, Kind: policy.EgressRR, Units: tu})
+	}
+	return cfg, units, nil
+}
+
+// SetEgress replaces the egress discipline on every shard, resetting
+// rotation, visit and deficit state at every level. The hierarchy's
+// unit counts are fixed at construction: a nil Levels leaves the
+// intermediate levels' disciplines, quanta and weights untouched (only
+// the flow level changes); a non-nil Levels must list every active tier
+// (Units 0 or the configured count) and replaces their disciplines —
+// each spec's Weights, when non-nil, replace that tier's weights.
+// Per-flow weights set with SetWeight survive a discipline change. Safe
+// while traffic flows.
+func (e *Engine) SetEgress(cfg policy.EgressConfig) error {
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
 	cfg = cfg.WithDefaults()
-	if cfg.NumClasses != e.numClasses {
-		return fmt.Errorf("engine: NumClasses %d does not match the configured %d (the class space is fixed at construction)",
-			cfg.NumClasses, e.numClasses)
+	if cfg.Levels != nil {
+		var seen [numTiers]bool
+		for _, ls := range cfg.Levels {
+			t := tierClass
+			if ls.Tier == policy.TierTenant {
+				t = tierTenant
+			}
+			units := ls.Units
+			if units == 0 {
+				units = int(e.tierUnits[t])
+			}
+			if units != int(e.tierUnits[t]) && !(units == 1 && e.tierUnits[t] <= 1) {
+				return fmt.Errorf("engine: %s Units %d does not match the configured %d (the unit space is fixed at construction)",
+					ls.Tier, ls.Units, e.tierUnits[t])
+			}
+			if len(ls.Weights) > int(e.tierUnits[t]) {
+				return fmt.Errorf("engine: %d %s weights for %d units", len(ls.Weights), ls.Tier, e.tierUnits[t])
+			}
+			seen[t] = true
+		}
+		for t := 0; t < numTiers; t++ {
+			if e.tierUnits[t] > 1 && !seen[t] {
+				return fmt.Errorf("engine: egress Levels must list the active %s tier (%d units)", tierName(t), e.tierUnits[t])
+			}
+		}
 	}
 	for _, s := range e.shards {
 		s := s
@@ -234,23 +354,43 @@ func (e *Engine) SetEgress(cfg policy.EgressConfig) error {
 			s.eg.kind = cfg.Kind
 			s.eg.defaultWeight = cfg.DefaultWeight
 			s.eg.quantum = cfg.QuantumBytes
-			s.eg.classKind = cfg.ClassKind
-			s.eg.classQuantum = cfg.ClassQuantumBytes
-			if cfg.ClassWeights != nil || s.eg.classWeights == nil {
-				s.eg.classWeights = make([]int32, e.numClasses)
-				for i, w := range cfg.ClassWeights {
-					s.eg.classWeights[i] = int32(w)
+			if cfg.Levels != nil {
+				for _, ls := range cfg.Levels {
+					t := int8(tierClass)
+					if ls.Tier == policy.TierTenant {
+						t = tierTenant
+					}
+					for k := range s.eg.levels {
+						lv := &s.eg.levels[k]
+						if lv.tier != t {
+							continue
+						}
+						lv.kind = ls.Kind
+						lv.quantum = int64(ls.QuantumBytes)
+						if ls.Weights != nil {
+							w := s.eg.tierWeights[t]
+							for i := range w {
+								w[i] = 0
+							}
+							for i, x := range ls.Weights {
+								w[i] = int32(x)
+							}
+						}
+					}
+				}
+			}
+			s.eg.hasLevelDRR = false
+			for k := range s.eg.levels {
+				if s.eg.levels[k].kind == policy.EgressDRR {
+					s.eg.hasLevelDRR = true
 				}
 			}
 			// Invalidate every flow deficit in O(1) instead of walking
 			// the flow table.
 			s.eg.epoch++
 			for p := range s.ps {
-				ps := &s.ps[p]
-				ps.cls.ResetRotation()
-				for c := range ps.classes {
-					ps.classes[c].fl.ResetRotation()
-					ps.classes[c].deficit = 0
+				if s.ps[p].st.Ready() {
+					s.ps[p].st.Reset()
 				}
 			}
 		})
@@ -274,36 +414,53 @@ func (e *Engine) SetWeight(flow uint32, weight int) error {
 	return nil
 }
 
-// SetClassWeight sets class's weight for class-level WRR (packets per
-// visit) and DRR (quantum multiplier) on every shard. Weights must be
-// positive; classes default to weight 1 (or Config.Egress.ClassWeights).
-// Safe while traffic flows.
-func (e *Engine) SetClassWeight(class, weight int) error {
+// setTierWeight sets a tier unit's weight for that level's WRR (packets
+// per visit) and DRR (quantum multiplier) on every shard.
+func (e *Engine) setTierWeight(tier, unit, weight int) error {
 	if weight <= 0 {
-		return fmt.Errorf("engine: non-positive weight %d for class %d", weight, class)
+		return fmt.Errorf("engine: non-positive weight %d for %s %d", weight, tierName(tier), unit)
 	}
-	if class < 0 || class >= e.numClasses {
-		return fmt.Errorf("engine: class %d out of range [0, %d)", class, e.numClasses)
+	if unit < 0 || unit >= int(e.tierUnits[tier]) {
+		return fmt.Errorf("engine: %s %d out of range [0, %d)", tierName(tier), unit, e.tierUnits[tier])
 	}
 	for _, s := range e.shards {
 		s := s
-		e.run(s, func() { s.eg.classWeights[class] = int32(weight) })
+		e.run(s, func() { s.eg.tierWeights[tier][unit] = int32(weight) })
 	}
 	return nil
 }
 
-// NumClasses returns the per-port class count (1 = flat).
-func (e *Engine) NumClasses() int { return e.numClasses }
+// SetClassWeight sets class's weight for class-level WRR (packets per
+// visit) and DRR (quantum multiplier) on every shard. Weights must be
+// positive; classes default to weight 1 (or the class LevelSpec's
+// Weights). Safe while traffic flows.
+func (e *Engine) SetClassWeight(class, weight int) error {
+	return e.setTierWeight(tierClass, class, weight)
+}
 
-// SetFlowClass moves flow into class (all flows start in class 0). A
-// backlogged flow moves with its queue: it leaves its old class's
-// active list — ending any open visit and forfeiting banked DRR deficit
-// exactly as if it had drained, at both hierarchy levels — and joins
-// the new class's rotation at the tail. Safe while traffic flows;
-// per-flow FIFO is unaffected (the flow's shard does not change).
-func (e *Engine) SetFlowClass(flow uint32, class int) error {
-	if class < 0 || class >= e.numClasses {
-		return fmt.Errorf("engine: class %d out of range [0, %d)", class, e.numClasses)
+// SetTenantWeight sets tenant's weight for tenant-level WRR (packets
+// per visit) and DRR (quantum multiplier) on every shard. Weights must
+// be positive; tenants default to weight 1 (or the tenant LevelSpec's
+// Weights). Safe while traffic flows.
+func (e *Engine) SetTenantWeight(tenant, weight int) error {
+	return e.setTierWeight(tierTenant, tenant, weight)
+}
+
+// NumClasses returns the per-port class count (1 = flat).
+func (e *Engine) NumClasses() int { return int(e.tierUnits[tierClass]) }
+
+// NumTenants returns the tenant count (1 = no tenant level).
+func (e *Engine) NumTenants() int { return int(e.tierUnits[tierTenant]) }
+
+// setFlowTier moves flow into a tier unit. A backlogged flow moves with
+// its queue: it leaves its old unit's active list — ending any open
+// visit and forfeiting banked DRR deficit exactly as if it had drained,
+// at every hierarchy level — and joins the new unit's rotation at the
+// tail. Safe while traffic flows; per-flow FIFO is unaffected (the
+// flow's shard does not change).
+func (e *Engine) setFlowTier(flow uint32, tier, unit int) error {
+	if unit < 0 || unit >= int(e.tierUnits[tier]) {
+		return fmt.Errorf("engine: %s %d out of range [0, %d)", tierName(tier), unit, e.tierUnits[tier])
 	}
 	if int64(flow) >= int64(e.cfg.NumFlows) {
 		return ErrUnknownFlow
@@ -311,19 +468,35 @@ func (e *Engine) SetFlowClass(flow uint32, class int) error {
 	s := e.shardOf(flow)
 	e.run(s, func() {
 		fs := &s.flows[flow]
-		if int(fs.class) == class {
+		cur := &fs.class
+		if tier == tierTenant {
+			cur = &fs.tenant
+		}
+		if int(*cur) == unit {
 			return
 		}
 		active := fs.next != sched.None
 		if active {
 			s.clearActive(flow)
 		}
-		fs.class = int32(class)
+		*cur = int32(unit)
 		if active {
 			s.setActive(flow)
 		}
 	})
 	return nil
+}
+
+// SetFlowClass moves flow into class (all flows start in class 0). See
+// setFlowTier for the re-homing semantics.
+func (e *Engine) SetFlowClass(flow uint32, class int) error {
+	return e.setFlowTier(flow, tierClass, class)
+}
+
+// SetFlowTenant moves flow into tenant (all flows start in tenant 0).
+// See setFlowTier for the re-homing semantics.
+func (e *Engine) SetFlowTenant(flow uint32, tenant int) error {
+	return e.setFlowTier(flow, tierTenant, tenant)
 }
 
 // FlowClass returns the class flow is currently mapped to.
@@ -335,6 +508,17 @@ func (e *Engine) FlowClass(flow uint32) (int, error) {
 	var class int
 	e.run(s, func() { class = int(s.flows[flow].class) })
 	return class, nil
+}
+
+// FlowTenant returns the tenant flow is currently mapped to.
+func (e *Engine) FlowTenant(flow uint32) (int, error) {
+	if int64(flow) >= int64(e.cfg.NumFlows) {
+		return 0, ErrUnknownFlow
+	}
+	s := e.shardOf(flow)
+	var tenant int
+	e.run(s, func() { tenant = int(s.flows[flow].tenant) })
+	return tenant, nil
 }
 
 // --- dequeue paths ---
@@ -376,7 +560,7 @@ func (e *Engine) DequeueNext() (Dequeued, bool) {
 // DequeueNextBatch serves up to max packets, choosing flows by the
 // configured egress discipline across all ports. The starting shard
 // rotates per call so shards share the egress bandwidth; within a shard,
-// classes and flows are picked by the two-level discipline against the
+// units and flows are picked by the level-stack discipline against the
 // active lists. Buffers come from the engine pool — Release each
 // packet's Data when done.
 func (e *Engine) DequeueNextBatch(max int) []Dequeued {
@@ -428,7 +612,18 @@ func (e *Engine) drainShard(s *shard, port int, out []Dequeued, max int) []Deque
 	}
 }
 
-// dequeuePicked serves one packet picked by the two-level discipline
+// chargeLevels debits the bytes actually served on flow against every
+// DRR intermediate level of the flow's scheduling unit, inside the
+// shard's critical section. The picks' fit checks price on peeked
+// estimates; charging actuals keeps the level conservation exact
+// (served ≡ granted − deficit).
+func (s *shard) chargeLevels(flow uint32, bytes int) {
+	fs := &s.flows[flow]
+	var pb [numTiers]int32
+	s.ps[fs.port].st.Charge(s.pathOf(flow, pb[:0]), int64(bytes))
+}
+
+// dequeuePicked serves one packet picked by the level-stack discipline
 // from shard s, inside s's critical section (mutex or worker). port
 // selects the scheduling unit (anyPort rotates over all of them). ok is
 // false when the shard has nothing servable on that port.
@@ -466,16 +661,8 @@ func (e *Engine) dequeuePicked(s *shard, port int) (Dequeued, bool) {
 			// flow's next service until its quanta cover it).
 			s.SetDeficit(int32(flow), s.Deficit(int32(flow))-debit)
 		}
-		if s.eg.classKind == policy.EgressDRR {
-			// Class-level DRR: charge the bytes actually served to the
-			// class the flow was served under. The pick's fit check used
-			// a peeked estimate; charging actuals keeps the class-level
-			// conservation exact (served ≡ granted − deficit).
-			fs := &s.flows[flow]
-			ps := &s.ps[fs.port]
-			if len(ps.classes) > 1 {
-				ps.classes[fs.class].deficit -= int64(bytes)
-			}
+		if s.eg.hasLevelDRR {
+			s.chargeLevels(flow, bytes)
 		}
 		s.syncActive(flow)
 		s.noteRemoveRes(flow, true)
@@ -502,15 +689,25 @@ func (s *shard) portOf(flow uint32) int { return int(s.flows[flow].port) }
 
 func (s *shard) isActive(flow uint32) bool { return s.flows[flow].next != sched.None }
 
-// initPortLocked allocates a port's classUnits on its first active flow.
+// initPortLocked builds a port's level stack on its first active flow.
 func (s *shard) initPortLocked(ps *portSched) {
-	ps.classes = make([]classUnit, s.numClasses)
-	for c := range ps.classes {
-		ps.classes[c].cnext = sched.None
-		ps.classes[c].cprev = sched.None
+	var counts [numTiers]int32
+	c := counts[:0]
+	for k := range s.eg.levels {
+		c = append(c, s.eg.levels[k].count)
 	}
-	if s.eg.auditClasses {
-		ps.classAudit = make([]int64, s.numClasses)
+	ps.st.Init(ps, c)
+	if s.eg.auditLevels {
+		s.initLevelAuditLocked(ps)
+	}
+}
+
+// initLevelAuditLocked allocates a port unit's per-level audit slices
+// (tests only), sized to each level's composite node count.
+func (s *shard) initLevelAuditLocked(ps *portSched) {
+	ps.audits = make([][]int64, ps.st.Depth())
+	for k := range ps.audits {
+		ps.audits[k] = make([]int64, ps.st.Width(k))
 	}
 }
 
@@ -521,16 +718,11 @@ func (s *shard) setActive(flow uint32) {
 	}
 	p := int(fs.port)
 	ps := &s.ps[p]
-	if ps.classes == nil {
+	if !ps.st.Ready() {
 		s.initPortLocked(ps)
 	}
-	cu := &ps.classes[fs.class]
-	if cu.fl.Count() == 0 {
-		// First backlogged flow of the class: the class joins the port's
-		// class-level rotation.
-		ps.cls.Activate(ps, fs.class)
-	}
-	cu.fl.Activate(s, int32(flow))
+	var pb [numTiers]int32
+	ps.st.Activate(int32(flow), s.pathOf(flow, pb[:0]))
 	ps.activeFlows++
 	s.activeFlows++
 	// First traffic for this flow: an idle-parked port wants to know.
@@ -545,14 +737,8 @@ func (s *shard) clearActive(flow uint32) {
 		return
 	}
 	ps := &s.ps[fs.port]
-	cu := &ps.classes[fs.class]
-	cu.fl.Deactivate(s.flowParams(), s, int32(flow))
-	if cu.fl.Count() == 0 {
-		// Last backlogged flow drained: the class leaves the port's
-		// rotation, ending any open class-level visit and forfeiting
-		// banked class deficit exactly as the flow level does.
-		ps.cls.Deactivate(s.classParams(), ps, fs.class)
-	}
+	var pb [numTiers]int32
+	ps.st.Deactivate(int32(flow), s.pathOf(flow, pb[:0]))
 	ps.activeFlows--
 	s.activeFlows--
 }
@@ -569,7 +755,7 @@ func (s *shard) syncActive(flow uint32) {
 
 // --- picking (caller holds the shard's critical section) ---
 
-// pickLocked returns the next flow the two-level discipline serves on
+// pickLocked returns the next flow the level-stack discipline serves on
 // port (anyPort rotates across ports), plus the flow-level DRR byte
 // debit to charge if the packet is actually served (0 for the
 // packet-granular disciplines). The scheduler is work-conserving:
@@ -595,24 +781,15 @@ func (s *shard) pickLocked(port int) (uint32, int64, bool) {
 	return s.pickPort(port)
 }
 
-// pickPort runs the hierarchy for one scheduling unit: the class-level
-// discipline picks among the port's backlogged classes, the flow-level
-// discipline picks within the winner. The port has at least one active
-// flow. With a single class the class level is skipped entirely — the
-// flat configuration pays nothing for the hierarchy.
+// pickPort runs the hierarchy for one scheduling unit: the stack's
+// levels pick top-down — outermost tier first, flows within the
+// innermost winner. The port has at least one active flow. A flat
+// configuration's stack has depth 0, so it pays nothing for the
+// hierarchy.
 func (s *shard) pickPort(port int) (uint32, int64, bool) {
-	ps := &s.ps[port]
-	var cls int32
-	if len(ps.classes) > 1 {
-		c, _, ok := ps.cls.Pick(s.classParams(), ps)
-		if !ok {
-			return 0, 0, false // unreachable while activeFlows > 0
-		}
-		cls = c
-	}
-	f, debit, ok := ps.classes[cls].fl.Pick(s.flowParams(), s)
+	f, debit, ok := s.ps[port].st.Pick()
 	if !ok {
-		return 0, 0, false // unreachable: a listed class has active flows
+		return 0, 0, false // unreachable while activeFlows > 0
 	}
 	return uint32(f), debit, true
 }

@@ -8,10 +8,11 @@ package engine
 // used to survive its flow emptying and refilling (stale credit bursts).
 // The property test then holds every discipline to the structural law the
 // fixes restore — served ≡ granted − outstanding — over randomized command
-// sequences in the spirit of FuzzManagerCommands, at BOTH hierarchy
-// levels: per flow within its class, and per class within its port. Flows
-// are re-homed across randomized class configurations mid-run, so future
-// accounting drift is caught without hand-written scenarios.
+// sequences in the spirit of FuzzManagerCommands, at EVERY hierarchy
+// level: per flow within its innermost list, and per node at each
+// intermediate level (tenant and class) within its port. Flows are
+// re-homed across randomized tenant and class configurations mid-run, so
+// future accounting drift is caught without hand-written scenarios.
 
 import (
 	"errors"
@@ -21,20 +22,21 @@ import (
 
 	"npqm/internal/policy"
 	"npqm/internal/queue"
+	"npqm/internal/sched"
 )
 
 // enableEgressAudit arms the grant-accounting hooks on every shard, at
-// both hierarchy levels (ports that already allocated class state get
-// their class audit retrofitted).
+// every hierarchy level (ports that already built their level stack get
+// their audit slices retrofitted).
 func enableEgressAudit(e *Engine) {
 	for _, s := range e.shards {
 		s := s
 		e.run(s, func() {
 			s.eg.audit = make([]int64, e.cfg.NumFlows)
-			s.eg.auditClasses = true
+			s.eg.auditLevels = true
 			for p := range s.ps {
-				if ps := &s.ps[p]; ps.classes != nil && ps.classAudit == nil {
-					ps.classAudit = make([]int64, s.numClasses)
+				if ps := &s.ps[p]; ps.st.Ready() && ps.audits == nil {
+					s.initLevelAuditLocked(ps)
 				}
 			}
 		})
@@ -142,25 +144,27 @@ func TestWRRVisitEndsWhenFlowDrains(t *testing.T) {
 }
 
 // TestEgressConservationProperty drives every flow-level discipline —
-// crossed with randomized class-level configurations — through a
+// crossed with randomized two- and three-level hierarchies — through a
 // randomized command sequence: enqueues, discipline serves, direct
 // dequeues and deletes that empty flows mid-visit, weight changes, and
-// class re-homing. It then checks the accounting law at both levels:
+// tenant/class re-homing. It then checks the accounting law at every
+// level of the stack:
 //
 //	DRR:  bytes served == quanta granted − deficit outstanding
 //	WRR:  packets served == visit credit granted − credit outstanding
 //
-// per flow (flow-level grants) and per class (class-level grants), with
-// grants audited inside the pickers (net of forfeiture). Any path that
-// serves without charging, charges without serving, or leaks credit
-// across a drain or a class move breaks an equality. The pathological
-// 1-byte quantum case routes every DRR pick through the
-// work-conservation fallback, so the regression above is also covered
-// structurally here.
+// per flow (leaf-level grants) and per node at each intermediate level
+// (tenant-level and class-level grants), with grants audited inside the
+// pickers (net of forfeiture). Any path that serves without charging,
+// charges without serving, or leaks credit across a drain or a re-home
+// breaks an equality. The pathological 1-byte quantum case routes every
+// DRR pick through the work-conservation fallback, so the regression
+// above is also covered structurally here.
 func TestEgressConservationProperty(t *testing.T) {
 	type caseCfg struct {
-		eg     policy.EgressConfig
-		shards int
+		eg               policy.EgressConfig
+		shards           int
+		tenants, classes int
 	}
 	var cases []caseCfg
 	flowKinds := []policy.EgressConfig{
@@ -170,32 +174,55 @@ func TestEgressConservationProperty(t *testing.T) {
 		{Kind: policy.EgressDRR, QuantumBytes: 512},
 		{Kind: policy.EgressDRR, QuantumBytes: 1}, // fallback-heavy
 	}
-	classKinds := []policy.EgressKind{policy.EgressRR, policy.EgressPrio, policy.EgressWRR, policy.EgressDRR}
+	levelKinds := []policy.EgressKind{policy.EgressRR, policy.EgressPrio, policy.EgressWRR, policy.EgressDRR}
 	crng := rand.New(rand.NewSource(41))
+	randWeights := func(n int) []int {
+		w := make([]int, n)
+		for i := range w {
+			w[i] = 1 + crng.Intn(4)
+		}
+		return w
+	}
 	for i, fk := range flowKinds {
 		for _, shards := range []int{1, 4} {
-			// The flat configuration, and a randomized 8-class hierarchy
-			// with the class kind cycling so every (flow, class) discipline
-			// pairing appears across the matrix.
-			cases = append(cases, caseCfg{eg: fk, shards: shards})
-			hier := fk
-			hier.NumClasses = 8
-			hier.ClassKind = classKinds[(i+shards)%len(classKinds)]
-			hier.ClassQuantumBytes = 256 << crng.Intn(3)
-			hier.ClassWeights = make([]int, 8)
-			for c := range hier.ClassWeights {
-				hier.ClassWeights[c] = 1 + crng.Intn(4)
-			}
-			cases = append(cases, caseCfg{eg: hier, shards: shards})
+			// The flat configuration, a randomized 8-class two-level
+			// hierarchy, and a randomized 3-tenant × 4-class three-level
+			// hierarchy, with the level kinds cycling so every
+			// (flow, level) discipline pairing appears across the matrix.
+			cases = append(cases, caseCfg{eg: fk, shards: shards, tenants: 1, classes: 1})
+			two := fk.WithLevel(policy.LevelSpec{
+				Tier:         policy.TierClass,
+				Kind:         levelKinds[(i+shards)%len(levelKinds)],
+				Units:        8,
+				Weights:      randWeights(8),
+				QuantumBytes: 256 << crng.Intn(3),
+			})
+			cases = append(cases, caseCfg{eg: two, shards: shards, tenants: 1, classes: 8})
+			three := fk.WithLevel(policy.LevelSpec{
+				Tier:         policy.TierClass,
+				Kind:         levelKinds[(i+shards+1)%len(levelKinds)],
+				Units:        4,
+				Weights:      randWeights(4),
+				QuantumBytes: 256 << crng.Intn(3),
+			}).WithLevel(policy.LevelSpec{
+				Tier:         policy.TierTenant,
+				Kind:         levelKinds[(i+shards+2)%len(levelKinds)],
+				Units:        3,
+				Weights:      randWeights(3),
+				QuantumBytes: 256 << crng.Intn(3),
+			})
+			cases = append(cases, caseCfg{eg: three, shards: shards, tenants: 3, classes: 4})
 		}
 	}
 	for ci, tc := range cases {
 		eg := tc.eg
-		numClasses := eg.NumClasses
-		if numClasses == 0 {
-			numClasses = 1
+		name := fmt.Sprintf("%v/q=%d/shards=%d", eg.Kind, eg.QuantumBytes, tc.shards)
+		if ls := eg.Level(policy.TierTenant); ls != nil {
+			name += fmt.Sprintf("/tenants=%d-%v", ls.Units, ls.Kind)
 		}
-		name := fmt.Sprintf("%v/q=%d/shards=%d/classes=%d-%v", eg.Kind, eg.QuantumBytes, tc.shards, numClasses, eg.ClassKind)
+		if ls := eg.Level(policy.TierClass); ls != nil {
+			name += fmt.Sprintf("/classes=%d-%v", ls.Units, ls.Kind)
+		}
 		t.Run(name, func(t *testing.T) {
 			const flows = 64
 			e, err := New(Config{
@@ -209,19 +236,39 @@ func TestEgressConservationProperty(t *testing.T) {
 			rng := rand.New(rand.NewSource(int64(1000*ci) + int64(7*tc.shards)))
 			servedBytes := make([]int64, flows)
 			servedPkts := make([]int64, flows)
-			// Class-level service tallies, per (shard, class); every flow
-			// stays on port 0 here (cross-port churn has its own test).
-			classBytes := make([][]int64, tc.shards)
-			classPkts := make([][]int64, tc.shards)
-			for i := range classBytes {
-				classBytes[i] = make([]int64, numClasses)
-				classPkts[i] = make([]int64, numClasses)
+			// Per-level service tallies, per (shard, level, composite
+			// node); every flow stays on port 0 here (cross-port churn
+			// has its own test). The level layout is identical on every
+			// shard, so shard 0's levels describe them all.
+			levels := e.shards[0].eg.levels
+			levelBytes := make([][][]int64, tc.shards)
+			levelPkts := make([][][]int64, tc.shards)
+			for si := range levelBytes {
+				levelBytes[si] = make([][]int64, len(levels))
+				levelPkts[si] = make([][]int64, len(levels))
+				for k := range levels {
+					levelBytes[si][k] = make([]int64, levels[k].count)
+					levelPkts[si][k] = make([]int64, levels[k].count)
+				}
+			}
+			// flowLevel resolves the Level whose rotation currently
+			// arbitrates flow f — the root when the stack is flat, the
+			// innermost node's child list otherwise.
+			flowLevel := func(s *shard, ps *portSched, f uint32) *sched.Level {
+				n := ps.st.Depth()
+				if n == 0 {
+					return ps.st.Root()
+				}
+				var pb [numTiers]int32
+				path := s.pathOf(f, pb[:0])
+				return ps.st.Child(n-1, path[n-1])
 			}
 			check := func(stage string) {
 				t.Helper()
 				for f := uint32(0); f < flows; f++ {
 					s := e.shardOf(f)
-					switch eg.Kind {
+					ps := &s.ps[s.portOf(f)]
+					switch s.eg.kind {
 					case policy.EgressDRR:
 						deficit := s.Deficit(int32(f))
 						if got, want := servedBytes[f], s.eg.audit[f]-deficit; got != want {
@@ -230,10 +277,8 @@ func TestEgressConservationProperty(t *testing.T) {
 						}
 					case policy.EgressWRR:
 						var credit int64
-						ps := &s.ps[s.portOf(f)]
-						if ps.classes != nil {
-							fl := &ps.classes[s.flows[f].class].fl
-							if fl.Visiting() && fl.Cursor() == int32(f) {
+						if ps.st.Ready() {
+							if fl := flowLevel(s, ps, f); fl.Visiting() && fl.Cursor() == int32(f) {
 								credit = fl.Credit()
 							}
 						}
@@ -243,28 +288,33 @@ func TestEgressConservationProperty(t *testing.T) {
 						}
 					}
 				}
-				if numClasses > 1 {
-					for si, s := range e.shards {
-						ps := &s.ps[0]
-						if ps.classes == nil {
-							continue
-						}
-						for c := range ps.classes {
-							switch eg.ClassKind {
+				for si, s := range e.shards {
+					ps := &s.ps[0]
+					if !ps.st.Ready() {
+						continue
+					}
+					for k := range s.eg.levels {
+						lv := &s.eg.levels[k]
+						for idx := int32(0); idx < lv.count; idx++ {
+							switch lv.kind {
 							case policy.EgressDRR:
-								deficit := ps.classes[c].deficit
-								if got, want := classBytes[si][c], ps.classAudit[c]-deficit; got != want {
-									t.Fatalf("%s: shard %d class %d served %d bytes, granted−outstanding = %d−%d = %d",
-										stage, si, c, got, ps.classAudit[c], deficit, want)
+								deficit := ps.st.NodeDeficit(k, idx)
+								if got, want := levelBytes[si][k][idx], ps.audits[k][idx]-deficit; got != want {
+									t.Fatalf("%s: shard %d level %d (%s) node %d served %d bytes, granted−outstanding = %d−%d = %d",
+										stage, si, k, tierName(int(lv.tier)), idx, got, ps.audits[k][idx], deficit, want)
 								}
 							case policy.EgressWRR:
-								var credit int64
-								if ps.cls.Visiting() && ps.cls.Cursor() == int32(c) {
-									credit = ps.cls.Credit()
+								parent := ps.st.Root()
+								if k > 0 {
+									parent = ps.st.Child(k-1, idx/lv.mod)
 								}
-								if got, want := classPkts[si][c], ps.classAudit[c]-credit; got != want {
-									t.Fatalf("%s: shard %d class %d served %d packets, granted−outstanding = %d−%d = %d",
-										stage, si, c, got, ps.classAudit[c], credit, want)
+								var credit int64
+								if parent.Visiting() && parent.Cursor() == idx {
+									credit = parent.Credit()
+								}
+								if got, want := levelPkts[si][k][idx], ps.audits[k][idx]-credit; got != want {
+									t.Fatalf("%s: shard %d level %d (%s) node %d served %d packets, granted−outstanding = %d−%d = %d",
+										stage, si, k, tierName(int(lv.tier)), idx, got, ps.audits[k][idx], credit, want)
 								}
 							}
 						}
@@ -274,22 +324,28 @@ func TestEgressConservationProperty(t *testing.T) {
 					t.Fatalf("%s: %v", stage, err)
 				}
 			}
+			tally := func(f uint32, bytes int64) {
+				servedBytes[f] += bytes
+				servedPkts[f]++
+				s := e.shardOf(f)
+				si := e.ShardOf(f)
+				var pb [numTiers]int32
+				for k, idx := range s.pathOf(f, pb[:0]) {
+					levelBytes[si][k][idx] += bytes
+					levelPkts[si][k][idx]++
+				}
+			}
 			serve := func() {
 				d, ok := e.DequeueNext()
 				if !ok {
 					return
 				}
-				servedBytes[d.Flow] += int64(len(d.Data))
-				servedPkts[d.Flow]++
-				s := e.shardOf(d.Flow)
-				cls := int(s.flows[d.Flow].class)
-				classBytes[e.ShardOf(d.Flow)][cls] += int64(len(d.Data))
-				classPkts[e.ShardOf(d.Flow)][cls]++
+				tally(d.Flow, int64(len(d.Data)))
 				e.ReleaseBuffer(d.Data)
 			}
 			for i := 0; i < 20000; i++ {
 				f := uint32(rng.Intn(flows))
-				switch op := rng.Intn(13); {
+				switch op := rng.Intn(14); {
 				case op < 5:
 					size := 1 + rng.Intn(9*queue.SegmentBytes)
 					_, err := e.EnqueuePacket(f, make([]byte, size))
@@ -311,12 +367,20 @@ func TestEgressConservationProperty(t *testing.T) {
 					if err := e.SetWeight(f, 1+rng.Intn(5)); err != nil {
 						t.Fatal(err)
 					}
-				default:
-					// Class re-homing, possibly mid-visit at either level:
+				case op < 13:
+					// Class re-homing, possibly mid-visit at any level:
 					// open visits must end and banked credit must be
 					// forfeited exactly as on a drain.
-					if numClasses > 1 {
-						if err := e.SetFlowClass(f, rng.Intn(numClasses)); err != nil {
+					if tc.classes > 1 {
+						if err := e.SetFlowClass(f, rng.Intn(tc.classes)); err != nil {
+							t.Fatal(err)
+						}
+					}
+				default:
+					// Tenant re-homing: the flow moves with its class
+					// across the outermost level.
+					if tc.tenants > 1 {
+						if err := e.SetFlowTenant(f, rng.Intn(tc.tenants)); err != nil {
 							t.Fatal(err)
 						}
 					}
@@ -333,12 +397,7 @@ func TestEgressConservationProperty(t *testing.T) {
 				if !ok {
 					break
 				}
-				servedBytes[d.Flow] += int64(len(d.Data))
-				servedPkts[d.Flow]++
-				s := e.shardOf(d.Flow)
-				cls := int(s.flows[d.Flow].class)
-				classBytes[e.ShardOf(d.Flow)][cls] += int64(len(d.Data))
-				classPkts[e.ShardOf(d.Flow)][cls]++
+				tally(d.Flow, int64(len(d.Data)))
 				e.ReleaseBuffer(d.Data)
 			}
 			check("after drain")

@@ -120,8 +120,15 @@ type Config struct {
 	// queue.
 	Admission policy.Config
 	// Egress parameterizes the integrated egress scheduler used by
-	// DequeueNextBatch. The zero value is round-robin over active flows.
+	// DequeueNextBatch. The zero value is round-robin over active flows;
+	// EgressConfig.Levels adds tenant/class scheduling levels above them.
 	Egress policy.EgressConfig
+	// NumTenants is the tenant count for the outermost scheduling tier
+	// (0 or 1 = no tenant level). Shorthand for a round-robin tenant
+	// LevelSpec in Egress.Levels; when both are given the unit counts
+	// must agree. Flows start in tenant 0, reassignable at runtime with
+	// SetFlowTenant.
+	NumTenants int
 	// NumPorts is the output-port count (0 means 1; at most MaxPorts).
 	// Every flow maps to exactly one port — all flows start on port 0,
 	// reassignable at runtime with SetFlowPort — and each port is an
@@ -202,16 +209,16 @@ type shard struct {
 	admKind  policy.Kind
 	admLimit int
 
-	// Egress state: one scheduling unit (class-level rotation + per-class
-	// flow lists) per output port, plus the shard-wide discipline
-	// parameters (see egress.go). flows and ports alias engine-wide
-	// slices: flowState entries are only touched inside the owning
-	// shard's critical section, ports is immutable after New.
+	// Egress state: one scheduling unit (a sched.Stack over the
+	// configured tenant/class levels plus the per-unit flow lists) per
+	// output port, plus the shard-wide discipline parameters (see
+	// egress.go). flows and ports alias engine-wide slices: flowState
+	// entries are only touched inside the owning shard's critical
+	// section, ports is immutable after New.
 	ps          []portSched
 	activeFlows int    // total active flows across all ports
 	portCursor  uint32 // rotating port for anyPort picks
 	flows       []flowState
-	numClasses  int
 	ports       []*port
 	eg          egressState
 
@@ -248,12 +255,12 @@ type Engine struct {
 	// there), a stop channel closed exactly once on Close to halt the
 	// pacers, and their WaitGroup. flows is the engine-wide dense
 	// scheduler state, one entry per flow, owned by the flow's shard.
-	ports      []*port
-	pacers     []*pacer
-	flows      []flowState
-	numClasses int
-	portStop   chan struct{}
-	portWG     sync.WaitGroup
+	ports     []*port
+	pacers    []*pacer
+	flows     []flowState
+	tierUnits [numTiers]int32 // fixed unit counts per tier (tenant, class); 1 = flat
+	portStop  chan struct{}
+	portWG    sync.WaitGroup
 
 	// mode is the current datapath (modeSync → modeRing → modeClosed);
 	// lifeMu serializes the transitions, workers tracks ring workers.
@@ -315,8 +322,8 @@ func New(cfg Config) (*Engine, error) {
 	if err := cfg.PortRate.Validate(); err != nil {
 		return nil, err
 	}
-	// cfg.Admission and cfg.Egress are validated by the SetAdmission and
-	// SetEgress calls below.
+	// cfg.Admission is validated by the SetAdmission call below;
+	// cfg.Egress is validated before the tier resolution further down.
 	// Scale the magazine size down for pools small relative to the shard
 	// count, so the depot always holds enough magazines that no shard can
 	// strand a large fraction of the pool in its cache.
@@ -336,18 +343,25 @@ func New(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	numClasses := cfg.Egress.WithDefaults().NumClasses
+	if err := cfg.Egress.Validate(); err != nil {
+		return nil, err
+	}
+	egCfg, tierUnits, err := resolveTierUnits(cfg.Egress.WithDefaults(), cfg.NumTenants)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Egress = egCfg
 	e := &Engine{
-		cfg:        cfg,
-		shift:      uint(32 - bits.TrailingZeros(uint(cfg.Shards))),
-		store:      store,
-		shards:     make([]*shard, cfg.Shards),
-		epoch:      time.Now(),
-		ports:      make([]*port, cfg.NumPorts),
-		pacers:     make([]*pacer, cfg.Shards),
-		flows:      make([]flowState, cfg.NumFlows),
-		numClasses: numClasses,
-		portStop:   make(chan struct{}),
+		cfg:       cfg,
+		shift:     uint(32 - bits.TrailingZeros(uint(cfg.Shards))),
+		store:     store,
+		shards:    make([]*shard, cfg.Shards),
+		epoch:     time.Now(),
+		ports:     make([]*port, cfg.NumPorts),
+		pacers:    make([]*pacer, cfg.Shards),
+		flows:     make([]flowState, cfg.NumFlows),
+		tierUnits: tierUnits,
+		portStop:  make(chan struct{}),
 	}
 	for f := range e.flows {
 		e.flows[f].next = sched.None
@@ -379,16 +393,19 @@ func New(cfg Config) (*Engine, error) {
 				}
 			}
 		}
-		// Per-port classUnits are allocated lazily on first activity (see
-		// portSched), so a wide port space costs nothing up front.
+		// Per-port level stacks are allocated lazily on first activity
+		// (see portSched), so a wide port space costs nothing up front.
 		s := &shard{
-			m:          m,
-			storeData:  cfg.StoreData,
-			ps:         make([]portSched, cfg.NumPorts),
-			flows:      e.flows,
-			numClasses: numClasses,
-			ports:      e.ports,
+			m:         m,
+			storeData: cfg.StoreData,
+			ps:        make([]portSched, cfg.NumPorts),
+			flows:     e.flows,
+			ports:     e.ports,
 		}
+		for t := 0; t < numTiers; t++ {
+			s.eg.tierWeights[t] = make([]int32, tierUnits[t])
+		}
+		s.eg.levels = buildLevels(tierUnits, &s.eg.tierWeights)
 		for p := range s.ps {
 			s.ps[p].s = s
 		}

@@ -1,9 +1,10 @@
 package engine
 
-// Behavior of the two-level (class → flow) egress hierarchy and the
-// per-shard timing-wheel pacer: class-level discipline semantics, flow
-// re-homing across classes and ports under the ring datapath, and the
-// one-goroutine-per-shard scaling claim for served ports.
+// Behavior of the composable egress hierarchy (tenant → class → flow)
+// and the per-shard timing-wheel pacer: intermediate-level discipline
+// semantics, flow re-homing across tenants, classes and ports under the
+// ring datapath, and the one-goroutine-per-shard scaling claim for
+// served ports.
 
 import (
 	"encoding/binary"
@@ -27,9 +28,10 @@ func TestClassPrioServesLowestClassFirst(t *testing.T) {
 	e, err := New(Config{
 		Shards: 1, NumFlows: 64, NumSegments: 4096, StoreData: true,
 		Egress: policy.EgressConfig{
-			Kind:       policy.EgressRR,
-			NumClasses: 8,
-			ClassKind:  policy.EgressPrio,
+			Kind: policy.EgressRR,
+			Levels: []policy.LevelSpec{
+				{Tier: policy.TierClass, Kind: policy.EgressPrio, Units: 8},
+			},
 		},
 	})
 	if err != nil {
@@ -77,10 +79,10 @@ func TestClassWRRVisitPattern(t *testing.T) {
 	e, err := New(Config{
 		Shards: 1, NumFlows: 8, NumSegments: 4096, StoreData: true,
 		Egress: policy.EgressConfig{
-			Kind:         policy.EgressRR,
-			NumClasses:   2,
-			ClassKind:    policy.EgressWRR,
-			ClassWeights: []int{3, 1},
+			Kind: policy.EgressRR,
+			Levels: []policy.LevelSpec{
+				{Tier: policy.TierClass, Kind: policy.EgressWRR, Units: 2, Weights: []int{3, 1}},
+			},
 		},
 	})
 	if err != nil {
@@ -123,9 +125,9 @@ func TestClassStatsReflectBacklog(t *testing.T) {
 	e, err := New(Config{
 		Shards: 4, NumFlows: 64, NumSegments: 4096, StoreData: true,
 		Egress: policy.EgressConfig{
-			NumClasses:   4,
-			ClassKind:    policy.EgressWRR,
-			ClassWeights: []int{1, 2, 3, 4},
+			Levels: []policy.LevelSpec{
+				{Tier: policy.TierClass, Kind: policy.EgressWRR, Units: 4, Weights: []int{1, 2, 3, 4}},
+			},
 		},
 	})
 	if err != nil {
@@ -175,9 +177,9 @@ func TestClassRehomingChurnRing(t *testing.T) {
 		Egress: policy.EgressConfig{
 			Kind:         policy.EgressDRR,
 			QuantumBytes: 256,
-			NumClasses:   4,
-			ClassKind:    policy.EgressWRR,
-			ClassWeights: []int{4, 3, 2, 1},
+			Levels: []policy.LevelSpec{
+				{Tier: policy.TierClass, Kind: policy.EgressWRR, Units: 4, Weights: []int{4, 3, 2, 1}},
+			},
 		},
 	})
 	if err != nil {
@@ -296,6 +298,271 @@ func TestClassRehomingChurnRing(t *testing.T) {
 	}
 }
 
+// TestTenantClassFlowComposition: a full three-level hierarchy — tenant
+// WRR 3:1 outside class strict priority outside flow RR — must compose:
+// with deep backlog everywhere, each 3+1 tenant cycle grants tenant 0
+// three packets and tenant 1 one, and within every tenant's grant the
+// lowest backlogged class is served first.
+func TestTenantClassFlowComposition(t *testing.T) {
+	e, err := New(Config{
+		Shards: 1, NumFlows: 32, NumSegments: 4096, StoreData: true,
+		Egress: policy.EgressConfig{
+			Kind: policy.EgressRR,
+			Levels: []policy.LevelSpec{
+				{Tier: policy.TierTenant, Kind: policy.EgressWRR, Units: 2, Weights: []int{3, 1}},
+				{Tier: policy.TierClass, Kind: policy.EgressPrio, Units: 4},
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.NumTenants() != 2 || e.NumClasses() != 4 {
+		t.Fatalf("hierarchy %d tenants × %d classes, want 2 × 4", e.NumTenants(), e.NumClasses())
+	}
+	// Flow f: tenant f%2, class (f/2)%4 — both tenants hold flows of
+	// every class.
+	for f := uint32(0); f < 32; f++ {
+		if err := e.SetFlowTenant(f, int(f%2)); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.SetFlowClass(f, int(f/2)%4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		for f := uint32(0); f < 32; f++ {
+			if _, err := e.EnqueuePacket(f, make([]byte, 64)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	counts := [2]int{}
+	lastClass := [2]int{-1, -1}
+	for i := 0; i < 64; i++ { // sixteen full 3+1 tenant cycles
+		d, ok := e.DequeueNext()
+		if !ok {
+			t.Fatal("scheduler idle with backlog")
+		}
+		tn, err := e.FlowTenant(d.Flow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, _ := e.FlowClass(d.Flow)
+		// Strict class priority holds within each tenant's own service
+		// sequence (the backlog drains class by class, so a tenant's
+		// served class never decreases).
+		if c < lastClass[tn] {
+			t.Fatalf("tenant %d served class %d after class %d (priority violated within tenant)", tn, c, lastClass[tn])
+		}
+		lastClass[tn] = c
+		counts[tn]++
+		e.ReleaseBuffer(d.Data)
+		if (i+1)%4 == 0 && counts[0] != 3*counts[1] {
+			t.Fatalf("after %d picks: tenant counts %v, want exact 3:1", i+1, counts)
+		}
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTenantStatsReflectBacklog: TenantStats counts backlogged flows per
+// tenant across shards and reports configured weights, and re-homing a
+// backlogged flow moves its count.
+func TestTenantStatsReflectBacklog(t *testing.T) {
+	e, err := New(Config{
+		Shards: 4, NumFlows: 64, NumSegments: 4096, StoreData: true,
+		NumTenants: 4,
+		Egress: policy.EgressConfig{
+			Levels: []policy.LevelSpec{
+				{Tier: policy.TierTenant, Kind: policy.EgressWRR, Units: 4, Weights: []int{1, 2, 3, 4}},
+				{Tier: policy.TierClass, Kind: policy.EgressRR, Units: 2},
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := uint32(0); f < 12; f++ {
+		if err := e.SetFlowTenant(f, int(f%4)); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.SetFlowClass(f, int(f)/4%2); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.EnqueuePacket(f, make([]byte, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := e.TenantStats()
+	if len(ts) != 4 {
+		t.Fatalf("TenantStats length %d, want 4", len(ts))
+	}
+	for tn, st := range ts {
+		if st.Tenant != tn || st.ActiveFlows != 3 || st.Weight != tn+1 {
+			t.Fatalf("tenant %d stat %+v, want 3 active flows, weight %d", tn, st, tn+1)
+		}
+	}
+	if err := e.SetTenantWeight(2, 9); err != nil {
+		t.Fatal(err)
+	}
+	if ts := e.TenantStats(); ts[2].Weight != 9 {
+		t.Fatalf("tenant 2 weight %d after SetTenantWeight, want 9", ts[2].Weight)
+	}
+	// Re-home a backlogged flow: the counts must follow it.
+	if err := e.SetFlowTenant(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	ts = e.TenantStats()
+	if ts[0].ActiveFlows != 2 || ts[1].ActiveFlows != 4 {
+		t.Fatalf("after re-homing flow 0 to tenant 1: counts %d/%d, want 2/4", ts[0].ActiveFlows, ts[1].ActiveFlows)
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTenantRehomingChurnRing is the three-level variant of
+// TestClassRehomingChurnRing: backlogged flows re-home across tenants,
+// classes and ports while producers enqueue and a consumer drains — on
+// the ring datapath, under -race. Per-flow FIFO must survive every move,
+// open visits at all three levels must end cleanly, and every packet
+// enqueued must be served exactly once.
+func TestTenantRehomingChurnRing(t *testing.T) {
+	const (
+		flows     = 256
+		producers = 4
+		perFlow   = 120
+	)
+	e, err := New(Config{
+		Shards: 4, NumFlows: flows, NumSegments: 1 << 13, StoreData: true,
+		NumPorts: 4,
+		Egress: policy.EgressConfig{
+			Kind:         policy.EgressDRR,
+			QuantumBytes: 256,
+			Levels: []policy.LevelSpec{
+				{Tier: policy.TierTenant, Kind: policy.EgressDRR, Units: 3, Weights: []int{2, 1, 1}, QuantumBytes: 512},
+				{Tier: policy.TierClass, Kind: policy.EgressWRR, Units: 4, Weights: []int{4, 3, 2, 1}},
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var (
+		wg       sync.WaitGroup // producers only
+		churnWG  sync.WaitGroup
+		enqueued atomic.Int64
+		stop     = make(chan struct{})
+	)
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(200 + p)))
+			seq := make([]uint32, flows)
+			for n := 0; n < perFlow*flows/producers; n++ {
+				f := uint32(rng.Intn(flows/producers)*producers + p)
+				buf := make([]byte, 8+rng.Intn(3*queue.SegmentBytes))
+				binary.LittleEndian.PutUint32(buf, f)
+				binary.LittleEndian.PutUint32(buf[4:], seq[f])
+				if _, err := e.EnqueuePacket(f, buf); err == nil {
+					seq[f]++
+					enqueued.Add(1)
+				}
+			}
+		}(p)
+	}
+	// Churn across every axis of the hierarchy; the moves land
+	// mid-backlog and mid-visit by construction.
+	churnWG.Add(1)
+	go func() {
+		defer churnWG.Done()
+		rng := rand.New(rand.NewSource(11))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			f := uint32(rng.Intn(flows))
+			switch rng.Intn(6) {
+			case 0:
+				_ = e.SetFlowTenant(f, rng.Intn(3))
+			case 1:
+				_ = e.SetFlowClass(f, rng.Intn(4))
+			case 2:
+				_ = e.SetFlowPort(f, rng.Intn(4))
+			case 3:
+				_ = e.SetTenantWeight(rng.Intn(3), 1+rng.Intn(4))
+			case 4:
+				_ = e.SetClassWeight(rng.Intn(4), 1+rng.Intn(4))
+			default:
+				_ = e.SetWeight(f, 1+rng.Intn(4))
+			}
+		}
+	}()
+	lastSeq := make([]int64, flows)
+	for f := range lastSeq {
+		lastSeq[f] = -1
+	}
+	var served int64
+	drain := func() {
+		for _, d := range e.DequeueNextBatch(64) {
+			f := binary.LittleEndian.Uint32(d.Data)
+			seq := int64(binary.LittleEndian.Uint32(d.Data[4:]))
+			if f != d.Flow {
+				t.Errorf("flow %d delivered flow %d's payload", d.Flow, f)
+			}
+			if seq != lastSeq[f]+1 {
+				t.Errorf("flow %d: seq %d after %d (FIFO broken across re-homing)", f, seq, lastSeq[f])
+			}
+			lastSeq[f] = seq
+			served++
+			e.ReleaseBuffer(d.Data)
+		}
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for running := true; running; {
+		select {
+		case <-done:
+			running = false
+		default:
+			drain()
+		}
+		if t.Failed() {
+			close(stop)
+			t.FailNow()
+		}
+	}
+	close(stop)
+	churnWG.Wait()
+	if err := e.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		before := served
+		drain()
+		if served == before {
+			break
+		}
+	}
+	if served != enqueued.Load() {
+		t.Fatalf("served %d packets, enqueued %d (packets lost or duplicated across re-homing)", served, enqueued.Load())
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestPacerOneGoroutinePerShard is the scaling claim behind the timing
 // wheel: serving ~1k shaped ports over a 100k-flow space with 8 classes
 // starts one pacer goroutine per shard — not one worker per port — and
@@ -315,8 +582,9 @@ func TestPacerOneGoroutinePerShard(t *testing.T) {
 		// paces instead of draining inside the burst.
 		PortRate: policy.ShaperConfig{RateBytesPerSec: 64 << 10, BurstBytes: 1024},
 		Egress: policy.EgressConfig{
-			NumClasses: 8,
-			ClassKind:  policy.EgressWRR,
+			Levels: []policy.LevelSpec{
+				{Tier: policy.TierClass, Kind: policy.EgressWRR, Units: 8},
+			},
 		},
 	})
 	if err != nil {

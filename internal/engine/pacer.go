@@ -438,6 +438,9 @@ func (pc *pacer) servePortOnce(pi int32) {
 			p.idle.Store(true)
 			pc.out = e.dequeuePort(p, pc.out[:0], max)
 			if len(pc.out) == 0 {
+				// Idle spells are not pacing jitter: the next departure
+				// starts a fresh gap sequence.
+				p.txLastNs.Store(0)
 				return // parked; notify will bring the port back
 			}
 			p.idle.Store(false)
@@ -463,6 +466,7 @@ func (pc *pacer) servePortOnce(pi int32) {
 			p.txBytes.Add(uint64(d.Bytes))
 			if shaped {
 				p.sh.charge(d.Bytes)
+				p.noteDeparture(time.Now().UnixNano())
 			}
 			sent += int64(d.Bytes)
 			pkts++
@@ -525,6 +529,8 @@ func (pc *pacer) servePortViews(pi int32, p *port, box *sinkBox) {
 			p.idle.Store(true)
 			pc.outv = e.dequeuePortViews(p, pc.outv[:0], max)
 			if len(pc.outv) == 0 {
+				// Idle spells are not pacing jitter (see the copy loop).
+				p.txLastNs.Store(0)
 				return // parked; notify will bring the port back
 			}
 			p.idle.Store(false)
@@ -552,6 +558,7 @@ func (pc *pacer) servePortViews(pi int32, p *port, box *sinkBox) {
 			p.txBytes.Add(uint64(d.Bytes))
 			if shaped {
 				p.sh.charge(d.Bytes)
+				p.noteDeparture(time.Now().UnixNano())
 			}
 			sent += int64(d.Bytes)
 			pkts++

@@ -21,6 +21,7 @@ package engine
 
 import (
 	"fmt"
+	"math/bits"
 	"sync/atomic"
 	"time"
 
@@ -84,7 +85,68 @@ type port struct {
 	txPackets atomic.Uint64
 	txBytes   atomic.Uint64
 	throttled atomic.Uint64 // times the port parked on the shaper wheel
-	_         [hotPad]byte
+
+	// Inter-departure jitter, tracked for shaped ports only: the pacer
+	// stamps every transmit and the gap to the previous one feeds a sum
+	// (for the mean) and a log2 histogram (for the p99), so PortStats
+	// can report how tightly the wheel tracks the configured rate.
+	// txLastNs == 0 means no previous departure — reset on idle park and
+	// on Serve, so idle spells don't count as pacing jitter.
+	txLastNs atomic.Int64
+	gapCount atomic.Uint64
+	gapSumNs atomic.Uint64
+	gapHist  [gapBuckets]atomic.Uint64
+	_        [hotPad]byte
+}
+
+// gapBuckets sizes the log2 inter-departure histogram: bucket b counts
+// gaps whose bit length is b (gap ∈ [2^(b-1), 2^b) ns), so the top
+// bucket absorbs everything from ~9 minutes up.
+const gapBuckets = 40
+
+// noteDeparture records one shaped transmit at now (UnixNano). Called
+// only from the port's home pacer; the fields are atomics because
+// PortStats reads them cross-goroutine.
+func (p *port) noteDeparture(now int64) {
+	last := p.txLastNs.Load()
+	p.txLastNs.Store(now)
+	if last == 0 {
+		return
+	}
+	gap := now - last
+	if gap < 0 {
+		gap = 0
+	}
+	p.gapCount.Add(1)
+	p.gapSumNs.Add(uint64(gap))
+	b := bits.Len64(uint64(gap))
+	if b >= gapBuckets {
+		b = gapBuckets - 1
+	}
+	p.gapHist[b].Add(1)
+}
+
+// gapStats summarizes the recorded inter-departure gaps: sample count,
+// mean, and the p99 read off the log2 histogram (reported as the upper
+// bound of the bucket the 99th percentile lands in, so it is exact to a
+// factor of two).
+func (p *port) gapStats() (samples, meanNs, p99Ns uint64) {
+	samples = p.gapCount.Load()
+	if samples == 0 {
+		return
+	}
+	meanNs = p.gapSumNs.Load() / samples
+	target := (samples*99 + 99) / 100
+	var cum uint64
+	for b := 0; b < gapBuckets; b++ {
+		cum += p.gapHist[b].Load()
+		if cum >= target {
+			p99Ns = (uint64(1) << b) - 1
+			return
+		}
+	}
+	p99Ns = (uint64(1) << (gapBuckets - 1)) - 1
+	return
 }
 
 // notify re-queues the port on its home pacer if (and only if) it went
@@ -232,6 +294,7 @@ func (e *Engine) Serve(port int, sink Sink) error {
 		return fmt.Errorf("engine: port %d is already being served", port)
 	}
 	p.sink.Store(&sinkBox{sink: sink})
+	p.txLastNs.Store(0) // a re-Serve must not count downtime as a gap
 	p.pc.start()
 	p.kick()
 	return nil
@@ -269,6 +332,14 @@ type PortStat struct {
 	RateBytesPerSec    int64 // 0 = unshaped
 	BurstBytes         int64
 	ShaperTokens       int64 // current bucket credit; negative = in debt
+
+	// Inter-departure jitter, measured for shaped ports only (idle
+	// spells excluded): how tightly the timing wheel tracks the
+	// configured rate. P99 is read off a log2 histogram, so it is exact
+	// to a factor of two.
+	GapSamples uint64
+	MeanGapNs  uint64
+	P99GapNs   uint64
 }
 
 // PortStats returns one entry per port. Counters are cumulative since
@@ -279,6 +350,7 @@ func (e *Engine) PortStats() []PortStat {
 	now := time.Now()
 	for i, p := range e.ports {
 		rate, burst, tokens := p.sh.occupancy(now)
+		samples, mean, p99 := p.gapStats()
 		out[i] = PortStat{
 			Port:               i,
 			TransmittedPackets: p.txPackets.Load(),
@@ -289,6 +361,9 @@ func (e *Engine) PortStats() []PortStat {
 			RateBytesPerSec:    rate,
 			BurstBytes:         burst,
 			ShaperTokens:       tokens,
+			GapSamples:         samples,
+			MeanGapNs:          mean,
+			P99GapNs:           p99,
 		}
 	}
 	for _, s := range e.shards {

@@ -226,6 +226,46 @@ func TestShapedPortPacesDelivery(t *testing.T) {
 	if pst.ShaperTokens > pst.BurstBytes {
 		t.Fatalf("shaper tokens %d above burst %d", pst.ShaperTokens, pst.BurstBytes)
 	}
+	// The pacing left an inter-departure jitter trace: most of the ~59
+	// gaps run on the ~1ms/packet schedule, so the mean sits well above
+	// 100µs (a loaded CI machine stretches gaps, never shrinks them) and
+	// within the run's own wall clock.
+	if pst.GapSamples == 0 || pst.GapSamples >= packets {
+		t.Fatalf("shaped drain recorded %d gap samples, want within (0, %d)", pst.GapSamples, packets)
+	}
+	if pst.MeanGapNs < 100_000 || pst.MeanGapNs > uint64(elapsed.Nanoseconds()) {
+		t.Fatalf("mean inter-departure gap %dns, want within [100µs, %v]", pst.MeanGapNs, elapsed)
+	}
+	if pst.P99GapNs == 0 {
+		t.Fatal("paced drain reported a zero p99 inter-departure gap")
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnshapedPortRecordsNoJitter: the jitter meter prices shaper
+// pacing; an unshaped port's burst-mode departures must not feed it.
+func TestUnshapedPortRecordsNoJitter(t *testing.T) {
+	e, err := New(Config{Shards: 1, NumFlows: 8, NumSegments: 512, StoreData: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := newCountingSink(e)
+	if err := e.Serve(0, sink); err != nil {
+		t.Fatal(err)
+	}
+	pkt := make([]byte, 256)
+	const packets = 32
+	for i := 0; i < packets; i++ {
+		if _, err := e.EnqueuePacket(uint32(i%4), pkt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitUntil(t, 10*time.Second, "unshaped drain", func() bool { return sink.count() == packets })
+	if pst := e.PortStats()[0]; pst.GapSamples != 0 || pst.MeanGapNs != 0 || pst.P99GapNs != 0 {
+		t.Fatalf("unshaped port recorded jitter %+v, want none", pst)
+	}
 	if err := e.Close(); err != nil {
 		t.Fatal(err)
 	}

@@ -203,30 +203,96 @@ type ClassStat struct {
 	Weight      int // class-level WRR/DRR weight
 }
 
-// ClassStats returns one entry per scheduling class: how many backlogged
-// flows the class holds right now (summed across shards and ports;
-// consistent per shard, not a global cut) and its configured weight.
-func (e *Engine) ClassStats() []ClassStat {
-	out := make([]ClassStat, e.numClasses)
-	for c := range out {
-		out[c] = ClassStat{Class: c, Weight: 1}
+// TenantStat is one scheduling tenant's slice of the egress statistics.
+type TenantStat struct {
+	Tenant      int
+	ActiveFlows int // flows with backlog currently mapped to this tenant
+	Weight      int // tenant-level WRR/DRR weight
+}
+
+// accumTierFlows adds one shard's backlogged-flow counts per unit of
+// tier into counts, inside the shard's critical section. When the tier
+// is flat (no level of its own) every backlogged flow sits in unit 0.
+func accumTierFlows(s *shard, tier int, counts []int) {
+	li := -1
+	for k := range s.eg.levels {
+		if int(s.eg.levels[k].tier) == tier {
+			li = k
+		}
+	}
+	if li < 0 {
+		for p := range s.ps {
+			counts[0] += s.ps[p].activeFlows
+		}
+		return
+	}
+	// Flows hang off the innermost level's nodes; a node's unit in the
+	// queried tier is recovered from its composite index by stripping
+	// the inner tiers' strides.
+	stride := int32(1)
+	for k := li + 1; k < len(s.eg.levels); k++ {
+		stride *= s.eg.levels[k].mod
+	}
+	mod := s.eg.levels[li].mod
+	for p := range s.ps {
+		ps := &s.ps[p]
+		if !ps.st.Ready() || ps.activeFlows == 0 {
+			continue
+		}
+		last := ps.st.Depth() - 1
+		for idx := 0; idx < ps.st.Width(last); idx++ {
+			if n := ps.st.Child(last, int32(idx)).Count(); n > 0 {
+				counts[(int32(idx)/stride)%mod] += n
+			}
+		}
+	}
+}
+
+// tierStats collects per-unit backlog and weights for one tier.
+func (e *Engine) tierStats(tier int) ([]int, []int) {
+	units := int(e.tierUnits[tier])
+	counts := make([]int, units)
+	weights := make([]int, units)
+	for u := range weights {
+		weights[u] = 1
 	}
 	for si, s := range e.shards {
 		si, s := si, s
 		e.run(s, func() {
 			if si == 0 {
-				for c := range out {
-					if w := s.eg.classWeights[c]; w > 0 {
-						out[c].Weight = int(w)
+				for u := range weights {
+					if w := s.eg.tierWeights[tier][u]; w > 0 {
+						weights[u] = int(w)
 					}
 				}
 			}
-			for p := range s.ps {
-				for c := range s.ps[p].classes {
-					out[c].ActiveFlows += s.ps[p].classes[c].fl.Count()
-				}
-			}
+			accumTierFlows(s, tier, counts)
 		})
+	}
+	return counts, weights
+}
+
+// ClassStats returns one entry per scheduling class: how many backlogged
+// flows the class holds right now (summed across shards and ports;
+// consistent per shard, not a global cut) and its configured weight.
+func (e *Engine) ClassStats() []ClassStat {
+	counts, weights := e.tierStats(tierClass)
+	out := make([]ClassStat, len(counts))
+	for c := range out {
+		out[c] = ClassStat{Class: c, ActiveFlows: counts[c], Weight: weights[c]}
+	}
+	return out
+}
+
+// TenantStats returns one entry per scheduling tenant: how many
+// backlogged flows the tenant holds right now (summed across shards and
+// ports; consistent per shard, not a global cut) and its configured
+// weight.
+func (e *Engine) TenantStats() []TenantStat {
+	counts, weights := e.tierStats(tierTenant)
+	out := make([]TenantStat, len(counts))
+	for t := range out {
+		out[t] = TenantStat{Tenant: t, ActiveFlows: counts[t], Weight: weights[t]}
 	}
 	return out
 }
@@ -281,14 +347,16 @@ func (e *Engine) CheckInvariants() error {
 	return nil
 }
 
-// checkActiveLocked validates the shard's two-level active lists against
-// the queue table, inside the shard's critical section: a flow owned by
-// this shard is linked into exactly one (port, class) rotation iff it
-// has backlog, every linked class holds flows, both list levels are
-// well-formed circular rings (walking Count steps closes the cycle with
-// prev mirroring next), and every per-port and per-class counter matches
-// what its list actually holds — which together leave no room for a flow
-// linked under a foreign port or class.
+// checkActiveLocked validates the shard's level-stack active lists
+// against the queue table, inside the shard's critical section: a flow
+// owned by this shard is linked into exactly one scheduling unit's
+// innermost rotation iff it has backlog, every linked node holds
+// backlogged descendants, every rotation at every level is a
+// well-formed circular ring (walking Count steps closes the cycle with
+// prev mirroring next), nodes sit only under their own parent, and
+// every per-port counter matches what its lists actually hold — which
+// together leave no room for a flow linked under a foreign port, tenant
+// or class.
 func (e *Engine) checkActiveLocked(s *shard, shardIdx int) error {
 	count := 0
 	for q := 0; q < s.m.NumQueues(); q++ {
@@ -316,68 +384,101 @@ func (e *Engine) checkActiveLocked(s *shard, shardIdx int) error {
 	for p := range s.ps {
 		ps := &s.ps[p]
 		perPort += ps.activeFlows
-		if ps.classes == nil {
-			if ps.activeFlows != 0 || ps.cls.Count() != 0 {
-				return fmt.Errorf("engine: shard %d port %d counts %d flows, %d classes with no class state",
-					shardIdx, p, ps.activeFlows, ps.cls.Count())
+		if !ps.st.Ready() {
+			if ps.activeFlows != 0 {
+				return fmt.Errorf("engine: shard %d port %d counts %d flows with no scheduler state",
+					shardIdx, p, ps.activeFlows)
 			}
 			continue
 		}
-		if cn := ps.cls.Count(); cn > 0 {
-			id := ps.cls.Cursor()
-			for i := 0; i < cn; i++ {
-				next := ps.Next(id)
-				if next == sched.None || ps.Prev(next) != id {
-					return fmt.Errorf("engine: shard %d port %d class ring broken at class %d", shardIdx, p, id)
-				}
-				id = next
-			}
-			if id != ps.cls.Cursor() {
-				return fmt.Errorf("engine: shard %d port %d class ring does not close in %d steps", shardIdx, p, cn)
-			}
-		}
-		flows, linked := 0, 0
-		for c := range ps.classes {
-			cu := &ps.classes[c]
-			on := cu.cnext != sched.None
-			if on != (cu.fl.Count() > 0) {
-				return fmt.Errorf("engine: shard %d port %d class %d linked=%v but holds %d flows",
-					shardIdx, p, c, on, cu.fl.Count())
-			}
-			if !on {
-				continue
-			}
-			linked++
-			fn := cu.fl.Count()
-			id := cu.fl.Cursor()
-			for i := 0; i < fn; i++ {
-				if fs := &s.flows[id]; int(fs.port) != p || int(fs.class) != c {
-					return fmt.Errorf("engine: shard %d flow %d sits on port %d class %d list but maps to port %d class %d",
-						shardIdx, id, p, c, fs.port, fs.class)
-				}
-				next := s.Next(id)
-				if next == sched.None || s.Prev(next) != id {
-					return fmt.Errorf("engine: shard %d port %d class %d flow ring broken at flow %d", shardIdx, p, c, id)
-				}
-				flows++
-				id = next
-			}
-			if id != cu.fl.Cursor() {
-				return fmt.Errorf("engine: shard %d port %d class %d flow ring does not close in %d steps",
-					shardIdx, p, c, fn)
-			}
-		}
-		if linked != ps.cls.Count() {
-			return fmt.Errorf("engine: shard %d port %d has %d backlogged classes, rotation says %d",
-				shardIdx, p, linked, ps.cls.Count())
+		flows, err := e.checkStackLocked(s, shardIdx, p, ps)
+		if err != nil {
+			return err
 		}
 		if flows != ps.activeFlows {
 			return fmt.Errorf("engine: shard %d port %d lists hold %d flows, counter says %d",
 				shardIdx, p, flows, ps.activeFlows)
+		}
+		// Every node, walked or not: linked into its parent's rotation
+		// iff its own child rotation holds members.
+		for k := 0; k < ps.st.Depth(); k++ {
+			for idx := 0; idx < ps.st.Width(k); idx++ {
+				on := ps.st.NodeLinked(k, int32(idx))
+				if on != (ps.st.Child(k, int32(idx)).Count() > 0) {
+					return fmt.Errorf("engine: shard %d port %d level %d node %d linked=%v but holds %d members",
+						shardIdx, p, k, idx, on, ps.st.Child(k, int32(idx)).Count())
+				}
+			}
 		}
 	}
 	if perPort != s.activeFlows {
 		return fmt.Errorf("engine: shard %d per-port counters sum to %d, total says %d", shardIdx, perPort, s.activeFlows)
 	}
 	return nil
+}
+
+// checkStackLocked walks one scheduling unit's hierarchy from the root,
+// verifying every rotation ring it can reach and returning the number
+// of flows linked under the unit. level n (the stack depth) is the flow
+// level; parent is the composite index of the node whose child ring is
+// being walked (unused at the root).
+func (e *Engine) checkStackLocked(s *shard, shardIdx, p int, ps *portSched) (int, error) {
+	n := ps.st.Depth()
+	var walk func(level int, l *sched.Level, parent int32) (int, error)
+	walk = func(level int, l *sched.Level, parent int32) (int, error) {
+		cnt := l.Count()
+		if cnt == 0 {
+			return 0, nil
+		}
+		var ent sched.Entity
+		if level < n {
+			ent = ps.st.Ent(level)
+		} else {
+			ent = s
+		}
+		total := 0
+		id := l.Cursor()
+		for i := 0; i < cnt; i++ {
+			if level < n {
+				if level > 0 && id/s.eg.levels[level].mod != parent {
+					return 0, fmt.Errorf("engine: shard %d port %d level %d node %d sits under parent %d, composite index says %d",
+						shardIdx, p, level, id, parent, id/s.eg.levels[level].mod)
+				}
+				sub, err := walk(level+1, ps.st.Child(level, id), id)
+				if err != nil {
+					return 0, err
+				}
+				if sub == 0 {
+					return 0, fmt.Errorf("engine: shard %d port %d level %d node %d is linked but holds no flows",
+						shardIdx, p, level, id)
+				}
+				total += sub
+			} else {
+				fs := &s.flows[id]
+				if int(fs.port) != p {
+					return 0, fmt.Errorf("engine: shard %d flow %d sits on port %d's list but maps to port %d",
+						shardIdx, id, p, fs.port)
+				}
+				if n > 0 {
+					var pb [numTiers]int32
+					if path := s.pathOf(uint32(id), pb[:0]); path[n-1] != parent {
+						return 0, fmt.Errorf("engine: shard %d flow %d sits under node %d but maps to tenant %d class %d (node %d)",
+							shardIdx, id, parent, fs.tenant, fs.class, path[n-1])
+					}
+				}
+				total++
+			}
+			next := ent.Next(id)
+			if next == sched.None || ent.Prev(next) != id {
+				return 0, fmt.Errorf("engine: shard %d port %d level %d ring broken at %d", shardIdx, p, level, id)
+			}
+			id = next
+		}
+		if id != l.Cursor() {
+			return 0, fmt.Errorf("engine: shard %d port %d level %d ring does not close in %d steps",
+				shardIdx, p, level, cnt)
+		}
+		return total, nil
+	}
+	return walk(0, ps.st.Root(), sched.None)
 }

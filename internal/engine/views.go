@@ -40,7 +40,6 @@ import (
 	"fmt"
 	"runtime"
 
-	"npqm/internal/policy"
 	"npqm/internal/queue"
 )
 
@@ -224,12 +223,8 @@ func (e *Engine) dequeuePickedView(s *shard, port int) (DequeuedView, bool) {
 		if debit != 0 {
 			s.SetDeficit(int32(flow), s.Deficit(int32(flow))-debit)
 		}
-		if s.eg.classKind == policy.EgressDRR {
-			fs := &s.flows[flow]
-			ps := &s.ps[fs.port]
-			if len(ps.classes) > 1 {
-				ps.classes[fs.class].deficit -= int64(bytes)
-			}
+		if s.eg.hasLevelDRR {
+			s.chargeLevels(flow, bytes)
 		}
 		s.syncActive(flow)
 		s.noteRemoveRes(flow, true)

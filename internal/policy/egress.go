@@ -64,21 +64,64 @@ func ParseEgressKind(s string) (EgressKind, error) {
 	return EgressRR, fmt.Errorf("policy: unknown egress discipline %q (want rr, prio, wrr, drr)", s)
 }
 
-// MaxEgressClasses bounds EgressConfig.NumClasses: per-class scheduling
-// state is allocated per (shard, port) unit, so the class space is a
-// small configuration constant (802.1p needs 8), not a dynamic resource.
-const MaxEgressClasses = 256
+// MaxLevelUnits bounds a LevelSpec's unit count: per-level scheduling
+// state is allocated per (shard, port) unit, so each tier's unit space
+// is a small configuration constant (802.1p needs 8 classes), not a
+// dynamic resource.
+const MaxLevelUnits = 256
+
+// MaxEgressClasses is the historical name for MaxLevelUnits, kept for
+// callers that speak in classes.
+const MaxEgressClasses = MaxLevelUnits
+
+// The tier names a LevelSpec can carry, outermost first. The engine
+// fixes the nesting order — tenants contain classes contain flows — so
+// a configuration lists the tiers it wants and the order is implied.
+const (
+	// TierTenant is the outermost intermediate tier (SetFlowTenant
+	// groups flows into tenants; every flow starts in tenant 0).
+	TierTenant = "tenant"
+	// TierClass is the inner intermediate tier (SetFlowClass groups
+	// flows into classes; every flow starts in class 0).
+	TierClass = "class"
+)
+
+// LevelSpec configures one intermediate scheduling level of the egress
+// hierarchy.
+type LevelSpec struct {
+	// Tier names the level: TierTenant or TierClass. Each tier may
+	// appear at most once; tenants always sit outside classes.
+	Tier string
+	// Kind is the level's discipline (default round-robin).
+	Kind EgressKind
+	// Units is the tier's unit count — tenants per engine, classes per
+	// port (at most MaxLevelUnits). 0 or 1 means the tier is flat: it
+	// adds no scheduling level. For the tenant tier, 0 defers to the
+	// engine's Config.NumTenants.
+	Units int
+	// Weights are the per-unit weights for level WRR (packets per
+	// visit) and DRR (quantum multiplier); entries beyond the slice,
+	// and zero entries, default to 1. Reconfigurable at runtime with
+	// SetClassWeight / SetTenantWeight.
+	Weights []int
+	// QuantumBytes is the DRR byte quantum per weight unit per visit at
+	// this level (0 takes the flow-level QuantumBytes after its own
+	// default).
+	QuantumBytes int
+}
 
 // EgressConfig parameterizes the integrated egress scheduler. The zero
-// value is flat round-robin (one class).
+// value is flat round-robin (no intermediate levels).
 //
-// With NumClasses > 1 the scheduler is a two-level hierarchy: flows are
-// grouped into classes (SetFlowClass; every flow starts in class 0),
-// ClassKind arbitrates among the backlogged classes of a port first,
-// and Kind then arbitrates among the backlogged flows of the winning
-// class. The same four disciplines are available at both levels.
+// Levels turns the scheduler into a hierarchy: each listed tier with
+// more than one unit adds a scheduling level above the flows, outermost
+// first (tenant, then class), and Kind arbitrates among the flows of
+// the winning innermost unit. The same four disciplines are available
+// at every level through one implementation, so tenant-level WRR cannot
+// drift from class- or flow-level WRR.
 type EgressConfig struct {
-	// Kind is the flow-level discipline (within the picked class).
+	// Kind is the flow-level discipline (within the innermost picked
+	// unit).
 	Kind EgressKind
 	// DefaultWeight is the weight of flows with no explicit weight set
 	// (WRR packets per visit, DRR quantum multiplier). Default 1.
@@ -87,22 +130,50 @@ type EgressConfig struct {
 	// visit. Default 512.
 	QuantumBytes int
 
-	// NumClasses is the class space per port (0 or 1 = flat, no class
-	// level; at most MaxEgressClasses).
-	NumClasses int
-	// ClassKind is the class-level discipline (default round-robin).
-	ClassKind EgressKind
-	// ClassWeights are the per-class weights for class-level WRR
-	// (packets per visit) and DRR (quantum multiplier); entries beyond
-	// the slice, and zero entries, default to 1. Reconfigurable at
-	// runtime with SetClassWeight.
-	ClassWeights []int
-	// ClassQuantumBytes is the DRR byte quantum per class weight unit
-	// per visit (0 takes QuantumBytes after its own default).
-	ClassQuantumBytes int
+	// Levels are the intermediate scheduling levels, one LevelSpec per
+	// tier (nil or empty = flat). The unit counts are fixed at
+	// construction; a later SetEgress with nil Levels leaves the
+	// intermediate disciplines untouched, while a non-nil Levels must
+	// list every active tier and replaces their disciplines.
+	Levels []LevelSpec
 }
 
-// WithDefaults fills zero-valued fields.
+// Level returns the spec for tier, or nil when the configuration does
+// not mention it.
+func (c *EgressConfig) Level(tier string) *LevelSpec {
+	for i := range c.Levels {
+		if c.Levels[i].Tier == tier {
+			return &c.Levels[i]
+		}
+	}
+	return nil
+}
+
+// WithLevel returns a copy of the configuration with spec inserted,
+// replacing any existing spec for the same tier and keeping the tenant
+// tier outermost.
+func (c EgressConfig) WithLevel(spec LevelSpec) EgressConfig {
+	out := make([]LevelSpec, 0, len(c.Levels)+1)
+	for _, ls := range c.Levels {
+		if ls.Tier != spec.Tier {
+			out = append(out, ls)
+		}
+	}
+	out = append(out, spec)
+	// Fixed nesting order: tenant outside class. Two tiers, so one
+	// swap suffices.
+	for i := 1; i < len(out); i++ {
+		if out[i].Tier == TierTenant && out[i-1].Tier == TierClass {
+			out[i], out[i-1] = out[i-1], out[i]
+		}
+	}
+	c.Levels = out
+	return c
+}
+
+// WithDefaults fills zero-valued fields. Levels is deep-copied before
+// the per-level quantum defaults are filled, so the caller's slice is
+// never mutated.
 func (c EgressConfig) WithDefaults() EgressConfig {
 	if c.DefaultWeight == 0 {
 		c.DefaultWeight = 1
@@ -110,11 +181,15 @@ func (c EgressConfig) WithDefaults() EgressConfig {
 	if c.QuantumBytes == 0 {
 		c.QuantumBytes = 512
 	}
-	if c.NumClasses == 0 {
-		c.NumClasses = 1
-	}
-	if c.ClassQuantumBytes == 0 {
-		c.ClassQuantumBytes = c.QuantumBytes
+	if len(c.Levels) > 0 {
+		ls := make([]LevelSpec, len(c.Levels))
+		copy(ls, c.Levels)
+		for i := range ls {
+			if ls[i].QuantumBytes == 0 {
+				ls[i].QuantumBytes = c.QuantumBytes
+			}
+		}
+		c.Levels = ls
 	}
 	return c
 }
@@ -125,27 +200,45 @@ func (c EgressConfig) Validate() error {
 	if c.Kind > EgressDRR {
 		return fmt.Errorf("policy: unknown egress kind %d", c.Kind)
 	}
-	if c.ClassKind > EgressDRR {
-		return fmt.Errorf("policy: unknown class egress kind %d", c.ClassKind)
-	}
 	if c.DefaultWeight < 0 {
 		return fmt.Errorf("policy: negative egress default weight %d", c.DefaultWeight)
 	}
 	if c.QuantumBytes < 0 {
 		return fmt.Errorf("policy: negative egress quantum %d", c.QuantumBytes)
 	}
-	if c.ClassQuantumBytes < 0 {
-		return fmt.Errorf("policy: negative class egress quantum %d", c.ClassQuantumBytes)
-	}
-	if c.NumClasses < 0 || c.NumClasses > MaxEgressClasses {
-		return fmt.Errorf("policy: NumClasses %d out of range [0, %d]", c.NumClasses, MaxEgressClasses)
-	}
-	if len(c.ClassWeights) > c.NumClasses {
-		return fmt.Errorf("policy: %d class weights for %d classes", len(c.ClassWeights), c.NumClasses)
-	}
-	for i, w := range c.ClassWeights {
-		if w < 0 {
-			return fmt.Errorf("policy: negative weight %d for class %d", w, i)
+	seenClass := false
+	seen := map[string]bool{}
+	for _, ls := range c.Levels {
+		switch ls.Tier {
+		case TierTenant:
+			if seenClass {
+				return fmt.Errorf("policy: tenant level listed inside class level (tenants contain classes)")
+			}
+		case TierClass:
+			seenClass = true
+		default:
+			return fmt.Errorf("policy: unknown egress tier %q (want %q or %q)", ls.Tier, TierTenant, TierClass)
+		}
+		if seen[ls.Tier] {
+			return fmt.Errorf("policy: egress tier %q listed twice", ls.Tier)
+		}
+		seen[ls.Tier] = true
+		if ls.Kind > EgressDRR {
+			return fmt.Errorf("policy: unknown %s egress kind %d", ls.Tier, ls.Kind)
+		}
+		if ls.Units < 0 || ls.Units > MaxLevelUnits {
+			return fmt.Errorf("policy: %s Units %d out of range [0, %d]", ls.Tier, ls.Units, MaxLevelUnits)
+		}
+		if ls.Units > 0 && len(ls.Weights) > ls.Units {
+			return fmt.Errorf("policy: %d %s weights for %d units", len(ls.Weights), ls.Tier, ls.Units)
+		}
+		if ls.QuantumBytes < 0 {
+			return fmt.Errorf("policy: negative %s egress quantum %d", ls.Tier, ls.QuantumBytes)
+		}
+		for i, w := range ls.Weights {
+			if w < 0 {
+				return fmt.Errorf("policy: negative weight %d for %s %d", w, ls.Tier, i)
+			}
 		}
 	}
 	return nil

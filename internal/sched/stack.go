@@ -1,0 +1,265 @@
+package sched
+
+// Stack composes an arbitrary number of Levels into one scheduling
+// hierarchy over a single leaf population. Level knows how to rotate one
+// list of members; Stack knows how those lists nest: every intermediate
+// *node* (a tenant, a class — whatever the caller's tiers mean) owns a
+// child Level arbitrating the next tier down, and the leaves (flows) sit
+// on the innermost Levels. A Stack of depth 0 is the flat case — the
+// root Level arbitrates leaves directly — so the same pick/activate/
+// deactivate code path serves 1-, 2- and N-level configurations, and a
+// flat configuration pays nothing for the machinery.
+//
+// Node addressing is dense and positional: a node at level k is a
+// composite index parent*width(k) + unit, so the node spaces are plain
+// slices (8 tenants × 8 classes = 8 level-0 nodes and 64 level-1 nodes)
+// and a node's links live intrusively in its own slot — the same
+// no-allocation discipline Level imposes on its members. A node is on
+// its parent's rotation iff it has backlogged descendants; activation
+// and deactivation cascade outward only while a list transitions
+// between empty and non-empty, so the common case stays O(1).
+//
+// Everything configuration-like — discipline parameters per level, node
+// weights, the leaf Entity, audit sinks — is reached through the
+// Hierarchy interface so the Stack itself holds only rotation state and
+// the caller's policy can change without touching any per-Stack state.
+
+import "npqm/internal/policy"
+
+// Hierarchy supplies a Stack's configuration and its leaf population.
+// Implementations are expected to be pointer-shaped so the interface
+// conversions in the pick path do not allocate.
+type Hierarchy interface {
+	// Params returns the discipline of intermediate level k (0 is the
+	// outermost).
+	Params(level int) Params
+	// Weight returns node id's scheduling weight at level k (≥ 1). The
+	// id is the composite node index; implementations typically key
+	// weights by id % width.
+	Weight(level int, id int32) int64
+	// LeafParams returns the leaf (flow) level's discipline.
+	LeafParams() Params
+	// Leaf returns the Entity managing the leaf population's links,
+	// weights and deficits.
+	Leaf() Entity
+	// AuditNode mirrors Entity.Audit for intermediate nodes: it
+	// accumulates granted/forfeited service entitlement at level k for
+	// the conservation property. A no-op outside tests.
+	AuditNode(level int, id int32, delta int64)
+}
+
+// node is one intermediate node's dense state: its intrusive links on
+// the parent's rotation, its own DRR deficit, and the child Level
+// arbitrating the tier below it.
+type node struct {
+	next, prev int32
+	deficit    int64
+	child      Level
+}
+
+// nodeEntity adapts one intermediate level's node slice to the Entity
+// interface, so a parent Level can rotate over it. Pointer-shaped:
+// Stack hands out &st.ents[k].
+type nodeEntity struct {
+	st  *Stack
+	lvl int32
+}
+
+// Stack is one scheduling unit's hierarchy state: the root Level, the
+// per-level node slices, and the Hierarchy it was initialized against.
+// The zero value is not ready (Init builds it); a depth-0 Stack is
+// ready and flat. Not safe for concurrent use — the caller provides the
+// critical section.
+type Stack struct {
+	h     Hierarchy
+	root  Level
+	nodes [][]node
+	ents  []nodeEntity
+}
+
+// Init builds the stack: counts[k] is the (composite) node count of
+// intermediate level k, outermost first; an empty counts is the flat
+// configuration. All nodes start unlinked with zero deficit.
+func (st *Stack) Init(h Hierarchy, counts []int32) {
+	st.h = h
+	st.nodes = make([][]node, len(counts))
+	st.ents = make([]nodeEntity, len(counts))
+	for k, n := range counts {
+		st.nodes[k] = make([]node, n)
+		for i := range st.nodes[k] {
+			st.nodes[k][i].next = None
+			st.nodes[k][i].prev = None
+		}
+		st.ents[k] = nodeEntity{st: st, lvl: int32(k)}
+	}
+}
+
+// Ready reports whether Init has run (a flat stack is ready too).
+func (st *Stack) Ready() bool { return st.h != nil }
+
+// Depth returns the number of intermediate levels (0 = flat).
+func (st *Stack) Depth() int { return len(st.nodes) }
+
+// Width returns the node count of intermediate level k.
+func (st *Stack) Width(level int) int { return len(st.nodes[level]) }
+
+// Root returns the outermost rotation (over level-0 nodes, or leaves
+// when flat), for invariant checks.
+func (st *Stack) Root() *Level { return &st.root }
+
+// Child returns node id's child Level at level k — the rotation over
+// level k+1 nodes, or over leaves when k is the innermost level.
+func (st *Stack) Child(level int, id int32) *Level { return &st.nodes[level][id].child }
+
+// NodeLinked reports whether node id at level k is on its parent's
+// rotation.
+func (st *Stack) NodeLinked(level int, id int32) bool { return st.nodes[level][id].next != None }
+
+// NodeDeficit returns node id's banked DRR byte credit at level k.
+func (st *Stack) NodeDeficit(level int, id int32) int64 { return st.nodes[level][id].deficit }
+
+// Ent returns the Entity over level k's nodes, for invariant walks.
+func (st *Stack) Ent(level int) Entity { return &st.ents[level] }
+
+// --- Entity over one intermediate level's nodes ---
+
+func (ne *nodeEntity) Next(id int32) int32    { return ne.st.nodes[ne.lvl][id].next }
+func (ne *nodeEntity) SetNext(id, next int32) { ne.st.nodes[ne.lvl][id].next = next }
+func (ne *nodeEntity) Prev(id int32) int32    { return ne.st.nodes[ne.lvl][id].prev }
+func (ne *nodeEntity) SetPrev(id, prev int32) { ne.st.nodes[ne.lvl][id].prev = prev }
+
+func (ne *nodeEntity) Weight(id int32) int64 { return ne.st.h.Weight(int(ne.lvl), id) }
+
+func (ne *nodeEntity) Deficit(id int32) int64 { return ne.st.nodes[ne.lvl][id].deficit }
+func (ne *nodeEntity) SetDeficit(id int32, d int64) {
+	ne.st.nodes[ne.lvl][id].deficit = d
+}
+
+// HeadBytes prices a node for its parent's DRR fit check: the head
+// packet of the leaf the node's subtree would serve next, found by
+// peeking down the hierarchy. Exact while every inner rotation is
+// RR/Prio/WRR; best-effort under inner DRR (the banking loop may
+// advance past the peeked member) — accounting stays exact regardless,
+// because callers charge intermediate deficits with the bytes actually
+// served (Charge), never with this estimate.
+func (ne *nodeEntity) HeadBytes(id int32) (int64, bool) {
+	st := ne.st
+	l := &st.nodes[ne.lvl][id].child
+	for k := int(ne.lvl) + 1; k < len(st.nodes); k++ {
+		nid, ok := l.Peek(st.h.Params(k), &st.ents[k])
+		if !ok {
+			return 0, false
+		}
+		l = &st.nodes[k][nid].child
+	}
+	leaf, ok := l.Peek(st.h.LeafParams(), st.h.Leaf())
+	if !ok {
+		return 0, false
+	}
+	return st.h.Leaf().HeadBytes(leaf)
+}
+
+func (ne *nodeEntity) Audit(id int32, delta int64) { ne.st.h.AuditNode(int(ne.lvl), id, delta) }
+
+// --- hierarchy operations ---
+
+// Pick runs the hierarchy top-down and returns the leaf the composed
+// disciplines serve next, plus the *leaf-level* DRR byte debit to
+// charge if a packet is actually served. Intermediate DRR debits are
+// not returned: their fit checks price on peeked estimates, so callers
+// charge those levels with the bytes actually served via Charge — the
+// charge lands if and only if the packet did. ok is false when the
+// stack is empty.
+func (st *Stack) Pick() (int32, int64, bool) {
+	n := len(st.nodes)
+	if n == 0 {
+		return st.root.Pick(st.h.LeafParams(), st.h.Leaf())
+	}
+	id, _, ok := st.root.Pick(st.h.Params(0), &st.ents[0])
+	if !ok {
+		return None, 0, false
+	}
+	for k := 1; k < n; k++ {
+		id, _, ok = st.nodes[k-1][id].child.Pick(st.h.Params(k), &st.ents[k])
+		if !ok {
+			return None, 0, false // unreachable: a linked node has descendants
+		}
+	}
+	return st.nodes[n-1][id].child.Pick(st.h.LeafParams(), st.h.Leaf())
+}
+
+// Activate links leaf into the hierarchy along path (path[k] is the
+// composite node index at level k; empty when flat). The cascade stops
+// at the first list that was already non-empty — the node above it is
+// already linked.
+func (st *Stack) Activate(leaf int32, path []int32) {
+	n := len(st.nodes)
+	if n == 0 {
+		st.root.Activate(st.h.Leaf(), leaf)
+		return
+	}
+	l := &st.nodes[n-1][path[n-1]].child
+	l.Activate(st.h.Leaf(), leaf)
+	if l.Count() > 1 {
+		return
+	}
+	for k := n - 1; k > 0; k-- {
+		l = &st.nodes[k-1][path[k-1]].child
+		l.Activate(&st.ents[k], path[k])
+		if l.Count() > 1 {
+			return
+		}
+	}
+	st.root.Activate(&st.ents[0], path[0])
+}
+
+// Deactivate unlinks leaf from the hierarchy along path. Each list a
+// removal empties takes its node off the rotation above, with Level's
+// Deactivate semantics applying at every level — open visits end with
+// their unused credit refunded to the audit, banked positive deficit is
+// forfeited, debt survives.
+func (st *Stack) Deactivate(leaf int32, path []int32) {
+	n := len(st.nodes)
+	if n == 0 {
+		st.root.Deactivate(st.h.LeafParams(), st.h.Leaf(), leaf)
+		return
+	}
+	l := &st.nodes[n-1][path[n-1]].child
+	l.Deactivate(st.h.LeafParams(), st.h.Leaf(), leaf)
+	if l.Count() > 0 {
+		return
+	}
+	for k := n - 1; k > 0; k-- {
+		l = &st.nodes[k-1][path[k-1]].child
+		l.Deactivate(st.h.Params(k), &st.ents[k], path[k])
+		if l.Count() > 0 {
+			return
+		}
+	}
+	st.root.Deactivate(st.h.Params(0), &st.ents[0], path[0])
+}
+
+// Charge debits bytes actually served under path against every
+// intermediate DRR level's node deficit. The leaf-level debit is the
+// caller's (Pick returned it); packet-granular levels are untouched.
+func (st *Stack) Charge(path []int32, bytes int64) {
+	for k := range st.nodes {
+		if st.h.Params(k).Kind == policy.EgressDRR {
+			st.nodes[k][path[k]].deficit -= bytes
+		}
+	}
+}
+
+// Reset ends every open visit without refunds and zeroes every
+// intermediate deficit — the discipline-replacement reset (the caller
+// resets leaf deficits and audit state wholesale alongside). Membership
+// survives: backlogged subtrees stay linked across a discipline change.
+func (st *Stack) Reset() {
+	st.root.ResetRotation()
+	for k := range st.nodes {
+		for i := range st.nodes[k] {
+			st.nodes[k][i].child.ResetRotation()
+			st.nodes[k][i].deficit = 0
+		}
+	}
+}

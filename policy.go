@@ -19,21 +19,32 @@ type AdmissionConfig = policy.Config
 
 // EgressConfig parameterizes the integrated egress scheduler; build one
 // with RoundRobinEgress, PriorityEgress, WRREgress, or DRREgress (the zero
-// value is round-robin), and optionally layer class scheduling on top
-// with ClassLayer.
+// value is round-robin), and optionally layer class and tenant scheduling
+// on top with ClassLayer and TenantLayer.
 //
 // Disciplines arbitrate within each shard; across shards, batches rotate
 // the starting shard so every shard gets egress bandwidth. Strict global
 // priority or exact global weight ratios therefore need the competing
 // flows on one shard — use Shards: 1 or flow IDs that hash together.
-// Class-level arbitration has no such caveat when classes span flows of
-// one shard's port unit; see examples/ethswitch for the 802.1p pattern.
+// Class- and tenant-level arbitration has no such caveat when the units
+// span flows of one shard's port unit; see examples/ethswitch for the
+// 802.1p pattern and its two-tenant variant.
 type EgressConfig = policy.EgressConfig
 
+// LevelSpec configures one intermediate level (tenant or class) of the
+// egress hierarchy; normally built through ClassLayer/TenantLayer.
+type LevelSpec = policy.LevelSpec
+
 // EgressKind names a scheduling discipline — used to pick the
-// class-level discipline in ClassLayer (the flow level is normally built
-// with RoundRobinEgress and friends).
+// intermediate-level disciplines in ClassLayer and TenantLayer (the flow
+// level is normally built with RoundRobinEgress and friends).
 type EgressKind = policy.EgressKind
+
+// The tier names a LevelSpec can carry.
+const (
+	TierTenant = policy.TierTenant
+	TierClass  = policy.TierClass
+)
 
 // The scheduling disciplines, re-exported for ClassLayer.
 const (
@@ -83,6 +94,10 @@ type PortStat = engine.PortStat
 
 // ClassStat is one scheduling class's backlog statistics (see ClassStats).
 type ClassStat = engine.ClassStat
+
+// TenantStat is one scheduling tenant's backlog statistics (see
+// TenantStats).
+type TenantStat = engine.TenantStat
 
 // PortShaper returns a token-bucket shaper configuration: rate is the
 // sustained drain in bytes per second (0 = unshaped), burst the bucket
@@ -143,7 +158,7 @@ func DRREgress(quantumBytes int) EgressConfig {
 	return policy.EgressConfig{Kind: policy.EgressDRR, QuantumBytes: quantumBytes}
 }
 
-// ClassLayer layers a two-level scheduling hierarchy onto an egress
+// ClassLayer layers a class scheduling level onto an egress
 // configuration: flows are grouped into numClasses classes (SetFlowClass;
 // every flow starts in class 0), kind arbitrates among a port's
 // backlogged classes first, and cfg's own discipline then arbitrates
@@ -155,12 +170,34 @@ func DRREgress(quantumBytes int) EgressConfig {
 //
 //	Egress: npqm.ClassLayer(npqm.RoundRobinEgress(), 8, npqm.EgressPrio)
 func ClassLayer(cfg EgressConfig, numClasses int, kind EgressKind, weights ...int) EgressConfig {
-	cfg.NumClasses = numClasses
-	cfg.ClassKind = kind
+	spec := policy.LevelSpec{Tier: policy.TierClass, Kind: kind, Units: numClasses}
 	if len(weights) > 0 {
-		cfg.ClassWeights = weights
+		spec.Weights = weights
 	}
-	return cfg
+	return cfg.WithLevel(spec)
+}
+
+// TenantLayer layers a tenant scheduling level onto an egress
+// configuration, outside any class level: flows are grouped into
+// numTenants tenants (SetFlowTenant; every flow starts in tenant 0),
+// kind arbitrates among a port's backlogged tenants first, and the rest
+// of cfg's hierarchy — the optional class level, then the flow
+// discipline — arbitrates within the winning tenant. weights, when
+// given, are the per-tenant WRR/DRR weights (tenant index order;
+// missing or zero entries default to 1). The tenant count is fixed at
+// construction.
+//
+// A three-level tenant → class → flow hierarchy composes:
+//
+//	Egress: npqm.TenantLayer(
+//	    npqm.ClassLayer(npqm.RoundRobinEgress(), 8, npqm.EgressPrio),
+//	    4, npqm.EgressWRR, 3, 1, 1, 1)
+func TenantLayer(cfg EgressConfig, numTenants int, kind EgressKind, weights ...int) EgressConfig {
+	spec := policy.LevelSpec{Tier: policy.TierTenant, Kind: kind, Units: numTenants}
+	if len(weights) > 0 {
+		spec.Weights = weights
+	}
+	return cfg.WithLevel(spec)
 }
 
 // ConcurrentConfig sizes a policy-aware sharded engine for
@@ -176,6 +213,11 @@ type ConcurrentConfig struct {
 	Admission AdmissionConfig
 	// Egress is the integrated scheduler discipline (zero value: RR).
 	Egress EgressConfig
+	// Tenants is the tenant count for the optional tenant scheduling
+	// level — shorthand for a round-robin TenantLayer on Egress (0 or 1
+	// means no tenant level; when Egress already carries a tenant
+	// LevelSpec the two counts must agree).
+	Tenants int
 	// Ports is the output-port count (0 means 1). Flows start on port 0;
 	// SetFlowPort re-homes them, and Serve attaches a push-mode Sink per
 	// port.
@@ -214,6 +256,7 @@ func NewConcurrentEngine(cfg ConcurrentConfig) (*ConcurrentQueueManager, error) 
 		StoreData:       true,
 		Admission:       cfg.Admission,
 		Egress:          cfg.Egress,
+		NumTenants:      cfg.Tenants,
 		NumPorts:        cfg.Ports,
 		PortRate:        cfg.PortRate,
 		RingCapacity:    cfg.RingCapacity,
